@@ -1,0 +1,26 @@
+//! # actyp-appmgmt — the PUNCH application-management component
+//!
+//! Figure 2 of the paper shows the scheduling steps that happen *before* a
+//! query ever reaches the active yellow pages service: the application
+//! management component parses the user's command and input, extracts the
+//! parameters that matter (number of carriers, grid nodes, device size, …),
+//! qualifies them through a performance model into CPU and memory estimates,
+//! ranks the algorithms the tool offers, determines hardware requirements,
+//! and finally composes the ActYP query.
+//!
+//! * [`knowledge`] — the per-tool knowledge base: parameters, algorithms,
+//!   architecture/license constraints.
+//! * [`parse`] — parsing of user command lines against a tool's parameters.
+//! * [`perfmodel`] — run-time and memory prediction (the role played by the
+//!   performance-modelling service of Kapadia et al.).
+//! * [`compose`] — hardware-requirement derivation and query composition.
+
+pub mod compose;
+pub mod knowledge;
+pub mod parse;
+pub mod perfmodel;
+
+pub use compose::{compose_query, HardwareRequirements};
+pub use knowledge::{Algorithm, KnowledgeBase, ParameterSpec, ToolProfile};
+pub use parse::{parse_invocation, Invocation, InvocationError};
+pub use perfmodel::{PerformanceModel, ResourceEstimate};

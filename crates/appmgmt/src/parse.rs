@@ -1,0 +1,177 @@
+//! Parsing user invocations.
+//!
+//! The network desktop hands the application manager the command the user
+//! typed ("simulate carrier transport for the given device specs") together
+//! with preferences.  Here an invocation is a tool name followed by
+//! `key=value` arguments plus optional preference flags; the parser checks
+//! the tool exists and extracts the parameters the knowledge base declares,
+//! applying the declared defaults for anything missing.
+
+use std::collections::BTreeMap;
+
+use crate::knowledge::KnowledgeBase;
+
+/// A parsed and qualified tool invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The tool being run.
+    pub tool: String,
+    /// Parameter values (defaults applied for missing ones).
+    pub parameters: BTreeMap<String, f64>,
+    /// Minimum algorithm accuracy requested via `accuracy=…` (0–1).
+    pub min_accuracy: f64,
+    /// Architecture preference via `arch=…`, if any.
+    pub preferred_arch: Option<String>,
+    /// Domain preference via `domain=…`, if any.
+    pub preferred_domain: Option<String>,
+}
+
+/// Why an invocation could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvocationError {
+    /// The command line was empty.
+    Empty,
+    /// The named tool is not in the knowledge base.
+    UnknownTool(String),
+    /// An argument was not of the form `key=value`.
+    MalformedArgument(String),
+    /// A declared numeric parameter had a non-numeric value.
+    NotNumeric(String),
+}
+
+impl std::fmt::Display for InvocationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InvocationError::Empty => write!(f, "empty command"),
+            InvocationError::UnknownTool(t) => write!(f, "unknown tool `{t}`"),
+            InvocationError::MalformedArgument(a) => {
+                write!(f, "argument `{a}` is not of the form key=value")
+            }
+            InvocationError::NotNumeric(k) => {
+                write!(f, "parameter `{k}` requires a numeric value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvocationError {}
+
+/// Parses a command line like
+/// `carrier-transport carriers=50000 gridnodes=2000 accuracy=0.9 arch=sun`.
+pub fn parse_invocation(
+    command: &str,
+    knowledge: &KnowledgeBase,
+) -> Result<Invocation, InvocationError> {
+    let mut tokens = command.split_whitespace();
+    let tool_name = tokens.next().ok_or(InvocationError::Empty)?;
+    let tool = knowledge
+        .tool(tool_name)
+        .ok_or_else(|| InvocationError::UnknownTool(tool_name.to_string()))?;
+
+    let mut parameters: BTreeMap<String, f64> = tool
+        .parameters
+        .iter()
+        .map(|p| (p.name.clone(), p.default))
+        .collect();
+    let mut min_accuracy = 0.0;
+    let mut preferred_arch = None;
+    let mut preferred_domain = None;
+
+    for token in tokens {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| InvocationError::MalformedArgument(token.to_string()))?;
+        let key = key.to_ascii_lowercase();
+        match key.as_str() {
+            "accuracy" => {
+                min_accuracy = value
+                    .parse()
+                    .map_err(|_| InvocationError::NotNumeric(key.clone()))?;
+            }
+            "arch" => preferred_arch = Some(value.to_ascii_lowercase()),
+            "domain" => preferred_domain = Some(value.to_ascii_lowercase()),
+            _ => {
+                // Only parameters the knowledge base declares are extracted
+                // ("extract relevant parameters"); others are ignored, as in
+                // the production system where unknown inputs belong to the
+                // tool rather than the scheduler.
+                if tool.parameter(&key).is_some() {
+                    let number: f64 = value
+                        .parse()
+                        .map_err(|_| InvocationError::NotNumeric(key.clone()))?;
+                    parameters.insert(key, number);
+                }
+            }
+        }
+    }
+
+    Ok(Invocation {
+        tool: tool_name.to_string(),
+        parameters,
+        min_accuracy,
+        preferred_arch,
+        preferred_domain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb() -> KnowledgeBase {
+        KnowledgeBase::punch_defaults()
+    }
+
+    #[test]
+    fn parses_tool_and_parameters() {
+        let inv = parse_invocation(
+            "carrier-transport carriers=50000 gridnodes=2000 accuracy=0.9",
+            &kb(),
+        )
+        .unwrap();
+        assert_eq!(inv.tool, "carrier-transport");
+        assert_eq!(inv.parameters["carriers"], 50_000.0);
+        assert_eq!(inv.parameters["gridnodes"], 2_000.0);
+        assert_eq!(inv.min_accuracy, 0.9);
+    }
+
+    #[test]
+    fn defaults_fill_missing_parameters() {
+        let inv = parse_invocation("carrier-transport carriers=50000", &kb()).unwrap();
+        assert_eq!(inv.parameters["gridnodes"], 1_000.0);
+        assert_eq!(inv.parameters["convergence"], 1e-6);
+        assert_eq!(inv.min_accuracy, 0.0);
+    }
+
+    #[test]
+    fn preferences_are_extracted() {
+        let inv = parse_invocation("spice nodes=500 arch=HP domain=purdue", &kb()).unwrap();
+        assert_eq!(inv.preferred_arch.as_deref(), Some("hp"));
+        assert_eq!(inv.preferred_domain.as_deref(), Some("purdue"));
+    }
+
+    #[test]
+    fn unknown_arguments_are_ignored() {
+        let inv = parse_invocation("spice nodes=500 colour=blue", &kb());
+        // `colour` is not declared, so it is ignored rather than an error…
+        assert!(inv.is_ok());
+        // …but a declared parameter with a bad value is an error.
+        assert_eq!(
+            parse_invocation("spice nodes=lots", &kb()).unwrap_err(),
+            InvocationError::NotNumeric("nodes".to_string())
+        );
+    }
+
+    #[test]
+    fn errors_for_empty_unknown_and_malformed() {
+        assert_eq!(parse_invocation("", &kb()).unwrap_err(), InvocationError::Empty);
+        assert_eq!(
+            parse_invocation("autocad size=3", &kb()).unwrap_err(),
+            InvocationError::UnknownTool("autocad".to_string())
+        );
+        assert_eq!(
+            parse_invocation("spice nodes", &kb()).unwrap_err(),
+            InvocationError::MalformedArgument("nodes".to_string())
+        );
+    }
+}

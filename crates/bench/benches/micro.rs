@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the pipeline's hot operations: query
+//! parsing, pool-name construction, machine matching, the white-pages walk a
+//! pool performs at creation, and a pool allocation (the linear scan whose
+//! cost dominates the paper's response-time figures).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use actyp_grid::{FleetSpec, SyntheticFleet};
+use actyp_pipeline::{ReplicaBias, RequestId, ResourcePool, SchedulingObjective};
+use actyp_query::{matches_machine, parse_query, PoolName, Query};
+
+fn bench_query_language(c: &mut Criterion) {
+    let text = Query::paper_example().to_string();
+    c.bench_function("query/parse_paper_example", |b| {
+        b.iter(|| parse_query(black_box(&text)).unwrap())
+    });
+
+    let basic = Query::paper_example().decompose(1).remove(0);
+    c.bench_function("query/pool_name_signature", |b| {
+        b.iter(|| PoolName::from_query(black_box(&basic)))
+    });
+
+    let composite = parse_query("punch.rsrc.arch = sun | hp | linux\npunch.rsrc.memory = >=128 | >=512\n").unwrap();
+    c.bench_function("query/decompose_composite", |b| {
+        b.iter(|| black_box(&composite).decompose(16))
+    });
+}
+
+fn bench_matching_and_walk(c: &mut Criterion) {
+    let db = SyntheticFleet::new(FleetSpec::with_machines(3_200), 1).generate();
+    let basic = Query::paper_example().decompose(1).remove(0);
+    let machine = db.iter().next().unwrap().clone();
+
+    c.bench_function("match/single_machine", |b| {
+        b.iter(|| matches_machine(black_box(&basic), black_box(&machine)))
+    });
+
+    c.bench_function("database/walk_3200_machines", |b| {
+        b.iter(|| db.walk(|m| matches_machine(&basic, m).is_match()).len())
+    });
+}
+
+fn bench_pool_allocation(c: &mut Criterion) {
+    let shared = SyntheticFleet::new(FleetSpec::homogeneous(3_200, "sun", 256), 2)
+        .generate()
+        .into_shared();
+    let basic = parse_query("punch.rsrc.arch = sun\npunch.user.accessgroup = ece\n")
+        .unwrap()
+        .decompose(1)
+        .remove(0);
+    let name = PoolName::from_query(&basic);
+    let pool = ResourcePool::create(
+        name,
+        0,
+        ReplicaBias::none(),
+        shared,
+        SchedulingObjective::LeastLoaded,
+        3,
+    )
+    .unwrap();
+    let pool = std::cell::RefCell::new(pool);
+    let mut counter = 0u64;
+
+    c.bench_function("pool/allocate_release_3200", |b| {
+        b.iter_batched(
+            || {
+                counter += 1;
+                RequestId(counter)
+            },
+            |request| {
+                let mut p = pool.borrow_mut();
+                let a = p.allocate(request, &basic, 12).unwrap();
+                p.release(&a).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = micro;
+    config = config();
+    targets = bench_query_language, bench_matching_and_walk, bench_pool_allocation
+}
+criterion_main!(micro);

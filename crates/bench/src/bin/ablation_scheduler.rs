@@ -1,0 +1,7 @@
+//! Regenerates the `ablation_scheduler` series; see EXPERIMENTS.md.
+//! Set `ACTYP_QUICK=1` for a reduced sweep.
+fn main() {
+    let scale = actyp_bench::Scale::from_env();
+    let series = actyp_bench::ablation_scheduler(&scale);
+    print!("{}", series.to_csv());
+}

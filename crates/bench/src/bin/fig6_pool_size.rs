@@ -1,0 +1,7 @@
+//! Regenerates the `fig6_pool_size` series; see EXPERIMENTS.md.
+//! Set `ACTYP_QUICK=1` for a reduced sweep.
+fn main() {
+    let scale = actyp_bench::Scale::from_env();
+    let series = actyp_bench::fig6_pool_size(&scale);
+    print!("{}", series.to_csv());
+}

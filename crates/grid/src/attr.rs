@@ -1,0 +1,181 @@
+//! Typed attribute values.
+//!
+//! Administrators describe machines with key/value pairs whose values can be
+//! numbers (memory in megabytes, SPECfp ratings), strings (architecture,
+//! domain), or lists (the `cms=sge,pbs,condor` example from the paper).  The
+//! query language compares query values against these machine values, so the
+//! type lives here in the substrate crate that both sides depend on.
+
+use std::fmt;
+
+/// A machine attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Numeric value (memory sizes use megabytes as the default unit, as in
+    /// the paper's example query).
+    Num(f64),
+    /// String value (architecture, operating-system type, owner, domain, …).
+    Str(String),
+    /// List of strings (e.g. supported cluster-management systems).
+    List(Vec<String>),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Builds a string attribute.
+    pub fn str(s: impl Into<String>) -> Self {
+        AttrValue::Str(s.into())
+    }
+
+    /// Builds a numeric attribute.
+    pub fn num(n: f64) -> Self {
+        AttrValue::Num(n)
+    }
+
+    /// Builds a list attribute.
+    pub fn list<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        AttrValue::List(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Numeric view of the value, if it has one.  Strings that parse as
+    /// numbers are accepted because administrators write `memory = 512` as
+    /// text in configuration files.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            AttrValue::Num(n) => Some(*n),
+            AttrValue::Str(s) => s.trim().parse().ok(),
+            AttrValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            AttrValue::List(_) => None,
+        }
+    }
+
+    /// String view of the value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Whether the value, viewed as a set, contains `item` (case-insensitive).
+    /// A scalar string is treated as a one-element set.
+    pub fn contains(&self, item: &str) -> bool {
+        match self {
+            AttrValue::List(items) => items.iter().any(|i| i.eq_ignore_ascii_case(item)),
+            AttrValue::Str(s) => s.eq_ignore_ascii_case(item),
+            _ => false,
+        }
+    }
+
+    /// Canonical text rendering, used when constructing pool identifiers.
+    pub fn canonical(&self) -> String {
+        match self {
+            AttrValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            AttrValue::Str(s) => s.to_ascii_lowercase(),
+            AttrValue::List(items) => {
+                let mut sorted: Vec<String> =
+                    items.iter().map(|s| s.to_ascii_lowercase()).collect();
+                sorted.sort();
+                sorted.join(",")
+            }
+            AttrValue::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.canonical())
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(n: f64) -> Self {
+        AttrValue::Num(n)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(n: u64) -> Self {
+        AttrValue::Num(n as f64)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(AttrValue::num(512.0).as_num(), Some(512.0));
+        assert_eq!(AttrValue::str("256").as_num(), Some(256.0));
+        assert_eq!(AttrValue::str(" 128 ").as_num(), Some(128.0));
+        assert_eq!(AttrValue::str("sun").as_num(), None);
+        assert_eq!(AttrValue::from(true).as_num(), Some(1.0));
+        assert_eq!(AttrValue::list(["a"]).as_num(), None);
+    }
+
+    #[test]
+    fn contains_is_case_insensitive() {
+        let cms = AttrValue::list(["SGE", "pbs", "Condor"]);
+        assert!(cms.contains("sge"));
+        assert!(cms.contains("CONDOR"));
+        assert!(!cms.contains("lsf"));
+        assert!(AttrValue::str("Sun").contains("sun"));
+        assert!(!AttrValue::num(5.0).contains("5"));
+    }
+
+    #[test]
+    fn canonical_is_stable_and_lowercase() {
+        assert_eq!(AttrValue::str("SUN").canonical(), "sun");
+        assert_eq!(AttrValue::num(10.0).canonical(), "10");
+        assert_eq!(AttrValue::num(2.5).canonical(), "2.5");
+        assert_eq!(
+            AttrValue::list(["pbs", "SGE", "condor"]).canonical(),
+            "condor,pbs,sge"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(AttrValue::from("x"), AttrValue::Str("x".into()));
+        assert_eq!(AttrValue::from(3u64), AttrValue::Num(3.0));
+        assert_eq!(AttrValue::from(2.5), AttrValue::Num(2.5));
+        assert_eq!(AttrValue::from(false), AttrValue::Bool(false));
+    }
+
+    #[test]
+    fn display_matches_canonical() {
+        let v = AttrValue::list(["B", "a"]);
+        assert_eq!(format!("{v}"), "a,b");
+    }
+}

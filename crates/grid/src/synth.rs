@@ -1,0 +1,301 @@
+//! Synthetic fleet generation.
+//!
+//! The paper's controlled experiments run against "a database of 3,200
+//! machines" (Figures 4–8).  This module builds such databases: a
+//! [`FleetSpec`] describes the mix of architectures, memory sizes, domains
+//! and tool groups, and [`SyntheticFleet::generate`] produces a populated
+//! [`ResourceDatabase`] deterministically from a seed.
+
+use actyp_simnet::Rng;
+
+use crate::database::ResourceDatabase;
+use crate::machine::{Machine, MachineId};
+use crate::policy::UsagePolicy;
+use crate::shadow::ShadowAccountPool;
+
+/// Weighted choice of an attribute value.
+#[derive(Debug, Clone)]
+pub struct Weighted<T> {
+    /// The value.
+    pub value: T,
+    /// Relative weight (need not sum to one across the list).
+    pub weight: f64,
+}
+
+impl<T> Weighted<T> {
+    /// Convenience constructor.
+    pub fn new(value: T, weight: f64) -> Self {
+        Weighted { value, weight }
+    }
+}
+
+fn pick<'a, T>(rng: &mut Rng, choices: &'a [Weighted<T>]) -> &'a T {
+    let total: f64 = choices.iter().map(|c| c.weight.max(0.0)).sum();
+    let mut x = rng.f64() * total;
+    for c in choices {
+        x -= c.weight.max(0.0);
+        if x <= 0.0 {
+            return &c.value;
+        }
+    }
+    &choices[choices.len() - 1].value
+}
+
+/// Description of a synthetic machine fleet.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of machines to generate.
+    pub machines: usize,
+    /// Architecture mix (the paper's examples use `sun` and `hp`).
+    pub architectures: Vec<Weighted<String>>,
+    /// Memory options in megabytes.
+    pub memory_mb: Vec<Weighted<u64>>,
+    /// Administrative domains machines belong to.
+    pub domains: Vec<Weighted<String>>,
+    /// Operating-system types.
+    pub os_types: Vec<Weighted<String>>,
+    /// Tool groups installed on machines (each machine gets a subset).
+    pub tool_groups: Vec<String>,
+    /// Mean number of tool groups per machine.
+    pub mean_tools_per_machine: f64,
+    /// User groups allowed (each machine admits all of them by default).
+    pub user_groups: Vec<String>,
+    /// Number of shadow accounts per machine.
+    pub shadow_accounts: u32,
+    /// Range of effective speed ratings (SPECfp-like).
+    pub speed_range: (f64, f64),
+    /// Options for CPU counts.
+    pub cpu_options: Vec<Weighted<u32>>,
+}
+
+impl Default for FleetSpec {
+    fn default() -> Self {
+        FleetSpec {
+            machines: 3_200,
+            architectures: vec![
+                Weighted::new("sun".to_string(), 0.5),
+                Weighted::new("hp".to_string(), 0.3),
+                Weighted::new("linux".to_string(), 0.2),
+            ],
+            memory_mb: vec![
+                Weighted::new(128, 0.3),
+                Weighted::new(256, 0.35),
+                Weighted::new(512, 0.25),
+                Weighted::new(1024, 0.1),
+            ],
+            domains: vec![
+                Weighted::new("purdue".to_string(), 0.7),
+                Weighted::new("upc".to_string(), 0.2),
+                Weighted::new("ufl".to_string(), 0.1),
+            ],
+            os_types: vec![
+                Weighted::new("solaris".to_string(), 0.5),
+                Weighted::new("hpux".to_string(), 0.3),
+                Weighted::new("linux".to_string(), 0.2),
+            ],
+            tool_groups: vec![
+                "tsuprem4".to_string(),
+                "spice".to_string(),
+                "matlab".to_string(),
+                "minimos".to_string(),
+                "fidap".to_string(),
+                "abaqus".to_string(),
+            ],
+            mean_tools_per_machine: 3.0,
+            user_groups: vec![
+                "ece".to_string(),
+                "me".to_string(),
+                "public".to_string(),
+                "upc".to_string(),
+                "ece-students".to_string(),
+            ],
+            shadow_accounts: 8,
+            speed_range: (100.0, 500.0),
+            cpu_options: vec![
+                Weighted::new(1, 0.55),
+                Weighted::new(2, 0.25),
+                Weighted::new(4, 0.15),
+                Weighted::new(8, 0.05),
+            ],
+        }
+    }
+}
+
+impl FleetSpec {
+    /// A spec with the given machine count and all other knobs at their
+    /// defaults — the shape used by the figure experiments.
+    pub fn with_machines(machines: usize) -> Self {
+        FleetSpec {
+            machines,
+            ..FleetSpec::default()
+        }
+    }
+
+    /// A homogeneous fleet: one architecture, one memory size, one domain.
+    /// Used to force every machine into the same pool (the "hot spot"
+    /// scenarios of Figures 6–8).
+    pub fn homogeneous(machines: usize, arch: &str, memory_mb: u64) -> Self {
+        FleetSpec {
+            machines,
+            architectures: vec![Weighted::new(arch.to_string(), 1.0)],
+            memory_mb: vec![Weighted::new(memory_mb, 1.0)],
+            domains: vec![Weighted::new("purdue".to_string(), 1.0)],
+            os_types: vec![Weighted::new("solaris".to_string(), 1.0)],
+            ..FleetSpec::default()
+        }
+    }
+}
+
+/// Generator for synthetic fleets.
+#[derive(Debug)]
+pub struct SyntheticFleet {
+    spec: FleetSpec,
+    rng: Rng,
+}
+
+impl SyntheticFleet {
+    /// Creates a generator from a spec and a seed.
+    pub fn new(spec: FleetSpec, seed: u64) -> Self {
+        SyntheticFleet {
+            spec,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Generates the fleet into a fresh resource database.
+    pub fn generate(&mut self) -> ResourceDatabase {
+        let mut db = ResourceDatabase::new();
+        self.generate_into(&mut db);
+        db
+    }
+
+    /// Generates the fleet into an existing database (used to extend a
+    /// federation with a second domain's machines).
+    pub fn generate_into(&mut self, db: &mut ResourceDatabase) {
+        for i in 0..self.spec.machines {
+            let arch = pick(&mut self.rng, &self.spec.architectures).clone();
+            let memory = *pick(&mut self.rng, &self.spec.memory_mb);
+            let domain = pick(&mut self.rng, &self.spec.domains).clone();
+            let ostype = pick(&mut self.rng, &self.spec.os_types).clone();
+            let cpus = *pick(&mut self.rng, &self.spec.cpu_options);
+            let speed = self
+                .rng
+                .range_f64(self.spec.speed_range.0, self.spec.speed_range.1);
+
+            // Choose the subset of tools this machine has installed.
+            let p_tool = (self.spec.mean_tools_per_machine
+                / self.spec.tool_groups.len().max(1) as f64)
+                .clamp(0.0, 1.0);
+            let mut tools: Vec<String> = self
+                .spec
+                .tool_groups
+                .iter()
+                .filter(|_| self.rng.chance(p_tool))
+                .cloned()
+                .collect();
+            if tools.is_empty() && !self.spec.tool_groups.is_empty() {
+                let idx = self.rng.index(self.spec.tool_groups.len());
+                tools.push(self.spec.tool_groups[idx].clone());
+            }
+
+            let name = format!("{}-{:05}.{}.edu", arch, i, domain);
+            let mut machine = Machine::new(MachineId(0), name)
+                .with_param("arch", arch)
+                .with_param("memory", memory)
+                .with_param("ostype", ostype)
+                .with_param("osversion", "5.8")
+                .with_param("domain", domain)
+                .with_param("swap", memory * 2)
+                .with_param(
+                    "cms",
+                    crate::attr::AttrValue::list(["sge", "pbs", "condor"]),
+                )
+                .with_capacity(speed, cpus, 2.0 * cpus as f64)
+                .with_user_groups(self.spec.user_groups.clone())
+                .with_tool_groups(tools)
+                .with_policy(UsagePolicy::Always);
+            machine.shadow_accounts =
+                ShadowAccountPool::with_accounts(6000, self.spec.shadow_accounts);
+            machine.dynamic.available_memory_mb = memory as f64 * 0.8;
+            machine.dynamic.available_swap_mb = memory as f64;
+            machine.dynamic.current_load = self.rng.range_f64(0.0, 0.5);
+            db.register(machine);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let mut gen = SyntheticFleet::new(FleetSpec::with_machines(100), 1);
+        let db = gen.generate();
+        assert_eq!(db.len(), 100);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = SyntheticFleet::new(FleetSpec::with_machines(50), 7);
+        let mut b = SyntheticFleet::new(FleetSpec::with_machines(50), 7);
+        let da = a.generate();
+        let db = b.generate();
+        for (x, y) in da.iter().zip(db.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.params, y.params);
+            assert_eq!(x.num_cpus, y.num_cpus);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_fleets() {
+        let da = SyntheticFleet::new(FleetSpec::with_machines(50), 1).generate();
+        let db = SyntheticFleet::new(FleetSpec::with_machines(50), 2).generate();
+        let names_a: Vec<_> = da.iter().map(|m| m.name.clone()).collect();
+        let names_b: Vec<_> = db.iter().map(|m| m.name.clone()).collect();
+        assert_ne!(names_a, names_b);
+    }
+
+    #[test]
+    fn architecture_mix_roughly_matches_weights() {
+        let mut gen = SyntheticFleet::new(FleetSpec::with_machines(2000), 3);
+        let db = gen.generate();
+        let suns = db
+            .iter()
+            .filter(|m| m.attribute("arch").map(|a| a.contains("sun")).unwrap_or(false))
+            .count();
+        let frac = suns as f64 / 2000.0;
+        assert!((frac - 0.5).abs() < 0.06, "sun fraction {frac}");
+    }
+
+    #[test]
+    fn homogeneous_fleet_has_single_signature_attributes() {
+        let mut gen = SyntheticFleet::new(FleetSpec::homogeneous(64, "sun", 256), 5);
+        let db = gen.generate();
+        assert!(db.iter().all(|m| {
+            m.attribute("arch").unwrap().contains("sun")
+                && m.attribute("memory").unwrap().as_num() == Some(256.0)
+                && m.attribute("domain").unwrap().contains("purdue")
+        }));
+    }
+
+    #[test]
+    fn every_machine_has_tools_and_shadow_accounts() {
+        let mut gen = SyntheticFleet::new(FleetSpec::with_machines(200), 9);
+        let db = gen.generate();
+        assert!(db.iter().all(|m| !m.tool_groups.is_empty()));
+        assert!(db.iter().all(|m| m.shadow_accounts.capacity() == 8));
+        assert!(db.iter().all(|m| m.dynamic.available_memory_mb > 0.0));
+    }
+
+    #[test]
+    fn generate_into_extends_existing_database() {
+        let mut db = SyntheticFleet::new(FleetSpec::with_machines(10), 1).generate();
+        SyntheticFleet::new(FleetSpec::with_machines(5), 2).generate_into(&mut db);
+        assert_eq!(db.len(), 15);
+        // Ids remain unique after extension.
+        let ids: std::collections::HashSet<_> = db.iter().map(|m| m.id).collect();
+        assert_eq!(ids.len(), 15);
+    }
+}

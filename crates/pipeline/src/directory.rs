@@ -1,0 +1,204 @@
+//! The local directory service.
+//!
+//! "Pool managers keep track of resource pools via a local directory
+//! service.  Once a query has been mapped to a pool name, the pool manager
+//! uses the directory service to retrieve pointers (i.e., machine names and
+//! TCP/UDP ports) to all instances of resource pools with the particular
+//! name" (Section 5.2.2).  Within an administrative domain, replicated
+//! stages share information through this directory, so it is wrapped behind
+//! a shared, lock-protected handle.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::message::StageAddress;
+
+/// Directory record for one resource-pool instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolInstanceRecord {
+    /// Full pool name (`signature/identifier`).
+    pub pool: String,
+    /// Instance number (pools can be replicated).
+    pub instance: u32,
+    /// Name of the pool manager hosting the instance.
+    pub manager: String,
+    /// Network address of the instance.
+    pub address: StageAddress,
+}
+
+/// The directory shared by the pool managers of one administrative domain.
+#[derive(Debug, Default)]
+pub struct LocalDirectoryService {
+    pools: BTreeMap<String, Vec<PoolInstanceRecord>>,
+    pool_managers: Vec<String>,
+}
+
+/// Shared handle to a directory.
+pub type SharedDirectory = Arc<RwLock<LocalDirectoryService>>;
+
+impl LocalDirectoryService {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps the directory in the shared handle used by pipeline stages.
+    pub fn into_shared(self) -> SharedDirectory {
+        Arc::new(RwLock::new(self))
+    }
+
+    /// Registers a pool manager so peers can delegate queries to it.
+    pub fn register_pool_manager(&mut self, name: impl Into<String>) {
+        let name = name.into();
+        if !self.pool_managers.contains(&name) {
+            self.pool_managers.push(name);
+        }
+    }
+
+    /// The pool managers known in this domain.
+    pub fn pool_managers(&self) -> &[String] {
+        &self.pool_managers
+    }
+
+    /// Registers a pool instance.  Registration is idempotent on
+    /// `(pool, instance)`; re-registering replaces the record (a restarted
+    /// instance may have a new address).
+    pub fn register_pool(&mut self, record: PoolInstanceRecord) {
+        let entry = self.pools.entry(record.pool.clone()).or_default();
+        if let Some(existing) = entry
+            .iter_mut()
+            .find(|r| r.instance == record.instance)
+        {
+            *existing = record;
+        } else {
+            entry.push(record);
+        }
+    }
+
+    /// Removes a pool instance (pool destroyed or its host failed).
+    pub fn unregister_pool(&mut self, pool: &str, instance: u32) -> bool {
+        match self.pools.get_mut(pool) {
+            Some(entries) => {
+                let before = entries.len();
+                entries.retain(|r| r.instance != instance);
+                let removed = entries.len() != before;
+                if entries.is_empty() {
+                    self.pools.remove(pool);
+                }
+                removed
+            }
+            None => false,
+        }
+    }
+
+    /// All registered instances of a pool name.
+    pub fn instances(&self, pool: &str) -> Vec<PoolInstanceRecord> {
+        self.pools.get(pool).cloned().unwrap_or_default()
+    }
+
+    /// Number of distinct pool names registered.
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Total number of pool instances registered.
+    pub fn instance_count(&self) -> usize {
+        self.pools.values().map(Vec::len).sum()
+    }
+
+    /// The next unused instance number for a pool name.
+    pub fn next_instance_number(&self, pool: &str) -> u32 {
+        self.pools
+            .get(pool)
+            .and_then(|entries| entries.iter().map(|r| r.instance).max())
+            .map(|m| m + 1)
+            .unwrap_or(0)
+    }
+
+    /// Iterates over every registered pool name.
+    pub fn pool_names(&self) -> impl Iterator<Item = &String> {
+        self.pools.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(pool: &str, instance: u32, manager: &str) -> PoolInstanceRecord {
+        PoolInstanceRecord {
+            pool: pool.to_string(),
+            instance,
+            manager: manager.to_string(),
+            address: StageAddress::new(format!("{manager}.purdue.edu"), 7300 + instance as u16),
+        }
+    }
+
+    #[test]
+    fn register_and_lookup_instances() {
+        let mut dir = LocalDirectoryService::new();
+        dir.register_pool(record("arch,==/sun", 0, "pm-a"));
+        dir.register_pool(record("arch,==/sun", 1, "pm-b"));
+        dir.register_pool(record("arch,==/hp", 0, "pm-a"));
+
+        assert_eq!(dir.pool_count(), 2);
+        assert_eq!(dir.instance_count(), 3);
+        assert_eq!(dir.instances("arch,==/sun").len(), 2);
+        assert_eq!(dir.instances("arch,==/hp").len(), 1);
+        assert!(dir.instances("arch,==/linux").is_empty());
+    }
+
+    #[test]
+    fn re_registration_replaces_the_record() {
+        let mut dir = LocalDirectoryService::new();
+        dir.register_pool(record("arch,==/sun", 0, "pm-a"));
+        let mut updated = record("arch,==/sun", 0, "pm-a");
+        updated.address = StageAddress::new("new-host.purdue.edu", 9999);
+        dir.register_pool(updated.clone());
+        let instances = dir.instances("arch,==/sun");
+        assert_eq!(instances.len(), 1);
+        assert_eq!(instances[0].address, updated.address);
+    }
+
+    #[test]
+    fn unregister_removes_instance_and_empty_pools() {
+        let mut dir = LocalDirectoryService::new();
+        dir.register_pool(record("p", 0, "pm-a"));
+        dir.register_pool(record("p", 1, "pm-a"));
+        assert!(dir.unregister_pool("p", 0));
+        assert_eq!(dir.instances("p").len(), 1);
+        assert!(dir.unregister_pool("p", 1));
+        assert_eq!(dir.pool_count(), 0);
+        assert!(!dir.unregister_pool("p", 7));
+        assert!(!dir.unregister_pool("missing", 0));
+    }
+
+    #[test]
+    fn next_instance_number_is_one_past_the_maximum() {
+        let mut dir = LocalDirectoryService::new();
+        assert_eq!(dir.next_instance_number("p"), 0);
+        dir.register_pool(record("p", 0, "pm-a"));
+        dir.register_pool(record("p", 3, "pm-b"));
+        assert_eq!(dir.next_instance_number("p"), 4);
+    }
+
+    #[test]
+    fn pool_manager_registration_is_idempotent() {
+        let mut dir = LocalDirectoryService::new();
+        dir.register_pool_manager("pm-a");
+        dir.register_pool_manager("pm-b");
+        dir.register_pool_manager("pm-a");
+        assert_eq!(dir.pool_managers(), &["pm-a".to_string(), "pm-b".to_string()]);
+    }
+
+    #[test]
+    fn shared_handle_supports_concurrent_access() {
+        let dir = LocalDirectoryService::new().into_shared();
+        dir.write().register_pool(record("p", 0, "pm-a"));
+        let d2 = dir.clone();
+        let handle = std::thread::spawn(move || d2.read().instance_count());
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! # actyp-pipeline — the active yellow pages resource-management pipeline
+//!
+//! This crate is the paper's primary contribution: a pipelined,
+//! decentralised resource-management architecture in which resources are
+//! aggregated *dynamically* — the "active yellow pages" — according to the
+//! queries the system actually observes.
+//!
+//! The pipeline has three stages:
+//!
+//! 1. **Query managers** ([`query_manager`]) translate queries from native
+//!    formats (the key/value language, ClassAds) into the internal form,
+//!    validate them against administrator-defined schemas, decompose
+//!    composite ("or") queries into basic components, select pool managers,
+//!    and re-integrate the per-fragment results at the end of the pipeline.
+//! 2. **Pool managers** ([`pool_manager`]) map each basic query to a pool
+//!    name (signature + identifier), locate instances through a local
+//!    directory service ([`directory`]), create pools on demand, forward to
+//!    instances hosted elsewhere, and delegate to peer managers — carrying a
+//!    TTL and visited list with the query ([`message::RoutingState`]).
+//! 3. **Resource pools** ([`resource_pool`]) aggregate matching machines
+//!    from the white pages, mark them taken, and run scheduling processes
+//!    ([`scheduler`]) that order the cache by an objective and answer
+//!    allocation queries.  Pools can be split for concurrent search and
+//!    replicated with an instance-specific bias.
+//!
+//! Three deployments of the same stages are provided:
+//!
+//! * [`engine::Engine`] — the embedded, synchronous pipeline (single address
+//!   space); the form used by the examples and baselines.
+//! * [`live::LivePipeline`] — every stage on its own thread, connected by
+//!   channels, demonstrating stage replication and pipelining.
+//! * [`sim`] — the discrete-event simulated deployment used to reproduce the
+//!   paper's controlled experiments (Figures 4–8), where stage service times
+//!   and LAN/WAN link latencies are modelled explicitly.
+
+pub mod allocation;
+pub mod directory;
+pub mod engine;
+pub mod live;
+pub mod message;
+pub mod pool_manager;
+pub mod query_manager;
+pub mod resource_pool;
+pub mod scheduler;
+pub mod sim;
+
+pub use allocation::{Allocation, AllocationError, SessionKey};
+pub use directory::{LocalDirectoryService, PoolInstanceRecord, SharedDirectory};
+pub use engine::{Engine, EngineStats, PipelineConfig};
+pub use live::LivePipeline;
+pub use message::{FragmentTag, RequestId, RequestIdGenerator, RoutingState, StageAddress};
+pub use pool_manager::{HandleOutcome, InstanceSelection, PoolManager, PoolManagerConfig};
+pub use query_manager::{PoolManagerSelection, QueryManager, ReintegrationPolicy};
+pub use resource_pool::ResourcePool;
+pub use scheduler::{ReplicaBias, ScheduleOutcome, Scheduler, SchedulingObjective};

@@ -1,0 +1,534 @@
+//! Live (threaded) deployment of the pipeline.
+//!
+//! "All stages in the resource management pipeline can be independently
+//! distributed and replicated across machines.  Queries propagate from one
+//! stage to the next via TCP or UDP" (Section 6).  This module realises that
+//! deployment inside one process: every query-manager and pool-manager stage
+//! runs on its own thread and stages exchange messages over channels, so
+//! queries are genuinely pipelined — a query manager can be decomposing one
+//! request while pool managers serve another and resource pools scan their
+//! caches for a third.
+//!
+//! The channel hop stands in for the TCP/UDP hop of the paper's deployment;
+//! the simulated deployment ([`crate::sim`]) is where wire latency is
+//! modelled explicitly.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use actyp_grid::SharedDatabase;
+use actyp_query::{BasicQuery, Query, QuerySchema};
+
+use crate::allocation::{Allocation, AllocationError};
+use crate::directory::{LocalDirectoryService, SharedDirectory};
+use crate::engine::PipelineConfig;
+use crate::message::{RequestId, RequestIdGenerator, RoutingState};
+use crate::pool_manager::{HandleOutcome, PoolManager, PoolManagerConfig};
+use crate::query_manager::QueryManager;
+
+type AllocationReply = Sender<Result<Allocation, AllocationError>>;
+
+enum QmMsg {
+    Submit {
+        query: Query,
+        reply: Sender<Result<Vec<Allocation>, AllocationError>>,
+    },
+    Shutdown,
+}
+
+enum PmMsg {
+    Query {
+        request: RequestId,
+        basic: BasicQuery,
+        routing: RoutingState,
+        hour: u8,
+        reply: AllocationReply,
+    },
+    AllocateFrom {
+        pool: String,
+        instance: u32,
+        request: RequestId,
+        basic: BasicQuery,
+        hour: u8,
+        reply: AllocationReply,
+    },
+    Release {
+        allocation: Allocation,
+        reply: Sender<Result<(), AllocationError>>,
+    },
+    Shutdown,
+}
+
+struct PmWorker {
+    manager: PoolManager,
+    rx: Receiver<PmMsg>,
+    peers: HashMap<String, Sender<PmMsg>>,
+    peer_order: Vec<String>,
+}
+
+impl PmWorker {
+    fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                PmMsg::Shutdown => break,
+                PmMsg::Release { allocation, reply } => {
+                    let _ = reply.send(self.manager.release(&allocation));
+                }
+                PmMsg::AllocateFrom {
+                    pool,
+                    instance,
+                    request,
+                    basic,
+                    hour,
+                    reply,
+                } => {
+                    let result = self
+                        .manager
+                        .allocate_from(&pool, instance, request, &basic, hour);
+                    let _ = reply.send(result);
+                }
+                PmMsg::Query {
+                    request,
+                    basic,
+                    mut routing,
+                    hour,
+                    reply,
+                } => {
+                    if !routing.visit(self.manager.name()) {
+                        let _ = reply.send(Err(AllocationError::TtlExpired));
+                        continue;
+                    }
+                    match self.manager.handle(request, &basic, hour) {
+                        HandleOutcome::Allocated(a) => {
+                            let _ = reply.send(Ok(a));
+                        }
+                        HandleOutcome::Failed(err) => {
+                            let _ = reply.send(Err(err));
+                        }
+                        HandleOutcome::Forward {
+                            manager,
+                            pool,
+                            instance,
+                        } => {
+                            if manager == self.manager.name() {
+                                let result = self
+                                    .manager
+                                    .allocate_from(&pool, instance, request, &basic, hour);
+                                let _ = reply.send(result);
+                            } else if let Some(peer) = self.peers.get(&manager) {
+                                let _ = peer.send(PmMsg::AllocateFrom {
+                                    pool,
+                                    instance,
+                                    request,
+                                    basic,
+                                    hour,
+                                    reply,
+                                });
+                            } else {
+                                let _ = reply.send(Err(AllocationError::Internal(format!(
+                                    "unknown pool manager {manager}"
+                                ))));
+                            }
+                        }
+                        HandleOutcome::CannotCreate => {
+                            // Delegate to a peer that has not yet seen the
+                            // query, carrying the routing state along.
+                            let next = self
+                                .peer_order
+                                .iter()
+                                .find(|name| {
+                                    !routing.has_visited(name) && name.as_str() != self.manager.name()
+                                })
+                                .cloned();
+                            match next {
+                                Some(name) if routing.alive() => {
+                                    let peer = self.peers.get(&name).expect("peer sender exists");
+                                    let _ = peer.send(PmMsg::Query {
+                                        request,
+                                        basic,
+                                        routing,
+                                        hour,
+                                        reply,
+                                    });
+                                }
+                                _ => {
+                                    let _ = reply.send(Err(AllocationError::NoSuchResources));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct QmWorker {
+    manager: QueryManager,
+    rx: Receiver<QmMsg>,
+    pm_txs: HashMap<String, Sender<PmMsg>>,
+    pm_names: Vec<String>,
+    config: PipelineConfig,
+}
+
+impl QmWorker {
+    fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                QmMsg::Shutdown => break,
+                QmMsg::Submit { query, reply } => {
+                    let _ = reply.send(self.process(&query));
+                }
+            }
+        }
+    }
+
+    fn process(&mut self, query: &Query) -> Result<Vec<Allocation>, AllocationError> {
+        let prepared = self.manager.prepare(query)?;
+        let hour = self.config.hour_of_day;
+
+        // Launch every fragment into the pipeline, then collect replies.
+        let mut pending = Vec::with_capacity(prepared.fragments.len());
+        for (tag, basic) in prepared.fragments {
+            let target = self
+                .manager
+                .select_pool_manager(&basic, &self.pm_names)
+                .ok_or_else(|| AllocationError::Internal("no pool managers".to_string()))?;
+            let (tx, rx) = unbounded();
+            let sender = self
+                .pm_txs
+                .get(&target)
+                .ok_or_else(|| AllocationError::Internal(format!("unknown pool manager {target}")))?;
+            sender
+                .send(PmMsg::Query {
+                    request: tag.request,
+                    basic,
+                    routing: RoutingState::new(self.config.ttl),
+                    hour,
+                    reply: tx,
+                })
+                .map_err(|_| AllocationError::Internal("pool manager stage is down".to_string()))?;
+            pending.push(rx);
+        }
+
+        let results: Vec<Result<Allocation, AllocationError>> = pending
+            .into_iter()
+            .map(|rx| {
+                rx.recv().unwrap_or_else(|_| {
+                    Err(AllocationError::Internal(
+                        "pipeline stage dropped the reply".to_string(),
+                    ))
+                })
+            })
+            .collect();
+
+        let (keep, surplus) = self
+            .manager
+            .reintegrate(results, self.config.reintegration)?;
+        for extra in surplus {
+            // Hand surplus matches back to whichever manager hosts the pool.
+            for sender in self.pm_txs.values() {
+                let (tx, rx) = unbounded();
+                if sender
+                    .send(PmMsg::Release {
+                        allocation: extra.clone(),
+                        reply: tx,
+                    })
+                    .is_ok()
+                    && matches!(rx.recv(), Ok(Ok(())))
+                {
+                    break;
+                }
+            }
+        }
+        Ok(keep)
+    }
+}
+
+/// A running, threaded deployment of the pipeline.
+pub struct LivePipeline {
+    qm_tx: Sender<QmMsg>,
+    pm_txs: HashMap<String, Sender<PmMsg>>,
+    directory: SharedDirectory,
+    workers: Vec<JoinHandle<()>>,
+    query_managers: usize,
+}
+
+impl LivePipeline {
+    /// Starts a single-domain deployment over one resource database.
+    pub fn start(config: PipelineConfig, db: SharedDatabase) -> Self {
+        let domains: Vec<(String, SharedDatabase)> = (0..config.pool_managers.max(1))
+            .map(|i| (format!("pm-{i}"), db.clone()))
+            .collect();
+        Self::start_federated(config, domains)
+    }
+
+    /// Starts a federated deployment: one pool-manager stage per domain.
+    pub fn start_federated(config: PipelineConfig, domains: Vec<(String, SharedDatabase)>) -> Self {
+        assert!(!domains.is_empty(), "at least one domain is required");
+        let directory: SharedDirectory = LocalDirectoryService::new().into_shared();
+        let ids = Arc::new(RequestIdGenerator::new());
+
+        // Pool-manager stages and their channels.
+        let mut pm_txs: HashMap<String, Sender<PmMsg>> = HashMap::new();
+        let mut pm_rxs: Vec<(String, SharedDatabase, Receiver<PmMsg>)> = Vec::new();
+        let pm_names: Vec<String> = domains.iter().map(|(name, _)| name.clone()).collect();
+        for (name, db) in domains {
+            let (tx, rx) = unbounded();
+            pm_txs.insert(name.clone(), tx);
+            pm_rxs.push((name, db, rx));
+        }
+
+        let mut workers = Vec::new();
+        for (i, (name, db, rx)) in pm_rxs.into_iter().enumerate() {
+            let manager = PoolManager::new(
+                name,
+                db,
+                directory.clone(),
+                PoolManagerConfig {
+                    selection: config.instance_selection,
+                    objective: config.objective,
+                    host: format!("actyp-node-{i}"),
+                    base_port: 7300,
+                },
+                config.seed ^ (0x90 + i as u64),
+            );
+            let worker = PmWorker {
+                manager,
+                rx,
+                peers: pm_txs.clone(),
+                peer_order: pm_names.clone(),
+            };
+            workers.push(std::thread::spawn(move || worker.run()));
+        }
+
+        // Query-manager stages share one submission channel (any idle stage
+        // picks up the next client request).
+        let (qm_tx, qm_rx) = unbounded::<QmMsg>();
+        let query_managers = config.query_managers.max(1);
+        for i in 0..query_managers {
+            let manager = QueryManager::new(
+                format!("qm-{i}"),
+                QuerySchema::punch_default().permissive(),
+                config.pool_manager_selection.clone(),
+                config.decompose_limit,
+                ids.clone(),
+                config.seed ^ (0x51 + i as u64),
+            );
+            let worker = QmWorker {
+                manager,
+                rx: qm_rx.clone(),
+                pm_txs: pm_txs.clone(),
+                pm_names: pm_names.clone(),
+                config: config.clone(),
+            };
+            workers.push(std::thread::spawn(move || worker.run()));
+        }
+
+        LivePipeline {
+            qm_tx,
+            pm_txs,
+            directory,
+            workers,
+            query_managers,
+        }
+    }
+
+    /// The shared directory service (inspection).
+    pub fn directory(&self) -> &SharedDirectory {
+        &self.directory
+    }
+
+    /// Submits a query in the native text format and waits for the reply.
+    pub fn submit_text(&self, text: &str) -> Result<Vec<Allocation>, AllocationError> {
+        let query =
+            actyp_query::parse_query(text).map_err(|e| AllocationError::Parse(e.to_string()))?;
+        self.submit(query)
+    }
+
+    /// Submits an already-built query and waits for the reply.
+    pub fn submit(&self, query: Query) -> Result<Vec<Allocation>, AllocationError> {
+        let (tx, rx) = unbounded();
+        self.qm_tx
+            .send(QmMsg::Submit { query, reply: tx })
+            .map_err(|_| AllocationError::Internal("query manager stage is down".to_string()))?;
+        rx.recv()
+            .map_err(|_| AllocationError::Internal("query manager dropped the reply".to_string()))?
+    }
+
+    /// Releases an allocation.
+    pub fn release(&self, allocation: &Allocation) -> Result<(), AllocationError> {
+        // Find the hosting manager through the directory; fall back to
+        // asking every manager.
+        let manager = self
+            .directory
+            .read()
+            .instances(&allocation.pool)
+            .into_iter()
+            .find(|r| r.instance == allocation.pool_instance)
+            .map(|r| r.manager);
+        let order: Vec<&Sender<PmMsg>> = match manager.as_ref().and_then(|m| self.pm_txs.get(m)) {
+            Some(tx) => vec![tx],
+            None => self.pm_txs.values().collect(),
+        };
+        let mut last = Err(AllocationError::UnknownAllocation);
+        for sender in order {
+            let (tx, rx) = unbounded();
+            if sender
+                .send(PmMsg::Release {
+                    allocation: allocation.clone(),
+                    reply: tx,
+                })
+                .is_err()
+            {
+                continue;
+            }
+            match rx.recv() {
+                Ok(Ok(())) => return Ok(()),
+                Ok(Err(e)) => last = Err(e),
+                Err(_) => last = Err(AllocationError::Internal("stage is down".to_string())),
+            }
+        }
+        last
+    }
+
+    /// Shuts the deployment down, joining every stage thread.
+    pub fn shutdown(mut self) {
+        self.send_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn send_shutdown(&self) {
+        for _ in 0..self.query_managers {
+            let _ = self.qm_tx.send(QmMsg::Shutdown);
+        }
+        for sender in self.pm_txs.values() {
+            let _ = sender.send(PmMsg::Shutdown);
+        }
+    }
+}
+
+impl Drop for LivePipeline {
+    fn drop(&mut self) {
+        self.send_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actyp_grid::{FleetSpec, SyntheticFleet};
+    use crate::query_manager::{PoolManagerSelection, ReintegrationPolicy};
+
+    fn fleet_db(n: usize, seed: u64) -> SharedDatabase {
+        SyntheticFleet::new(FleetSpec::with_machines(n), seed)
+            .generate()
+            .into_shared()
+    }
+
+    fn paper_text() -> String {
+        Query::paper_example().to_string()
+    }
+
+    #[test]
+    fn live_pipeline_allocates_and_releases() {
+        let pipeline = LivePipeline::start(PipelineConfig::default(), fleet_db(200, 1));
+        let allocations = pipeline.submit_text(&paper_text()).unwrap();
+        assert_eq!(allocations.len(), 1);
+        assert!(allocations[0].machine_name.contains("sun"));
+        pipeline.release(&allocations[0]).unwrap();
+        assert!(pipeline.release(&allocations[0]).is_err());
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn replicated_stages_serve_concurrent_clients() {
+        let config = PipelineConfig {
+            query_managers: 3,
+            pool_managers: 2,
+            pool_manager_selection: PoolManagerSelection::RoundRobin,
+            ..PipelineConfig::default()
+        };
+        let pipeline = Arc::new(LivePipeline::start(config, fleet_db(400, 2)));
+        let mut joins = Vec::new();
+        for _ in 0..6 {
+            let p = pipeline.clone();
+            joins.push(std::thread::spawn(move || {
+                let mut allocations = Vec::new();
+                for _ in 0..5 {
+                    allocations.extend(p.submit_text(&paper_text()).unwrap());
+                }
+                for a in &allocations {
+                    p.release(a).unwrap();
+                }
+                allocations.len()
+            }));
+        }
+        let total: usize = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn composite_queries_reintegrate_across_threads() {
+        let config = PipelineConfig {
+            reintegration: ReintegrationPolicy::FirstMatch,
+            ..PipelineConfig::default()
+        };
+        let db = fleet_db(400, 3);
+        let pipeline = LivePipeline::start(config, db.clone());
+        let allocations = pipeline
+            .submit_text("punch.rsrc.arch = sun | hp\npunch.user.accessgroup = ece\n")
+            .unwrap();
+        assert_eq!(allocations.len(), 1);
+        // The surplus fragment allocation was handed back by the pipeline.
+        let outstanding: u32 = db.read().iter().map(|m| m.dynamic.active_jobs).sum();
+        assert_eq!(outstanding, 1);
+        pipeline.release(&allocations[0]).unwrap();
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn federated_live_pipeline_delegates_between_domains() {
+        let sun_db = SyntheticFleet::new(FleetSpec::homogeneous(40, "sun", 256), 5)
+            .generate()
+            .into_shared();
+        let hp_db = SyntheticFleet::new(FleetSpec::homogeneous(40, "hp", 512), 6)
+            .generate()
+            .into_shared();
+        let pipeline = LivePipeline::start_federated(
+            PipelineConfig::default(),
+            vec![("purdue".to_string(), sun_db), ("upc".to_string(), hp_db)],
+        );
+        // Both queries succeed regardless of which domain they reach first.
+        let sun = pipeline.submit_text("punch.rsrc.arch = sun\n").unwrap();
+        let hp = pipeline.submit_text("punch.rsrc.arch = hp\n").unwrap();
+        assert!(sun[0].machine_name.contains("sun"));
+        assert!(hp[0].machine_name.contains("hp"));
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn parse_errors_are_returned_to_the_caller() {
+        let pipeline = LivePipeline::start(PipelineConfig::default(), fleet_db(50, 7));
+        assert!(matches!(
+            pipeline.submit_text("garbage").unwrap_err(),
+            AllocationError::Parse(_)
+        ));
+        pipeline.shutdown();
+    }
+
+    #[test]
+    fn shutdown_via_drop_does_not_hang() {
+        let pipeline = LivePipeline::start(PipelineConfig::default(), fleet_db(50, 8));
+        let _ = pipeline.submit_text(&paper_text()).unwrap();
+        drop(pipeline);
+    }
+}

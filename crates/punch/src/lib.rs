@@ -1,0 +1,34 @@
+//! # actyp-punch — the PUNCH network desktop
+//!
+//! The active yellow pages service exists to serve the PUNCH network
+//! computer (Section 2): users connect to a Web-accessible network desktop,
+//! click on an application, and the desktop assembles the computing
+//! environment for the run.  This crate implements that surrounding system
+//! so the pipeline can be exercised end to end, following the six events of
+//! Figure 1:
+//!
+//! 1. the user submits a command through the desktop ([`desktop`]);
+//! 2. the desktop forwards tool-execution requests to the application
+//!    management component (`actyp-appmgmt`);
+//! 3. the generated query goes to the ActYP pipeline (`actyp-pipeline`);
+//! 4–6. pool managers and resource pools allocate a machine, the virtual
+//!    file system mounts the application and data disks ([`vfs`]), the
+//!    execution unit starts the run ([`execution`]), and on completion the
+//!    desktop unmounts and releases the shadow account and resources.
+//!
+//! * [`users`] — user accounts, access groups and authorisation checks.
+//! * [`vfs`] — the PUNCH virtual-file-system mount manager (mount/unmount of
+//!   application and data disks onto the selected machine).
+//! * [`execution`] — execution units and run sessions (remote display is
+//!   represented by a session handle).
+//! * [`desktop`] — the network desktop orchestrating the whole lifecycle.
+
+pub mod desktop;
+pub mod execution;
+pub mod users;
+pub mod vfs;
+
+pub use desktop::{NetworkDesktop, RunError, RunHandle, RunOutcome};
+pub use execution::{ExecutionUnit, RunSession, SessionState};
+pub use users::{AuthorizationError, User, UserRegistry};
+pub use vfs::{MountError, MountManager, MountRecord};

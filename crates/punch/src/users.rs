@@ -1,0 +1,200 @@
+//! User accounts and authorisation.
+//!
+//! "The network desktop first verifies that the user is authorized to run
+//! the selected application" (Section 2).  Users carry a login, an access
+//! group (used by machine user-group lists and usage policies), a storage
+//! provider location, and the set of tools they may run.
+
+use std::collections::BTreeMap;
+
+/// A PUNCH user account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct User {
+    /// Login name.
+    pub login: String,
+    /// Access group (e.g. `ece`, `ece-students`, `public`).
+    pub access_group: String,
+    /// Location of the user's storage service provider.
+    pub storage_provider: String,
+    /// Tools the user is authorised to run; empty means "any tool".
+    pub authorized_tools: Vec<String>,
+}
+
+impl User {
+    /// Creates a user authorised for every tool.
+    pub fn new(login: &str, access_group: &str, storage_provider: &str) -> Self {
+        User {
+            login: login.to_string(),
+            access_group: access_group.to_string(),
+            storage_provider: storage_provider.to_string(),
+            authorized_tools: Vec::new(),
+        }
+    }
+
+    /// Restricts the user to the given tools (builder style).
+    pub fn with_tools<I, S>(mut self, tools: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.authorized_tools = tools.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Whether the user may run `tool`.
+    pub fn may_run(&self, tool: &str) -> bool {
+        self.authorized_tools.is_empty()
+            || self
+                .authorized_tools
+                .iter()
+                .any(|t| t.eq_ignore_ascii_case(tool))
+    }
+}
+
+/// Why an authorisation check failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthorizationError {
+    /// The login does not exist.
+    UnknownUser(String),
+    /// The user exists but may not run the requested tool.
+    ToolNotAuthorized {
+        /// The login.
+        login: String,
+        /// The requested tool.
+        tool: String,
+    },
+}
+
+impl std::fmt::Display for AuthorizationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthorizationError::UnknownUser(login) => write!(f, "unknown user `{login}`"),
+            AuthorizationError::ToolNotAuthorized { login, tool } => {
+                write!(f, "user `{login}` is not authorized to run `{tool}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuthorizationError {}
+
+/// The registry of PUNCH accounts.
+#[derive(Debug, Clone, Default)]
+pub struct UserRegistry {
+    users: BTreeMap<String, User>,
+}
+
+impl UserRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a user.
+    pub fn register(&mut self, user: User) {
+        self.users.insert(user.login.clone(), user);
+    }
+
+    /// Number of accounts.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Looks a user up by login.
+    pub fn user(&self, login: &str) -> Option<&User> {
+        self.users.get(login)
+    }
+
+    /// Authorises `login` to run `tool`, returning the user on success.
+    pub fn authorize(&self, login: &str, tool: &str) -> Result<&User, AuthorizationError> {
+        let user = self
+            .users
+            .get(login)
+            .ok_or_else(|| AuthorizationError::UnknownUser(login.to_string()))?;
+        if user.may_run(tool) {
+            Ok(user)
+        } else {
+            Err(AuthorizationError::ToolNotAuthorized {
+                login: login.to_string(),
+                tool: tool.to_string(),
+            })
+        }
+    }
+
+    /// A small demo population used by examples and tests.
+    pub fn demo() -> Self {
+        let mut registry = UserRegistry::new();
+        registry.register(User::new("kapadia", "ece", "storage.purdue.edu"));
+        registry.register(User::new("royo", "upc", "storage.upc.es"));
+        registry.register(
+            User::new("student001", "ece-students", "storage.purdue.edu")
+                .with_tools(["spice", "tsuprem4"]),
+        );
+        registry.register(User::new("guest", "public", "storage.purdue.edu").with_tools(["spice"]));
+        registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_registry_contains_expected_users() {
+        let registry = UserRegistry::demo();
+        assert!(registry.len() >= 4);
+        assert!(!registry.is_empty());
+        assert!(registry.user("kapadia").is_some());
+        assert!(registry.user("nobody").is_none());
+    }
+
+    #[test]
+    fn unrestricted_users_may_run_anything() {
+        let registry = UserRegistry::demo();
+        assert!(registry.authorize("kapadia", "minimos").is_ok());
+        assert!(registry.authorize("kapadia", "spice").is_ok());
+    }
+
+    #[test]
+    fn restricted_users_are_limited_to_their_tools() {
+        let registry = UserRegistry::demo();
+        assert!(registry.authorize("student001", "spice").is_ok());
+        assert_eq!(
+            registry.authorize("student001", "minimos").unwrap_err(),
+            AuthorizationError::ToolNotAuthorized {
+                login: "student001".to_string(),
+                tool: "minimos".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_users_are_rejected() {
+        let registry = UserRegistry::demo();
+        assert_eq!(
+            registry.authorize("mallory", "spice").unwrap_err(),
+            AuthorizationError::UnknownUser("mallory".to_string())
+        );
+    }
+
+    #[test]
+    fn tool_authorisation_is_case_insensitive() {
+        let user = User::new("x", "g", "s").with_tools(["SPICE"]);
+        assert!(user.may_run("spice"));
+        assert!(!user.may_run("matlab"));
+    }
+
+    #[test]
+    fn registration_replaces_accounts() {
+        let mut registry = UserRegistry::demo();
+        let before = registry.len();
+        registry.register(User::new("kapadia", "admin", "storage.purdue.edu"));
+        assert_eq!(registry.len(), before);
+        assert_eq!(registry.user("kapadia").unwrap().access_group, "admin");
+    }
+}

@@ -1,0 +1,42 @@
+//! # actyp-query — the ActYP resource query language
+//!
+//! Queries received by the resource-management pipeline describe resource
+//! requirements, predicted application behaviour, and user-specific data.
+//! The language is a flat list of key/value pairs whose keys live in a
+//! hierarchical namespace — `family.section.name` — exactly as in the paper's
+//! example:
+//!
+//! ```text
+//! punch.rsrc.arch = sun
+//! punch.rsrc.memory = >=10
+//! punch.rsrc.license = tsuprem4
+//! punch.rsrc.domain = purdue
+//! punch.appl.expectedcpuuse = 1000
+//! punch.user.login = kapadia
+//! punch.user.accessgroup = ece
+//! ```
+//!
+//! * [`ast`] — the abstract syntax: keys, comparison operators, constraints,
+//!   clauses, composite queries and their decomposition into basic queries.
+//! * [`parse`] — the text parser (and `Display` gives the inverse).
+//! * [`schema`] — administrator-defined key schemas per family; "don't care"
+//!   defaults for missing `rsrc` keys, "undefined" for `appl`/`user`.
+//! * [`signature`] — pool-name construction: the signature (sorted `rsrc`
+//!   keys plus their operators) and the identifier (their values).
+//! * [`matching`] — evaluating a basic query against a machine record.
+//! * [`classad`] — a translator from a Condor ClassAds-style requirement
+//!   expression, demonstrating the multi-protocol interoperability the paper
+//!   attributes to query managers.
+
+pub mod ast;
+pub mod classad;
+pub mod matching;
+pub mod parse;
+pub mod schema;
+pub mod signature;
+
+pub use ast::{BasicClause, BasicQuery, Clause, CmpOp, Constraint, Query, QueryKey, Section};
+pub use matching::{admits_user, matches_machine, MatchOutcome};
+pub use parse::{parse_query, ParseError};
+pub use schema::{KeySchema, QuerySchema, SchemaError, ValueKind};
+pub use signature::PoolName;

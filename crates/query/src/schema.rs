@@ -1,0 +1,353 @@
+//! Administrator-defined query schemas.
+//!
+//! "Valid words for the final part of the key and the interpretation of the
+//! value part of the key-value pairs (e.g., numeric, string, range, etc.) are
+//! specified by administrators" (Section 5.1).  A [`QuerySchema`] holds those
+//! definitions for one protocol family, validates incoming queries, and
+//! implements the defaulting rules: a missing `rsrc` key means "don't care";
+//! missing `appl`/`user` keys are "undefined".
+
+use std::collections::BTreeMap;
+
+use crate::ast::{CmpOp, Query, Section};
+
+/// How the value of a key is interpreted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// Free-form string (architecture names, logins, …).
+    Text,
+    /// Numeric quantity; comparisons are ordered.
+    Numeric,
+    /// A set of strings (e.g. supported cluster-management systems).
+    Set,
+}
+
+/// Schema entry for one key.
+#[derive(Debug, Clone)]
+pub struct KeySchema {
+    /// Key name (the final component).
+    pub name: String,
+    /// Value interpretation.
+    pub kind: ValueKind,
+    /// Operators administrators allow on this key.
+    pub allowed_ops: Vec<CmpOp>,
+    /// Human-readable description for operator documentation.
+    pub description: String,
+}
+
+impl KeySchema {
+    /// A textual key allowing equality and inequality.
+    pub fn text(name: &str, description: &str) -> Self {
+        KeySchema {
+            name: name.to_string(),
+            kind: ValueKind::Text,
+            allowed_ops: vec![CmpOp::Eq, CmpOp::Ne],
+            description: description.to_string(),
+        }
+    }
+
+    /// A numeric key allowing the full ordered-comparison set.
+    pub fn numeric(name: &str, description: &str) -> Self {
+        KeySchema {
+            name: name.to_string(),
+            kind: ValueKind::Numeric,
+            allowed_ops: vec![
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Ge,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Lt,
+            ],
+            description: description.to_string(),
+        }
+    }
+
+    /// A set-valued key allowing membership (equality) tests.
+    pub fn set(name: &str, description: &str) -> Self {
+        KeySchema {
+            name: name.to_string(),
+            kind: ValueKind::Set,
+            allowed_ops: vec![CmpOp::Eq, CmpOp::Ne],
+            description: description.to_string(),
+        }
+    }
+}
+
+/// A schema violation found during validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The query's family is not the one this schema describes.
+    WrongFamily {
+        /// Family found in the query.
+        found: String,
+        /// Family the schema expects.
+        expected: String,
+    },
+    /// A key name is not defined for its section.
+    UnknownKey {
+        /// Namespace section.
+        section: Section,
+        /// Offending key name.
+        name: String,
+    },
+    /// An operator is not allowed on the key.
+    OperatorNotAllowed {
+        /// Key name.
+        name: String,
+        /// The rejected operator.
+        op: CmpOp,
+    },
+    /// A numeric key was given a non-numeric value.
+    NotNumeric {
+        /// Key name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemaError::WrongFamily { found, expected } => {
+                write!(f, "query family `{found}` does not match schema `{expected}`")
+            }
+            SchemaError::UnknownKey { section, name } => {
+                write!(f, "key `{name}` is not defined in section `{}`", section.token())
+            }
+            SchemaError::OperatorNotAllowed { name, op } => {
+                write!(f, "operator `{}` is not allowed on key `{name}`", op.symbol())
+            }
+            SchemaError::NotNumeric { name } => {
+                write!(f, "key `{name}` requires a numeric value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// The schema for one protocol family.
+#[derive(Debug, Clone)]
+pub struct QuerySchema {
+    family: String,
+    rsrc: BTreeMap<String, KeySchema>,
+    appl: BTreeMap<String, KeySchema>,
+    user: BTreeMap<String, KeySchema>,
+    /// Whether keys not present in the schema are accepted (administrators
+    /// can extend machine attributes without touching the schema; the PUNCH
+    /// deployment ran in this permissive mode).
+    pub allow_unknown_keys: bool,
+}
+
+impl QuerySchema {
+    /// An empty schema for a family.
+    pub fn new(family: impl Into<String>) -> Self {
+        QuerySchema {
+            family: family.into(),
+            rsrc: BTreeMap::new(),
+            appl: BTreeMap::new(),
+            user: BTreeMap::new(),
+            allow_unknown_keys: false,
+        }
+    }
+
+    /// The family this schema describes.
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+
+    /// Adds a key definition to a section (builder style).
+    pub fn with_key(mut self, section: Section, key: KeySchema) -> Self {
+        self.section_mut(section).insert(key.name.clone(), key);
+        self
+    }
+
+    /// Permits keys that are not declared (builder style).
+    pub fn permissive(mut self) -> Self {
+        self.allow_unknown_keys = true;
+        self
+    }
+
+    fn section(&self, section: Section) -> &BTreeMap<String, KeySchema> {
+        match section {
+            Section::Rsrc => &self.rsrc,
+            Section::Appl => &self.appl,
+            Section::User => &self.user,
+        }
+    }
+
+    fn section_mut(&mut self, section: Section) -> &mut BTreeMap<String, KeySchema> {
+        match section {
+            Section::Rsrc => &mut self.rsrc,
+            Section::Appl => &mut self.appl,
+            Section::User => &mut self.user,
+        }
+    }
+
+    /// Looks up the schema of a key.
+    pub fn key(&self, section: Section, name: &str) -> Option<&KeySchema> {
+        self.section(section).get(name)
+    }
+
+    /// Number of declared keys across all sections.
+    pub fn len(&self) -> usize {
+        self.rsrc.len() + self.appl.len() + self.user.len()
+    }
+
+    /// Whether the schema declares no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validates a query against the schema, returning every violation.
+    pub fn validate(&self, query: &Query) -> Vec<SchemaError> {
+        let mut errors = Vec::new();
+        for clause in &query.clauses {
+            if clause.key.family != self.family {
+                errors.push(SchemaError::WrongFamily {
+                    found: clause.key.family.clone(),
+                    expected: self.family.clone(),
+                });
+                continue;
+            }
+            let Some(key_schema) = self.key(clause.key.section, &clause.key.name) else {
+                if !self.allow_unknown_keys {
+                    errors.push(SchemaError::UnknownKey {
+                        section: clause.key.section,
+                        name: clause.key.name.clone(),
+                    });
+                }
+                continue;
+            };
+            for alt in &clause.alternatives {
+                if !key_schema.allowed_ops.contains(&alt.op) {
+                    errors.push(SchemaError::OperatorNotAllowed {
+                        name: clause.key.name.clone(),
+                        op: alt.op,
+                    });
+                }
+                if key_schema.kind == ValueKind::Numeric && alt.value.as_num().is_none() {
+                    errors.push(SchemaError::NotNumeric {
+                        name: clause.key.name.clone(),
+                    });
+                }
+            }
+        }
+        errors
+    }
+
+    /// The default `punch` family schema used throughout the reproduction:
+    /// the parameters the paper lists as typically used (`arch`, `memory`,
+    /// `ostype`, `osversion`, `owner`, `swap`, `cms`) plus the dynamic and
+    /// application/user keys the example query exercises.
+    pub fn punch_default() -> Self {
+        QuerySchema::new("punch")
+            .with_key(Section::Rsrc, KeySchema::text("arch", "machine architecture"))
+            .with_key(Section::Rsrc, KeySchema::numeric("memory", "installed memory (MB)"))
+            .with_key(Section::Rsrc, KeySchema::text("ostype", "operating system type"))
+            .with_key(Section::Rsrc, KeySchema::text("osversion", "operating system version"))
+            .with_key(Section::Rsrc, KeySchema::text("owner", "machine owner"))
+            .with_key(Section::Rsrc, KeySchema::numeric("swap", "swap space (MB)"))
+            .with_key(Section::Rsrc, KeySchema::set("cms", "supported cluster management systems"))
+            .with_key(Section::Rsrc, KeySchema::text("domain", "administrative domain"))
+            .with_key(Section::Rsrc, KeySchema::text("license", "application license required"))
+            .with_key(Section::Rsrc, KeySchema::numeric("load", "current load average"))
+            .with_key(Section::Rsrc, KeySchema::numeric("cpus", "number of processors"))
+            .with_key(Section::Rsrc, KeySchema::numeric("speed", "effective speed rating"))
+            .with_key(Section::Rsrc, KeySchema::numeric("availablememory", "free memory (MB)"))
+            .with_key(Section::Appl, KeySchema::numeric("expectedcpuuse", "predicted CPU seconds on the reference machine"))
+            .with_key(Section::Appl, KeySchema::numeric("expectedmemoryuse", "predicted memory footprint (MB)"))
+            .with_key(Section::Appl, KeySchema::text("toolgroup", "tool group of the application"))
+            .with_key(Section::User, KeySchema::text("login", "requesting user's login"))
+            .with_key(Section::User, KeySchema::text("accessgroup", "requesting user's access group"))
+            .with_key(Section::User, KeySchema::text("accesskey", "session access key"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Constraint, Query, QueryKey};
+
+    #[test]
+    fn paper_example_is_valid_under_default_schema() {
+        let schema = QuerySchema::punch_default();
+        assert!(schema.validate(&Query::paper_example()).is_empty());
+    }
+
+    #[test]
+    fn unknown_key_is_reported_unless_permissive() {
+        let schema = QuerySchema::punch_default();
+        let q = Query::new().with(QueryKey::rsrc("gpu"), Constraint::eq("a100"));
+        let errors = schema.validate(&q);
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(errors[0], SchemaError::UnknownKey { .. }));
+
+        let permissive = QuerySchema::punch_default().permissive();
+        assert!(permissive.validate(&q).is_empty());
+    }
+
+    #[test]
+    fn operator_restrictions_are_enforced() {
+        let schema = QuerySchema::punch_default();
+        // Ordered comparison on a text key is rejected.
+        let q = Query::new().with(
+            QueryKey::rsrc("arch"),
+            Constraint::new(CmpOp::Ge, "sun"),
+        );
+        let errors = schema.validate(&q);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, SchemaError::OperatorNotAllowed { .. })));
+    }
+
+    #[test]
+    fn numeric_keys_require_numeric_values() {
+        let schema = QuerySchema::punch_default();
+        let q = Query::new().with(QueryKey::rsrc("memory"), Constraint::ge("lots"));
+        let errors = schema.validate(&q);
+        assert!(errors.iter().any(|e| matches!(e, SchemaError::NotNumeric { .. })));
+    }
+
+    #[test]
+    fn wrong_family_is_reported() {
+        let schema = QuerySchema::punch_default();
+        let mut q = Query::new();
+        q.clauses.push(crate::ast::Clause::single(
+            QueryKey {
+                family: "condor".to_string(),
+                section: Section::Rsrc,
+                name: "arch".to_string(),
+            },
+            Constraint::eq("intel"),
+        ));
+        let errors = schema.validate(&q);
+        assert!(matches!(errors[0], SchemaError::WrongFamily { .. }));
+    }
+
+    #[test]
+    fn schema_lookup_and_len() {
+        let schema = QuerySchema::punch_default();
+        assert!(schema.key(Section::Rsrc, "arch").is_some());
+        assert!(schema.key(Section::User, "login").is_some());
+        assert!(schema.key(Section::Appl, "arch").is_none());
+        assert!(!schema.is_empty());
+        assert!(schema.len() >= 15);
+        assert_eq!(schema.family(), "punch");
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = SchemaError::OperatorNotAllowed {
+            name: "arch".to_string(),
+            op: CmpOp::Ge,
+        };
+        assert!(e.to_string().contains(">="));
+        assert!(e.to_string().contains("arch"));
+        let u = SchemaError::UnknownKey {
+            section: Section::Rsrc,
+            name: "gpu".to_string(),
+        };
+        assert!(u.to_string().contains("rsrc"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Pool-name construction.
+//!
+//! Pool managers map each basic query to a *pool name* made of two parts
+//! (Section 5.2.2 of the paper):
+//!
+//! * the **signature** — a colon-separated list of the sorted `rsrc` keys in
+//!   the query, followed by a comma and a colon-separated list of the
+//!   corresponding comparison operators; and
+//! * the **identifier** — a colon-separated list of the values associated
+//!   with those sorted keys.
+//!
+//! For the paper's sample query the signature is
+//! `arch:domain:license:memory,==:==:==:>=` and the identifier is
+//! `sun:purdue:tsuprem4:10`.  Machines are aggregated into a pool when they
+//! satisfy the constraints encoded in the name, so the name also retains the
+//! structured `(key, op, value)` triples needed to rebuild the aggregation
+//! predicate.
+
+use std::fmt;
+
+use actyp_grid::AttrValue;
+
+use crate::ast::{BasicQuery, CmpOp};
+
+/// A resource-pool name: signature plus identifier, with the structured
+/// constraints retained for building the aggregation predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolName {
+    /// Sorted key names with their operators, e.g.
+    /// `arch:domain:license:memory,==:==:==:>=`.
+    pub signature: String,
+    /// The corresponding values, e.g. `sun:purdue:tsuprem4:10`.
+    pub identifier: String,
+    /// The structured constraints: `(key name, operator, value)` sorted by
+    /// key name.
+    pub constraints: Vec<(String, CmpOp, AttrValue)>,
+}
+
+impl PoolName {
+    /// Builds the pool name for a basic query from its `rsrc` clauses.
+    /// Queries with no `rsrc` constraints map to the catch-all pool `any`.
+    pub fn from_query(query: &BasicQuery) -> PoolName {
+        let mut constraints: Vec<(String, CmpOp, AttrValue)> = query
+            .rsrc_clauses()
+            .map(|c| {
+                (
+                    c.key.name.clone(),
+                    c.constraint.op,
+                    c.constraint.value.clone(),
+                )
+            })
+            .collect();
+        constraints.sort_by(|a, b| a.0.cmp(&b.0));
+
+        if constraints.is_empty() {
+            return PoolName {
+                signature: "any".to_string(),
+                identifier: "any".to_string(),
+                constraints,
+            };
+        }
+
+        let keys: Vec<&str> = constraints.iter().map(|(k, _, _)| k.as_str()).collect();
+        let ops: Vec<&str> = constraints.iter().map(|(_, op, _)| op.symbol()).collect();
+        let values: Vec<String> = constraints
+            .iter()
+            .map(|(_, _, v)| v.canonical())
+            .collect();
+
+        PoolName {
+            signature: format!("{},{}", keys.join(":"), ops.join(":")),
+            identifier: values.join(":"),
+            constraints,
+        }
+    }
+
+    /// The full name used as the directory-service key.
+    pub fn full(&self) -> String {
+        format!("{}/{}", self.signature, self.identifier)
+    }
+}
+
+impl fmt::Display for PoolName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.full())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Constraint, Query, QueryKey};
+
+    #[test]
+    fn paper_example_signature_and_identifier() {
+        let basic = Query::paper_example().decompose(1).remove(0);
+        let name = PoolName::from_query(&basic);
+        assert_eq!(name.signature, "arch:domain:license:memory,==:==:==:>=");
+        assert_eq!(name.identifier, "sun:purdue:tsuprem4:10");
+        assert_eq!(
+            name.full(),
+            "arch:domain:license:memory,==:==:==:>=/sun:purdue:tsuprem4:10"
+        );
+    }
+
+    #[test]
+    fn signature_is_insensitive_to_clause_order() {
+        let a = Query::new()
+            .with(QueryKey::rsrc("memory"), Constraint::ge(10u64))
+            .with(QueryKey::rsrc("arch"), Constraint::eq("sun"))
+            .decompose(1)
+            .remove(0);
+        let b = Query::new()
+            .with(QueryKey::rsrc("arch"), Constraint::eq("sun"))
+            .with(QueryKey::rsrc("memory"), Constraint::ge(10u64))
+            .decompose(1)
+            .remove(0);
+        assert_eq!(PoolName::from_query(&a), PoolName::from_query(&b));
+    }
+
+    #[test]
+    fn appl_and_user_keys_do_not_affect_the_name() {
+        let with_user = Query::paper_example().decompose(1).remove(0);
+        let bare = Query::new()
+            .with(QueryKey::rsrc("arch"), Constraint::eq("sun"))
+            .with(QueryKey::rsrc("memory"), Constraint::ge(10u64))
+            .with(QueryKey::rsrc("license"), Constraint::eq("tsuprem4"))
+            .with(QueryKey::rsrc("domain"), Constraint::eq("purdue"))
+            .decompose(1)
+            .remove(0);
+        assert_eq!(
+            PoolName::from_query(&with_user),
+            PoolName::from_query(&bare)
+        );
+    }
+
+    #[test]
+    fn different_values_map_to_different_pools_with_same_signature() {
+        let sun = Query::new()
+            .with(QueryKey::rsrc("arch"), Constraint::eq("sun"))
+            .decompose(1)
+            .remove(0);
+        let hp = Query::new()
+            .with(QueryKey::rsrc("arch"), Constraint::eq("hp"))
+            .decompose(1)
+            .remove(0);
+        let n_sun = PoolName::from_query(&sun);
+        let n_hp = PoolName::from_query(&hp);
+        assert_eq!(n_sun.signature, n_hp.signature);
+        assert_ne!(n_sun.identifier, n_hp.identifier);
+        assert_ne!(n_sun.full(), n_hp.full());
+    }
+
+    #[test]
+    fn different_operators_change_the_signature() {
+        let ge = Query::new()
+            .with(QueryKey::rsrc("memory"), Constraint::ge(10u64))
+            .decompose(1)
+            .remove(0);
+        let eq = Query::new()
+            .with(QueryKey::rsrc("memory"), Constraint::eq(10u64))
+            .decompose(1)
+            .remove(0);
+        assert_ne!(
+            PoolName::from_query(&ge).signature,
+            PoolName::from_query(&eq).signature
+        );
+    }
+
+    #[test]
+    fn empty_rsrc_query_maps_to_catch_all_pool() {
+        let q = Query::new()
+            .with(QueryKey::user("login"), Constraint::eq("kapadia"))
+            .decompose(1)
+            .remove(0);
+        let name = PoolName::from_query(&q);
+        assert_eq!(name.full(), "any/any");
+        assert!(name.constraints.is_empty());
+    }
+
+    #[test]
+    fn constraints_are_sorted_by_key() {
+        let basic = Query::paper_example().decompose(1).remove(0);
+        let name = PoolName::from_query(&basic);
+        let keys: Vec<&str> = name.constraints.iter().map(|(k, _, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -1,0 +1,419 @@
+//! Statistics collectors used by the experiments.
+//!
+//! Three collectors cover everything the figures need: [`OnlineStats`]
+//! (count/mean/variance/min/max without storing samples, Welford's method),
+//! [`SampleSet`] (stores samples for exact percentiles — the figure series
+//! report means and 95th percentiles of response time), and [`Histogram`]
+//! (fixed-width bins, used for the Figure 9 CPU-time distribution).
+
+use crate::time::SimDuration;
+
+/// Streaming mean / variance / extrema (Welford's online algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty collector.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Adds a duration observation, in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (zero with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (zero when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (zero when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another collector into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Stores raw samples for exact percentile queries.
+#[derive(Debug, Clone, Default)]
+pub struct SampleSet {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl SampleSet {
+    /// An empty sample set.
+    pub fn new() -> Self {
+        SampleSet {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Adds a duration sample, in seconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (zero when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) using nearest-rank interpolation.
+    /// Returns zero when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.samples[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+        }
+    }
+
+    /// Median, a convenience wrapper around [`SampleSet::quantile`].
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// The raw samples (unsorted insertion order is not preserved once a
+    /// quantile has been computed).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A fixed-width histogram over `[0, bin_width * bins)` with an overflow bin.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins of `bin_width` each.
+    pub fn new(bin_width: f64, bins: usize) -> Self {
+        Histogram {
+            bin_width: if bin_width > 0.0 { bin_width } else { 1.0 },
+            counts: vec![0; bins.max(1)],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds one observation.  Negative values land in the first bin.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        let idx = if x <= 0.0 {
+            0
+        } else {
+            (x / self.bin_width) as usize
+        };
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of bins (excluding overflow).
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        self.bin_width
+    }
+
+    /// Count in bin `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Count of observations beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterator over `(bin_lower_bound, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (i as f64 * self.bin_width, c))
+    }
+
+    /// Index of the fullest bin, or `None` when empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic set is 4.571428...
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn merging_equals_recording_everything_in_one() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for (i, &x) in xs.iter().enumerate() {
+            all.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.record(3.0);
+        a.record(5.0);
+        let before = (a.count(), a.mean(), a.variance());
+        a.merge(&OnlineStats::new());
+        assert_eq!(before, (a.count(), a.mean(), a.variance()));
+
+        let mut empty = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        b.record(1.0);
+        empty.merge(&b);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), 1.0);
+    }
+
+    #[test]
+    fn quantiles_on_known_set() {
+        let mut s = SampleSet::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.record(x);
+        }
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.median(), 3.0);
+        assert!((s.quantile(0.25) - 2.0).abs() < 1e-12);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_on_empty_is_zero() {
+        let mut s = SampleSet::new();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let mut s = SampleSet::new();
+        s.record(0.0);
+        s.record(10.0);
+        assert!((s.quantile(0.5) - 5.0).abs() < 1e-12);
+        assert!((s.quantile(0.9) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(1.0, 10);
+        for x in [0.5, 1.5, 1.7, 9.9, 10.0, 50.0, -3.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.count(0), 2); // 0.5 and the clamped -3.0
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.overflow(), 2); // 10.0 and 50.0
+        // Bins 0 and 1 tie for the mode; either is acceptable.
+        let mode = h.mode_bin().unwrap();
+        assert_eq!(h.count(mode), 2);
+    }
+
+    #[test]
+    fn histogram_iter_reports_bin_edges() {
+        let mut h = Histogram::new(2.0, 3);
+        h.record(3.0);
+        let bins: Vec<(f64, u64)> = h.iter().collect();
+        assert_eq!(bins.len(), 3);
+        assert_eq!(bins[0], (0.0, 0));
+        assert_eq!(bins[1], (2.0, 1));
+        assert_eq!(bins[2], (4.0, 0));
+    }
+
+    #[test]
+    fn histogram_guards_degenerate_parameters() {
+        let mut h = Histogram::new(0.0, 0);
+        h.record(5.0);
+        assert_eq!(h.bins(), 1);
+        assert_eq!(h.bin_width(), 1.0);
+        assert_eq!(h.total(), 1);
+        assert!(h.mode_bin().is_none() || h.overflow() == 1 || h.count(0) == 1);
+    }
+}

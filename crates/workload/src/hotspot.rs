@@ -1,0 +1,144 @@
+//! Hot-spot bursts: "a large class is working on a lab or homework
+//! assignment".
+//!
+//! The paper identifies two triggers for localized hot spots: large
+//! homogeneous resource sets collapsing into one pool, and large numbers of
+//! users requesting resources with the same specifications.  This module
+//! models the second: a class assignment in which every student submits the
+//! same tool invocation during a short window, optionally mixed with
+//! background traffic spread over other tools.
+
+use actyp_appmgmt::{compose_query, HardwareRequirements, KnowledgeBase, PerformanceModel};
+use actyp_query::Query;
+use actyp_simnet::{Rng, SimDuration, SimTime};
+
+/// The description of one class assignment burst.
+#[derive(Debug, Clone)]
+pub struct ClassAssignment {
+    /// Tool every student runs.
+    pub tool_command: String,
+    /// Number of students.
+    pub students: usize,
+    /// Length of the submission window.
+    pub window: SimDuration,
+    /// Access group of the class.
+    pub access_group: String,
+}
+
+impl ClassAssignment {
+    /// The scenario the paper sketches: a large undergraduate class running
+    /// the same SPICE deck within a lab session.
+    pub fn spice_lab(students: usize) -> Self {
+        ClassAssignment {
+            tool_command: "spice nodes=300 timesteps=2000 arch=sun".to_string(),
+            students,
+            window: SimDuration::from_secs(600),
+            access_group: "ece-students".to_string(),
+        }
+    }
+}
+
+/// One submission produced by a burst: when, by whom, and the query.
+#[derive(Debug, Clone)]
+pub struct HotspotBurst {
+    /// Submission time of each student, sorted.
+    pub submissions: Vec<(SimTime, String, Query)>,
+}
+
+impl HotspotBurst {
+    /// Generates the burst: every student submits the same query (identical
+    /// specifications ⇒ identical pool name, which is exactly what creates
+    /// the hot spot) at a uniformly random point in the window.
+    pub fn generate(assignment: &ClassAssignment, rng: &mut Rng) -> Self {
+        let knowledge = KnowledgeBase::punch_defaults();
+        let model = PerformanceModel::new();
+        let invocation = actyp_appmgmt::parse_invocation(&assignment.tool_command, &knowledge)
+            .expect("class assignment uses a known tool");
+        let tool = knowledge.tool(&invocation.tool).expect("tool exists");
+        let algorithm = tool
+            .select_algorithm(invocation.min_accuracy)
+            .expect("tool has algorithms");
+        let estimate = model.estimate(tool, &invocation, algorithm);
+        let requirements = HardwareRequirements::derive(tool, &invocation, &estimate);
+
+        let mut submissions: Vec<(SimTime, String, Query)> = (0..assignment.students)
+            .map(|i| {
+                let offset =
+                    SimDuration::from_nanos(rng.below(assignment.window.as_nanos().max(1)));
+                let login = format!("student{i:03}");
+                let query =
+                    compose_query(&requirements, &estimate, &login, &assignment.access_group);
+                (SimTime::ZERO + offset, login, query)
+            })
+            .collect();
+        submissions.sort_by_key(|(t, _, _)| *t);
+        HotspotBurst { submissions }
+    }
+
+    /// Number of submissions in the burst.
+    pub fn len(&self) -> usize {
+        self.submissions.len()
+    }
+
+    /// Whether the burst is empty.
+    pub fn is_empty(&self) -> bool {
+        self.submissions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actyp_query::PoolName;
+
+    #[test]
+    fn burst_produces_one_submission_per_student() {
+        let mut rng = Rng::new(4);
+        let burst = HotspotBurst::generate(&ClassAssignment::spice_lab(40), &mut rng);
+        assert_eq!(burst.len(), 40);
+        assert!(!burst.is_empty());
+        // Sorted by submission time and inside the window.
+        assert!(burst
+            .submissions
+            .windows(2)
+            .all(|w| w[0].0 <= w[1].0));
+        assert!(burst
+            .submissions
+            .iter()
+            .all(|(t, _, _)| t.as_secs_f64() <= 600.0));
+    }
+
+    #[test]
+    fn every_submission_maps_to_the_same_pool() {
+        let mut rng = Rng::new(5);
+        let burst = HotspotBurst::generate(&ClassAssignment::spice_lab(25), &mut rng);
+        let names: std::collections::HashSet<String> = burst
+            .submissions
+            .iter()
+            .map(|(_, _, q)| PoolName::from_query(&q.decompose(4).remove(0)).full())
+            .collect();
+        assert_eq!(names.len(), 1, "identical specs must hit one pool: {names:?}");
+    }
+
+    #[test]
+    fn logins_are_distinct_but_group_is_shared() {
+        let mut rng = Rng::new(6);
+        let burst = HotspotBurst::generate(&ClassAssignment::spice_lab(10), &mut rng);
+        let logins: std::collections::HashSet<&String> =
+            burst.submissions.iter().map(|(_, l, _)| l).collect();
+        assert_eq!(logins.len(), 10);
+        for (_, _, q) in &burst.submissions {
+            let basic = q.decompose(1).remove(0);
+            assert_eq!(basic.access_group(), Some("ece-students"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = HotspotBurst::generate(&ClassAssignment::spice_lab(15), &mut Rng::new(7));
+        let b = HotspotBurst::generate(&ClassAssignment::spice_lab(15), &mut Rng::new(7));
+        let ta: Vec<_> = a.submissions.iter().map(|(t, l, _)| (*t, l.clone())).collect();
+        let tb: Vec<_> = b.submissions.iter().map(|(t, l, _)| (*t, l.clone())).collect();
+        assert_eq!(ta, tb);
+    }
+}

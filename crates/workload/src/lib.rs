@@ -1,0 +1,27 @@
+//! # actyp-workload — workload generation for the ActYP experiments
+//!
+//! The paper's design point is an academic user base: "the goal was to
+//! accommodate the needs of the relatively few specialized jobs without
+//! compromising the turn-around time for the large numbers of jobs with
+//! run-times in the range of a few seconds" (Section 8), illustrated by the
+//! distribution of measured CPU times of 236,222 PUNCH runs (Figure 9).
+//!
+//! * [`cputime`] — the heavy-tailed CPU-time generator used to reproduce
+//!   Figure 9 and to drive job-length-aware experiments.
+//! * [`clients`] — client populations: closed-loop clients that continuously
+//!   send queries (the paper's controlled experiments) and open Poisson
+//!   arrivals (production-like load).
+//! * [`hotspot`] — the "large class working on an assignment" scenario: a
+//!   burst of users requesting resources with identical specifications.
+//! * [`trace`] — recording of per-request observations and CSV rendering for
+//!   the benchmark harness.
+
+pub mod clients;
+pub mod cputime;
+pub mod hotspot;
+pub mod trace;
+
+pub use clients::{ArrivalProcess, ClientPopulation};
+pub use cputime::{CpuTimeDistribution, CpuTimeSample};
+pub use hotspot::{ClassAssignment, HotspotBurst};
+pub use trace::{Trace, TraceRecord};

@@ -1,0 +1,62 @@
+//! Quickstart: stand up an active yellow pages pipeline over a synthetic
+//! fleet, submit the paper's example query, and release the allocation.
+//!
+//! ```text
+//! cargo run -p actyp-suite --example quickstart
+//! ```
+
+use actyp_grid::{FleetSpec, SyntheticFleet};
+use actyp_pipeline::{Engine, PipelineConfig};
+
+fn main() {
+    // 1. A resource database of 500 machines (the "white pages").
+    let db = SyntheticFleet::new(FleetSpec::with_machines(500), 42)
+        .generate()
+        .into_shared();
+    println!("white pages: {} machines registered", db.read().len());
+
+    // 2. The resource-management pipeline: query managers, pool managers,
+    //    and pools created on demand.
+    let mut engine = Engine::new(PipelineConfig::default(), db);
+
+    // 3. The paper's example query, in the native key/value language.
+    let query = "\
+punch.rsrc.arch = sun
+punch.rsrc.memory = >=10
+punch.rsrc.domain = purdue
+punch.appl.expectedcpuuse = 1000
+punch.user.login = kapadia
+punch.user.accessgroup = ece
+";
+    println!("submitting query:\n{query}");
+
+    let allocations = engine.submit_text(query).expect("allocation succeeds");
+    let allocation = &allocations[0];
+    println!(
+        "allocated {} (execution unit port {}, mount manager port {})",
+        allocation.machine_name, allocation.execution_port, allocation.mount_port
+    );
+    println!(
+        "session key {}; served by pool `{}` after examining {} machines",
+        allocation.access_key, allocation.pool, allocation.examined
+    );
+    println!(
+        "pools now registered in the directory: {}",
+        engine.pool_instances()
+    );
+
+    // 4. Submitting the same kind of query again reuses the dynamically
+    //    created pool — the "active yellow pages" effect.
+    let again = engine.submit_text(query).expect("second allocation succeeds");
+    println!(
+        "second query served by the same pool: {}",
+        again[0].pool == allocation.pool
+    );
+
+    // 5. Release everything (event 6 of Figure 1: the desktop relinquishes
+    //    the shadow account and resources).
+    for a in again.iter().chain(allocations.iter()) {
+        engine.release(a).expect("release succeeds");
+    }
+    println!("released; engine stats: {:?}", engine.stats());
+}

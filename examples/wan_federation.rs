@@ -1,0 +1,78 @@
+//! Wide-area federation: reproduce the paper's WAN experiment setting in
+//! miniature — clients at one site, parts of the ActYP service at another —
+//! and show both what the simulation measures (Figure 5's latency floor) and
+//! how the live pipeline delegates queries between the two domains.
+//!
+//! ```text
+//! cargo run -p actyp-suite --example wan_federation
+//! ```
+
+use actyp_grid::{FleetSpec, SyntheticFleet};
+use actyp_pipeline::sim::{ExperimentConfig, PoolTopology, SimulatedPipeline};
+use actyp_pipeline::{LivePipeline, PipelineConfig};
+use actyp_simnet::{LinkProfile, NetworkModel};
+
+fn main() {
+    // Part 1 — simulated LAN vs. WAN response times (the Figure 4/5
+    // contrast) for a fixed topology of 8 pools and 16 clients.
+    let base = ExperimentConfig {
+        machines: 1_600,
+        topology: PoolTopology::Striped { pools: 8 },
+        clients: 16,
+        requests_per_client: 10,
+        ..ExperimentConfig::paper_baseline()
+    };
+    let lan = SimulatedPipeline::new(base.clone()).run();
+    let wan = SimulatedPipeline::new(ExperimentConfig {
+        network: NetworkModel::wan(),
+        client_link: LinkProfile::Wan,
+        ..base
+    })
+    .run();
+    println!("simulated mean response, LAN configuration: {:.3} s", lan.mean_response());
+    println!("simulated mean response, WAN configuration: {:.3} s", wan.mean_response());
+    println!(
+        "WAN adds ≈{:.0} ms of unavoidable round-trip latency\n",
+        (wan.mean_response() - lan.mean_response()) * 1e3
+    );
+
+    // Part 2 — a live federated deployment: Purdue hosts sun machines, UPC
+    // hosts hp machines, each behind its own pool manager; queries are
+    // delegated across domains when the first manager cannot create a pool.
+    let purdue = SyntheticFleet::new(FleetSpec::homogeneous(120, "sun", 256), 1)
+        .generate()
+        .into_shared();
+    let upc = SyntheticFleet::new(FleetSpec::homogeneous(120, "hp", 512), 2)
+        .generate()
+        .into_shared();
+    let pipeline = LivePipeline::start_federated(
+        PipelineConfig::default(),
+        vec![("purdue".to_string(), purdue), ("upc".to_string(), upc)],
+    );
+
+    for arch in ["sun", "hp"] {
+        let allocations = pipeline
+            .submit_text(&format!("punch.rsrc.arch = {arch}\n"))
+            .expect("federated allocation succeeds");
+        println!(
+            "query for `{arch}` satisfied by {} (pool `{}`)",
+            allocations[0].machine_name, allocations[0].pool
+        );
+        pipeline.release(&allocations[0]).expect("release succeeds");
+    }
+
+    // A composite query spanning both domains is decomposed, served at each
+    // site, and re-integrated.
+    let both = pipeline
+        .submit_text("punch.rsrc.arch = sun | hp\n")
+        .expect("composite allocation succeeds");
+    println!(
+        "composite query returned {} matches across domains: {:?}",
+        both.len(),
+        both.iter().map(|a| a.machine_name.clone()).collect::<Vec<_>>()
+    );
+    for a in &both {
+        pipeline.release(a).expect("release succeeds");
+    }
+    pipeline.shutdown();
+}

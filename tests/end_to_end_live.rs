@@ -1,0 +1,102 @@
+//! Integration test: the full PUNCH flow (desktop → application management →
+//! ActYP pipeline → allocation → release) and the live threaded deployment,
+//! exercised across crates exactly as the examples do.
+
+use actyp_grid::{FleetSpec, SyntheticFleet};
+use actyp_pipeline::{LivePipeline, PipelineConfig, PoolManagerSelection};
+use actyp_punch::{NetworkDesktop, RunError};
+use actyp_query::Query;
+
+fn fleet(machines: usize, seed: u64) -> actyp_grid::SharedDatabase {
+    SyntheticFleet::new(FleetSpec::with_machines(machines), seed)
+        .generate()
+        .into_shared()
+}
+
+#[test]
+fn desktop_runs_complete_through_the_whole_stack() {
+    let mut desktop = NetworkDesktop::new(fleet(400, 1), PipelineConfig::default());
+    let mut handles = Vec::new();
+    for command in [
+        "tsuprem4 gridpoints=2500 steps=400 domain=purdue",
+        "spice nodes=800 timesteps=5000",
+        "minimos devicesize=2 accuracy=0.8",
+    ] {
+        handles.push(desktop.start_run("kapadia", command).expect("run starts"));
+    }
+    assert_eq!(desktop.active_runs(), 3);
+    // Each run holds an application mount and a data mount.
+    assert_eq!(desktop.mounts().active(), 6);
+
+    for handle in handles {
+        let outcome = desktop.complete_run(handle, 100.0).expect("run completes");
+        assert!(!outcome.machine_name.is_empty());
+    }
+    assert_eq!(desktop.active_runs(), 0);
+    assert_eq!(desktop.mounts().active(), 0);
+    // Every allocation was released back to the pipeline.
+    assert_eq!(desktop.engine().stats().allocations, desktop.engine().stats().releases);
+}
+
+#[test]
+fn authorization_is_enforced_before_any_resources_are_touched() {
+    let mut desktop = NetworkDesktop::new(fleet(100, 2), PipelineConfig::default());
+    let err = desktop.start_run("guest", "minimos devicesize=1").unwrap_err();
+    assert!(matches!(err, RunError::Authorization(_)));
+    assert_eq!(desktop.engine().stats().requests, 0);
+    assert_eq!(desktop.mounts().active(), 0);
+}
+
+#[test]
+fn live_pipeline_handles_a_burst_of_concurrent_clients() {
+    let config = PipelineConfig {
+        query_managers: 2,
+        pool_managers: 2,
+        pool_manager_selection: PoolManagerSelection::RoundRobin,
+        ..PipelineConfig::default()
+    };
+    let pipeline = std::sync::Arc::new(LivePipeline::start(config, fleet(600, 3)));
+    let text = Query::paper_example().to_string();
+
+    let mut joins = Vec::new();
+    for _ in 0..8 {
+        let pipeline = pipeline.clone();
+        let text = text.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut count = 0;
+            for _ in 0..10 {
+                let allocations = pipeline.submit_text(&text).expect("allocation succeeds");
+                assert_eq!(allocations.len(), 1);
+                assert!(allocations[0].machine_name.contains("sun"));
+                pipeline.release(&allocations[0]).expect("release succeeds");
+                count += 1;
+            }
+            count
+        }));
+    }
+    let total: usize = joins.into_iter().map(|j| j.join().unwrap()).sum();
+    assert_eq!(total, 80);
+
+    // Temporal locality: the 80 identical queries created exactly one pool.
+    assert_eq!(pipeline.directory().read().instance_count(), 1);
+}
+
+#[test]
+fn live_and_embedded_deployments_agree_on_semantics() {
+    let db = fleet(300, 4);
+    let mut engine = actyp_pipeline::Engine::new(PipelineConfig::default(), db.clone());
+    let live = LivePipeline::start(PipelineConfig::default(), db);
+
+    let text = "punch.rsrc.arch = hp\npunch.rsrc.memory = >=256\n";
+    let from_engine = engine.submit_text(text).expect("embedded allocation");
+    let from_live = live.submit_text(text).expect("live allocation");
+
+    // Same pool name (aggregation criteria), both hp machines with >=256 MB.
+    assert_eq!(from_engine[0].pool, from_live[0].pool);
+    for allocation in [&from_engine[0], &from_live[0]] {
+        assert!(allocation.machine_name.contains("hp"));
+    }
+    engine.release(&from_engine[0]).unwrap();
+    live.release(&from_live[0]).unwrap();
+    live.shutdown();
+}

@@ -1,0 +1,170 @@
+//! Integration test: failure injection — machines going down mid-operation,
+//! pool destruction with outstanding allocations, TTL exhaustion, shadow
+//! account exhaustion, and monitor-driven recovery.
+
+use actyp_grid::{FleetSpec, MachineState, MonitorConfig, ResourceMonitor, SyntheticFleet};
+use actyp_pipeline::{AllocationError, Engine, PipelineConfig};
+use actyp_simnet::SimTime;
+
+fn homogeneous(machines: usize, seed: u64) -> actyp_grid::SharedDatabase {
+    SyntheticFleet::new(FleetSpec::homogeneous(machines, "sun", 256), seed)
+        .generate()
+        .into_shared()
+}
+
+fn sun_text() -> String {
+    // A query matching the homogeneous test fleets: the paper's example adds
+    // a license constraint that only a subset of machines satisfies, which
+    // would conflate "tool not installed" with the failures injected here.
+    "punch.rsrc.arch = sun\npunch.user.login = tester\npunch.user.accessgroup = ece\n".to_string()
+}
+
+#[test]
+fn down_machines_are_never_allocated() {
+    let db = homogeneous(30, 1);
+    // Take two-thirds of the fleet down before any pool exists.
+    {
+        let mut guard = db.write();
+        let ids: Vec<_> = guard.iter().map(|m| m.id).collect();
+        for id in ids.iter().take(20) {
+            guard.set_state(*id, MachineState::Down);
+        }
+    }
+    let mut engine = Engine::new(PipelineConfig::default(), db.clone());
+    let mut allocations = Vec::new();
+    for _ in 0..10 {
+        let a = engine.submit_text(&sun_text()).expect("up machines remain");
+        allocations.extend(a);
+    }
+    let guard = db.read();
+    for a in &allocations {
+        assert_eq!(guard.get(a.machine).unwrap().state, MachineState::Up);
+    }
+}
+
+#[test]
+fn failures_after_pool_creation_shrink_the_usable_set_gracefully() {
+    let db = homogeneous(10, 2);
+    let mut engine = Engine::new(PipelineConfig::default(), db.clone());
+    // Create the pool with every machine healthy.
+    let first = engine.submit_text(&sun_text()).unwrap();
+    engine.release(&first[0]).unwrap();
+
+    // Now everything fails.
+    {
+        let mut guard = db.write();
+        let ids: Vec<_> = guard.iter().map(|m| m.id).collect();
+        for id in ids {
+            guard.set_state(id, MachineState::Down);
+        }
+    }
+    let err = engine.submit_text(&sun_text()).unwrap_err();
+    assert_eq!(err, AllocationError::NoneAvailable);
+
+    // Recovery restores service without rebuilding the pool.
+    {
+        let mut guard = db.write();
+        let ids: Vec<_> = guard.iter().map(|m| m.id).collect();
+        for id in ids {
+            guard.set_state(id, MachineState::Up);
+        }
+    }
+    assert!(engine.submit_text(&sun_text()).is_ok());
+    assert_eq!(engine.pool_instances(), 1, "the original pool keeps serving");
+}
+
+#[test]
+fn monitor_driven_failures_and_recoveries_are_respected() {
+    let db = homogeneous(40, 3);
+    let mut engine = Engine::new(PipelineConfig::default(), db.clone());
+    let mut monitor = ResourceMonitor::new(
+        MonitorConfig {
+            failure_probability: 0.4,
+            recovery_probability: 0.0,
+            ..MonitorConfig::default()
+        },
+        7,
+    );
+    for step in 0..6 {
+        let mut guard = db.write();
+        monitor.sweep(&mut guard, SimTime::from_nanos(step));
+    }
+    let (up, down, _) = db.read().state_counts();
+    assert!(down > 0, "the monitor must have taken machines down");
+
+    // Allocations keep landing on the surviving machines only.
+    if up > 0 {
+        for _ in 0..up.min(5) {
+            let a = engine.submit_text(&sun_text()).expect("survivors can serve");
+            assert_eq!(db.read().get(a[0].machine).unwrap().state, MachineState::Up);
+        }
+    }
+}
+
+#[test]
+fn shadow_account_exhaustion_is_reported() {
+    let db = homogeneous(1, 4);
+    {
+        let mut guard = db.write();
+        let id = guard.iter().next().unwrap().id;
+        let machine = guard.get_mut(id).unwrap();
+        machine.shadow_accounts = actyp_grid::ShadowAccountPool::with_accounts(6000, 1);
+        machine.max_allowed_load = 100.0; // only shadow accounts limit us
+        machine.num_cpus = 64;
+    }
+    let mut engine = Engine::new(PipelineConfig::default(), db);
+    let first = engine.submit_text(&sun_text()).expect("one account available");
+    let err = engine.submit_text(&sun_text()).unwrap_err();
+    assert_eq!(err, AllocationError::ShadowAccountsExhausted);
+    engine.release(&first[0]).unwrap();
+    assert!(engine.submit_text(&sun_text()).is_ok(), "release frees the account");
+}
+
+#[test]
+fn destroying_a_pool_with_outstanding_allocations_still_allows_release() {
+    let db = homogeneous(20, 5);
+    let mut engine = Engine::new(PipelineConfig::default(), db);
+    let allocation = engine.submit_text(&sun_text()).unwrap().remove(0);
+    let pm_names = engine.pool_manager_names();
+    let pm = engine.pool_manager_mut(&pm_names[0]).unwrap();
+    assert!(pm.destroy_pool(&allocation.pool, allocation.pool_instance));
+    // The directory entry is gone, but the fallback release path (scanning
+    // the hosting managers) must not leak the machine… in this case the pool
+    // itself is gone, so release reports the allocation as unknown rather
+    // than corrupting state.
+    let result = engine.release(&allocation);
+    assert!(matches!(result, Err(AllocationError::UnknownAllocation)));
+    // New queries recreate the pool on demand.
+    assert!(engine.submit_text(&sun_text()).is_ok());
+}
+
+#[test]
+fn ttl_exhaustion_is_reported_when_no_domain_can_serve() {
+    // Two domains, neither of which has hp machines.
+    let purdue = homogeneous(10, 6);
+    let upc = homogeneous(10, 7);
+    let mut engine = Engine::federated(
+        PipelineConfig {
+            ttl: 1,
+            ..PipelineConfig::default()
+        },
+        vec![("purdue".to_string(), purdue), ("upc".to_string(), upc)],
+    );
+    let err = engine.submit_text("punch.rsrc.arch = hp\n").unwrap_err();
+    // With TTL 1 the query dies after the first manager; with a larger TTL
+    // it would exhaust the visited list and report NoSuchResources.
+    assert!(
+        matches!(err, AllocationError::NoSuchResources | AllocationError::TtlExpired),
+        "got {err:?}"
+    );
+    let err2 = Engine::federated(
+        PipelineConfig::default(),
+        vec![
+            ("purdue".to_string(), homogeneous(10, 8)),
+            ("upc".to_string(), homogeneous(10, 9)),
+        ],
+    )
+    .submit_text("punch.rsrc.arch = hp\n")
+    .unwrap_err();
+    assert_eq!(err2, AllocationError::NoSuchResources);
+}

@@ -1,0 +1,113 @@
+//! Integration test: reduced-scale versions of every figure sweep, checking
+//! the qualitative shapes the paper reports (the full-scale sweeps live in
+//! the `actyp-bench` binaries).
+
+use actyp_bench::{
+    ablation_pm_selection, ablation_scheduler, baseline_comparison, fig4_pools_lan,
+    fig5_pools_wan, fig6_pool_size, fig7_splitting, fig8_replication, fig9_cputime_dist, Scale,
+};
+
+fn scale() -> Scale {
+    Scale {
+        machines: 320,
+        requests_per_client: 4,
+        client_counts: vec![4, 16],
+        pool_counts: vec![2, 4, 8],
+        figure9_runs: 20_000,
+        seed: 0xE5,
+    }
+}
+
+#[test]
+fn figure4_response_time_falls_as_pools_increase() {
+    let series = fig4_pools_lan(&scale());
+    let heavy = "clients=16";
+    let at_2 = series.value(2.0, heavy).unwrap();
+    let at_8 = series.value(8.0, heavy).unwrap();
+    assert!(
+        at_8 < at_2,
+        "LAN: 8 pools ({at_8:.4}s) must respond faster than 2 pools ({at_2:.4}s)"
+    );
+}
+
+#[test]
+fn figure5_wan_limits_the_benefit_of_more_pools() {
+    let s = scale();
+    let lan = fig4_pools_lan(&s);
+    let wan = fig5_pools_wan(&s);
+    let light = "clients=4";
+    // The WAN configuration is dominated by link latency…
+    assert!(wan.value(8.0, light).unwrap() > lan.value(8.0, light).unwrap());
+    // …so the relative improvement from 2 → 8 pools is smaller than on the LAN.
+    let lan_gain = lan.value(2.0, light).unwrap() / lan.value(8.0, light).unwrap();
+    let wan_gain = wan.value(2.0, light).unwrap() / wan.value(8.0, light).unwrap();
+    assert!(
+        lan_gain > wan_gain,
+        "LAN speedup {lan_gain:.2}x should exceed WAN speedup {wan_gain:.2}x"
+    );
+}
+
+#[test]
+fn figure6_response_time_grows_with_clients_and_pool_size() {
+    let series = fig6_pool_size(&scale());
+    let columns = series.columns.clone();
+    let small = &columns[0];
+    let large = &columns[2];
+    assert!(series.value(16.0, large).unwrap() > series.value(4.0, large).unwrap());
+    assert!(series.value(16.0, large).unwrap() > series.value(16.0, small).unwrap());
+}
+
+#[test]
+fn figure7_splitting_improves_response_time() {
+    let series = fig7_splitting(&scale());
+    let whole = series.value(16.0, "1x whole").unwrap();
+    let halves = series.value(16.0, "2x halves").unwrap();
+    let quarters = series.value(16.0, "4x quarters").unwrap();
+    assert!(halves < whole);
+    assert!(quarters < halves);
+}
+
+#[test]
+fn figure8_replication_improves_response_time_under_load() {
+    let series = fig8_replication(&scale());
+    let one = series.value(16.0, "processes=1").unwrap();
+    let two = series.value(16.0, "processes=2").unwrap();
+    let four = series.value(16.0, "processes=4").unwrap();
+    assert!(two < one);
+    assert!(four < two);
+}
+
+#[test]
+fn figure9_distribution_is_dominated_by_short_runs_with_a_long_tail() {
+    let series = fig9_cputime_dist(&scale());
+    let short: f64 = series
+        .rows
+        .iter()
+        .filter(|(x, _)| (0.0..100.0).contains(x))
+        .map(|(_, ys)| ys[0])
+        .sum();
+    let overflow = series.rows.iter().find(|(x, _)| *x < 0.0).unwrap().1[0];
+    let total: f64 = series.rows.iter().map(|(_, ys)| ys[0]).sum();
+    assert!(short / total > 0.8, "short-run mass {short}/{total}");
+    assert!(overflow > 0.0, "some runs exceed the plotted range");
+}
+
+#[test]
+fn ablations_and_baseline_comparison_run_at_reduced_scale() {
+    let s = scale();
+    let sched = ablation_scheduler(&s);
+    assert_eq!(sched.rows[0].1.len(), 5);
+    // First-fit examines less of the cache, so under identical load it must
+    // not be slower than the full-scan objectives.
+    let least_loaded = sched.rows[0].1[0];
+    let first_fit = sched.rows[0].1[4];
+    assert!(first_fit <= least_loaded * 1.1);
+
+    let pm = ablation_pm_selection(&s);
+    assert_eq!(pm.rows[0].1[0], 0.0, "by-key routing never forwards");
+
+    let baseline = baseline_comparison(&s);
+    let row = &baseline.rows[0].1;
+    assert!(row[0] < row[1] && row[0] < row[2],
+        "the pipeline must examine fewer machine records than the centralized baselines: {row:?}");
+}
