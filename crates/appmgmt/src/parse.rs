@@ -164,7 +164,10 @@ mod tests {
 
     #[test]
     fn errors_for_empty_unknown_and_malformed() {
-        assert_eq!(parse_invocation("", &kb()).unwrap_err(), InvocationError::Empty);
+        assert_eq!(
+            parse_invocation("", &kb()).unwrap_err(),
+            InvocationError::Empty
+        );
         assert_eq!(
             parse_invocation("autocad size=3", &kb()).unwrap_err(),
             InvocationError::UnknownTool("autocad".to_string())

@@ -84,7 +84,8 @@ impl PerformanceModel {
         const ALPHA: f64 = 0.2;
         if predicted.cpu_seconds > 0.0 && actual_cpu > 0.0 {
             let ratio = actual_cpu / predicted.cpu_seconds;
-            self.cpu_calibration = (1.0 - ALPHA) * self.cpu_calibration + ALPHA * ratio * self.cpu_calibration;
+            self.cpu_calibration =
+                (1.0 - ALPHA) * self.cpu_calibration + ALPHA * ratio * self.cpu_calibration;
         }
         if predicted.memory_mb > 0.0 && actual_memory > 0.0 {
             let ratio = actual_memory / predicted.memory_mb;

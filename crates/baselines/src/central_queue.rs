@@ -232,7 +232,10 @@ mod tests {
             }
         }
         let mut scheduler = CentralScheduler::new(database.clone());
-        assert_eq!(scheduler.submit(job(5.0)), SubmitOutcome::Queued(QueueClass::Short));
+        assert_eq!(
+            scheduler.submit(job(5.0)),
+            SubmitOutcome::Queued(QueueClass::Short)
+        );
         assert_eq!(
             scheduler.submit(job(100_000.0)),
             SubmitOutcome::Queued(QueueClass::Long)

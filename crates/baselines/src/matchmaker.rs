@@ -182,10 +182,11 @@ mod tests {
     #[test]
     fn classad_expressions_drive_the_matchmaker() {
         let mut mm = Matchmaker::new(db(200));
-        let job = translate_requirements("Arch == \"SUN\" && Memory >= 128", Some("c"), Some("ece"))
-            .unwrap()
-            .decompose(1)
-            .remove(0);
+        let job =
+            translate_requirements("Arch == \"SUN\" && Memory >= 128", Some("c"), Some("ece"))
+                .unwrap()
+                .decompose(1)
+                .remove(0);
         let outcome = mm.negotiate(&job);
         assert!(outcome.machine.is_some());
     }
@@ -197,11 +198,13 @@ mod tests {
         let jobs: Vec<BasicQuery> = (0..20).map(|_| sun_job()).collect();
         let outcomes = mm.negotiate_batch(&jobs);
         assert_eq!(outcomes.len(), 20);
-        let machines: std::collections::HashSet<_> = outcomes
-            .iter()
-            .filter_map(|o| o.machine)
-            .collect();
-        assert!(machines.len() > 5, "rank must spread jobs, got {}", machines.len());
+        let machines: std::collections::HashSet<_> =
+            outcomes.iter().filter_map(|o| o.machine).collect();
+        assert!(
+            machines.len() > 5,
+            "rank must spread jobs, got {}",
+            machines.len()
+        );
         assert_eq!(mm.cycles(), 20);
         assert_eq!(mm.evaluated_total(), 2_000);
     }

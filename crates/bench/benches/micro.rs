@@ -21,7 +21,9 @@ fn bench_query_language(c: &mut Criterion) {
         b.iter(|| PoolName::from_query(black_box(&basic)))
     });
 
-    let composite = parse_query("punch.rsrc.arch = sun | hp | linux\npunch.rsrc.memory = >=128 | >=512\n").unwrap();
+    let composite =
+        parse_query("punch.rsrc.arch = sun | hp | linux\npunch.rsrc.memory = >=128 | >=512\n")
+            .unwrap();
     c.bench_function("query/decompose_composite", |b| {
         b.iter(|| black_box(&composite).decompose(16))
     });

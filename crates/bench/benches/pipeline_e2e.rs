@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use actyp_bench::{
-    baseline_comparison, fig4_pools_lan, fig7_splitting, fig8_replication, Scale,
-};
+use actyp_bench::{baseline_comparison, fig4_pools_lan, fig7_splitting, fig8_replication, Scale};
 use actyp_grid::{FleetSpec, SyntheticFleet};
 use actyp_pipeline::{Engine, LivePipeline, PipelineConfig};
 use actyp_query::Query;

@@ -170,11 +170,7 @@ pub fn fig5_pools_wan(scale: &Scale) -> FigureSeries {
 /// Figure 6: response time as a function of the number of clients for
 /// growing pool sizes (single pool, linear-search scheduler).
 pub fn fig6_pool_size(scale: &Scale) -> FigureSeries {
-    let sizes = [
-        scale.machines / 4,
-        scale.machines / 2,
-        scale.machines,
-    ];
+    let sizes = [scale.machines / 4, scale.machines / 2, scale.machines];
     let columns: Vec<String> = sizes.iter().map(|s| format!("machines={s}")).collect();
     let rows = scale
         .client_counts
@@ -207,12 +203,11 @@ pub fn fig6_pool_size(scale: &Scale) -> FigureSeries {
 /// Figure 7: effect of splitting a 3,200-machine pool into two pools of
 /// 1,600 and four pools of 800, searched concurrently.
 pub fn fig7_splitting(scale: &Scale) -> FigureSeries {
-    let variants: [(usize, &str); 3] = [
-        (1, "1x whole"),
-        (2, "2x halves"),
-        (4, "4x quarters"),
-    ];
-    let columns: Vec<String> = variants.iter().map(|(_, label)| label.to_string()).collect();
+    let variants: [(usize, &str); 3] = [(1, "1x whole"), (2, "2x halves"), (4, "4x quarters")];
+    let columns: Vec<String> = variants
+        .iter()
+        .map(|(_, label)| label.to_string())
+        .collect();
     let rows = scale
         .client_counts
         .iter()
@@ -287,8 +282,7 @@ pub fn fig8_replication(scale: &Scale) -> FigureSeries {
 /// beyond the range appear in the final `overflow` row with x = -1).
 pub fn fig9_cputime_dist(scale: &Scale) -> FigureSeries {
     let mut rng = Rng::new(scale.seed ^ 0xF19);
-    let histogram =
-        CpuTimeDistribution::punch().histogram(&mut rng, scale.figure9_runs, 1_000);
+    let histogram = CpuTimeDistribution::punch().histogram(&mut rng, scale.figure9_runs, 1_000);
     let mut rows: Vec<(f64, Vec<f64>)> = histogram
         .iter()
         .map(|(x, count)| (x, vec![count as f64]))
@@ -407,7 +401,10 @@ pub fn baseline_comparison(scale: &Scale) -> FigureSeries {
 pub fn ablation_pm_selection(scale: &Scale) -> FigureSeries {
     use actyp_pipeline::PoolManagerSelection;
     let policies = [
-        (PoolManagerSelection::ByKeyValue("arch".to_string()), "by-arch"),
+        (
+            PoolManagerSelection::ByKeyValue("arch".to_string()),
+            "by-arch",
+        ),
         (PoolManagerSelection::Random, "random"),
         (PoolManagerSelection::RoundRobin, "round-robin"),
     ];
@@ -416,9 +413,12 @@ pub fn ablation_pm_selection(scale: &Scale) -> FigureSeries {
     let ys: Vec<f64> = policies
         .iter()
         .map(|(policy, _)| {
-            let db = SyntheticFleet::new(FleetSpec::with_machines(scale.machines.min(800)), scale.seed)
-                .generate()
-                .into_shared();
+            let db = SyntheticFleet::new(
+                FleetSpec::with_machines(scale.machines.min(800)),
+                scale.seed,
+            )
+            .generate()
+            .into_shared();
             let mut engine = Engine::new(
                 PipelineConfig {
                     pool_managers: 4,
@@ -467,7 +467,10 @@ mod tests {
         assert_eq!(series.rows.len(), 2);
         let two = series.value(2.0, "clients=8").unwrap();
         let eight = series.value(8.0, "clients=8").unwrap();
-        assert!(eight <= two, "8 pools ({eight}) must not be slower than 2 ({two})");
+        assert!(
+            eight <= two,
+            "8 pools ({eight}) must not be slower than 2 ({two})"
+        );
         assert!(!series.to_csv().is_empty());
     }
 
@@ -499,9 +502,7 @@ mod tests {
         let split = fig7_splitting(&scale);
         assert!(split.value(8.0, "4x quarters").unwrap() < split.value(8.0, "1x whole").unwrap());
         let repl = fig8_replication(&scale);
-        assert!(
-            repl.value(8.0, "processes=4").unwrap() < repl.value(8.0, "processes=1").unwrap()
-        );
+        assert!(repl.value(8.0, "processes=4").unwrap() < repl.value(8.0, "processes=1").unwrap());
     }
 
     #[test]
@@ -524,7 +525,10 @@ mod tests {
         let series = baseline_comparison(&tiny());
         let row = &series.rows[0].1;
         let (pipeline, central, matchmaker) = (row[0], row[1], row[2]);
-        assert!(pipeline < central, "pipeline {pipeline} vs central {central}");
+        assert!(
+            pipeline < central,
+            "pipeline {pipeline} vs central {central}"
+        );
         assert!(pipeline < matchmaker);
     }
 

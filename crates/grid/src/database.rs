@@ -233,7 +233,11 @@ mod tests {
     #[test]
     fn walk_filters_by_predicate() {
         let db = sample_db();
-        let suns = db.walk(|m| m.attribute("arch").map(|a| a.contains("sun")).unwrap_or(false));
+        let suns = db.walk(|m| {
+            m.attribute("arch")
+                .map(|a| a.contains("sun"))
+                .unwrap_or(false)
+        });
         assert_eq!(suns.len(), 5);
     }
 

@@ -213,7 +213,10 @@ impl Machine {
     /// the machine is open to every group, mirroring the database default).
     pub fn allows_user_group(&self, group: &str) -> bool {
         self.user_groups.is_empty()
-            || self.user_groups.iter().any(|g| g.eq_ignore_ascii_case(group))
+            || self
+                .user_groups
+                .iter()
+                .any(|g| g.eq_ignore_ascii_case(group))
     }
 
     /// Whether the machine can run tools of `tool_group`.

@@ -100,8 +100,8 @@ impl ResourceMonitor {
             let delta_mem_frac = self.rng.range_f64(-mem_step, mem_step);
             db.update_dynamic(id, now, |m| {
                 let punch_load = m.dynamic.active_jobs as f64 / m.num_cpus.max(1) as f64;
-                let external = (m.dynamic.current_load - punch_load + delta_load)
-                    .clamp(0.0, max_load);
+                let external =
+                    (m.dynamic.current_load - punch_load + delta_load).clamp(0.0, max_load);
                 m.dynamic.current_load = external + punch_load;
 
                 let total_mem = m
@@ -200,7 +200,10 @@ mod tests {
             monitor.sweep(&mut db, SimTime::from_nanos(step));
         }
         let (_, down, _) = db.state_counts();
-        assert!(down > 0, "with p=0.5 over 10 sweeps some machines must fail");
+        assert!(
+            down > 0,
+            "with p=0.5 over 10 sweeps some machines must fail"
+        );
 
         let mut recovering = ResourceMonitor::new(
             MonitorConfig {

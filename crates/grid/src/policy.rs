@@ -23,9 +23,10 @@ pub struct PolicyContext<'a> {
 }
 
 /// An administrator-defined usage policy.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum UsagePolicy {
     /// Admit everyone (the database default when no policy is configured).
+    #[default]
     Always,
     /// Admit no one (machine reserved, e.g. during maintenance).
     Never,
@@ -46,12 +47,6 @@ pub enum UsagePolicy {
     Or(Box<UsagePolicy>, Box<UsagePolicy>),
     /// Admit exactly when the sub-policy rejects.
     Not(Box<UsagePolicy>),
-}
-
-impl Default for UsagePolicy {
-    fn default() -> Self {
-        UsagePolicy::Always
-    }
 }
 
 impl UsagePolicy {
@@ -87,9 +82,9 @@ impl UsagePolicy {
             UsagePolicy::GroupNotIn(groups) => !groups
                 .iter()
                 .any(|g| g.eq_ignore_ascii_case(ctx.user_group)),
-            UsagePolicy::UserIn(users) => users
-                .iter()
-                .any(|u| u.eq_ignore_ascii_case(ctx.user_login)),
+            UsagePolicy::UserIn(users) => {
+                users.iter().any(|u| u.eq_ignore_ascii_case(ctx.user_login))
+            }
             UsagePolicy::HoursBetween(start, end) => {
                 let h = ctx.hour_of_day % 24;
                 if start <= end {

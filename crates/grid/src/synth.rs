@@ -263,7 +263,11 @@ mod tests {
         let db = gen.generate();
         let suns = db
             .iter()
-            .filter(|m| m.attribute("arch").map(|a| a.contains("sun")).unwrap_or(false))
+            .filter(|m| {
+                m.attribute("arch")
+                    .map(|a| a.contains("sun"))
+                    .unwrap_or(false)
+            })
             .count();
         let frac = suns as f64 / 2000.0;
         assert!((frac - 0.5).abs() < 0.06, "sun fraction {frac}");

@@ -23,7 +23,10 @@ impl SessionKey {
     /// (The production system exchanged cryptographic material; a unique
     /// opaque token preserves the interface.)
     pub fn derive(request: RequestId, instance: u32, nonce: u64) -> Self {
-        SessionKey(format!("actyp-{:08x}-{instance:02x}-{nonce:016x}", request.0))
+        SessionKey(format!(
+            "actyp-{:08x}-{instance:02x}-{nonce:016x}",
+            request.0
+        ))
     }
 }
 
@@ -131,9 +134,15 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(AllocationError::NoSuchResources.to_string().contains("no resources"));
-        assert!(AllocationError::TtlExpired.to_string().contains("time-to-live"));
-        assert!(AllocationError::Parse("line 3".into()).to_string().contains("line 3"));
+        assert!(AllocationError::NoSuchResources
+            .to_string()
+            .contains("no resources"));
+        assert!(AllocationError::TtlExpired
+            .to_string()
+            .contains("time-to-live"));
+        assert!(AllocationError::Parse("line 3".into())
+            .to_string()
+            .contains("line 3"));
     }
 
     #[test]

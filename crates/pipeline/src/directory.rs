@@ -67,10 +67,7 @@ impl LocalDirectoryService {
     /// instance may have a new address).
     pub fn register_pool(&mut self, record: PoolInstanceRecord) {
         let entry = self.pools.entry(record.pool.clone()).or_default();
-        if let Some(existing) = entry
-            .iter_mut()
-            .find(|r| r.instance == record.instance)
-        {
+        if let Some(existing) = entry.iter_mut().find(|r| r.instance == record.instance) {
             *existing = record;
         } else {
             entry.push(record);
@@ -190,7 +187,10 @@ mod tests {
         dir.register_pool_manager("pm-a");
         dir.register_pool_manager("pm-b");
         dir.register_pool_manager("pm-a");
-        assert_eq!(dir.pool_managers(), &["pm-a".to_string(), "pm-b".to_string()]);
+        assert_eq!(
+            dir.pool_managers(),
+            &["pm-a".to_string(), "pm-b".to_string()]
+        );
     }
 
     #[test]

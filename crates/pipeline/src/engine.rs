@@ -22,9 +22,7 @@ use crate::allocation::{Allocation, AllocationError};
 use crate::directory::{LocalDirectoryService, SharedDirectory};
 use crate::message::{RequestId, RequestIdGenerator, RoutingState};
 use crate::pool_manager::{HandleOutcome, InstanceSelection, PoolManager, PoolManagerConfig};
-use crate::query_manager::{
-    PoolManagerSelection, QueryManager, ReintegrationPolicy,
-};
+use crate::query_manager::{PoolManagerSelection, QueryManager, ReintegrationPolicy};
 use crate::scheduler::SchedulingObjective;
 
 /// Configuration of an embedded pipeline.
@@ -236,8 +234,8 @@ impl Engine {
             results.push(result);
         }
 
-        let (keep, surplus) = self.query_managers[qm_index]
-            .reintegrate(results, self.config.reintegration)?;
+        let (keep, surplus) =
+            self.query_managers[qm_index].reintegrate(results, self.config.reintegration)?;
         for extra in surplus {
             // Surplus matches from composite queries are handed back.
             let _ = self.release(&extra);
@@ -261,9 +259,9 @@ impl Engine {
             if !routing.visit(&current) {
                 return Err(AllocationError::TtlExpired);
             }
-            let index = self
-                .pm_index(&current)
-                .ok_or_else(|| AllocationError::Internal(format!("unknown pool manager {current}")))?;
+            let index = self.pm_index(&current).ok_or_else(|| {
+                AllocationError::Internal(format!("unknown pool manager {current}"))
+            })?;
             match self.pool_managers[index].handle(request, basic, hour) {
                 HandleOutcome::Allocated(a) => return Ok(a),
                 HandleOutcome::Failed(err) => return Err(err),
@@ -397,9 +395,7 @@ mod tests {
     #[test]
     fn impossible_queries_fail_cleanly() {
         let mut engine = Engine::new(PipelineConfig::default(), fleet_db(100, 5));
-        let err = engine
-            .submit_text("punch.rsrc.arch = cray\n")
-            .unwrap_err();
+        let err = engine.submit_text("punch.rsrc.arch = cray\n").unwrap_err();
         assert_eq!(err, AllocationError::NoSuchResources);
         assert_eq!(engine.stats().failures, 1);
     }
@@ -418,7 +414,11 @@ mod tests {
     fn classad_queries_are_interoperable() {
         let mut engine = Engine::new(PipelineConfig::default(), fleet_db(300, 7));
         let allocations = engine
-            .submit_classad("Arch == \"SUN\" && Memory >= 128", Some("royo"), Some("ece"))
+            .submit_classad(
+                "Arch == \"SUN\" && Memory >= 128",
+                Some("royo"),
+                Some("ece"),
+            )
             .unwrap();
         assert_eq!(allocations.len(), 1);
         assert!(allocations[0].machine_name.contains("sun"));
@@ -441,10 +441,7 @@ mod tests {
         };
         let mut engine = Engine::federated(
             config,
-            vec![
-                ("purdue".to_string(), sun_db),
-                ("upc".to_string(), hp_db),
-            ],
+            vec![("purdue".to_string(), sun_db), ("upc".to_string(), hp_db)],
         );
         let allocations = engine.submit_text("punch.rsrc.arch = hp\n").unwrap();
         assert_eq!(allocations.len(), 1);
@@ -509,7 +506,11 @@ mod tests {
             machines.insert(a[0].machine);
             allocations.append(&mut a);
         }
-        assert!(machines.len() > 10, "load must spread ({} machines)", machines.len());
+        assert!(
+            machines.len() > 10,
+            "load must spread ({} machines)",
+            machines.len()
+        );
         for a in &allocations {
             engine.release(a).unwrap();
         }
@@ -526,10 +527,7 @@ mod tests {
         let mut engine = Engine::new(config, fleet_db(300, 14));
         for _ in 0..6 {
             engine
-                .submit(
-                    &Query::new()
-                        .with(QueryKey::rsrc("arch"), Constraint::eq("sun")),
-                )
+                .submit(&Query::new().with(QueryKey::rsrc("arch"), Constraint::eq("sun")))
                 .unwrap();
         }
         // All six queries go to the same manager, so exactly one pool

@@ -140,7 +140,8 @@ impl PmWorker {
                                 .peer_order
                                 .iter()
                                 .find(|name| {
-                                    !routing.has_visited(name) && name.as_str() != self.manager.name()
+                                    !routing.has_visited(name)
+                                        && name.as_str() != self.manager.name()
                                 })
                                 .cloned();
                             match next {
@@ -198,10 +199,9 @@ impl QmWorker {
                 .select_pool_manager(&basic, &self.pm_names)
                 .ok_or_else(|| AllocationError::Internal("no pool managers".to_string()))?;
             let (tx, rx) = unbounded();
-            let sender = self
-                .pm_txs
-                .get(&target)
-                .ok_or_else(|| AllocationError::Internal(format!("unknown pool manager {target}")))?;
+            let sender = self.pm_txs.get(&target).ok_or_else(|| {
+                AllocationError::Internal(format!("unknown pool manager {target}"))
+            })?;
             sender
                 .send(PmMsg::Query {
                     request: tag.request,
@@ -425,8 +425,8 @@ impl Drop for LivePipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use actyp_grid::{FleetSpec, SyntheticFleet};
     use crate::query_manager::{PoolManagerSelection, ReintegrationPolicy};
+    use actyp_grid::{FleetSpec, SyntheticFleet};
 
     fn fleet_db(n: usize, seed: u64) -> SharedDatabase {
         SyntheticFleet::new(FleetSpec::with_machines(n), seed)

@@ -184,7 +184,11 @@ impl PoolManager {
         Ok(instance)
     }
 
-    fn select_instance(&mut self, pool: &str, records: &[PoolInstanceRecord]) -> PoolInstanceRecord {
+    fn select_instance(
+        &mut self,
+        pool: &str,
+        records: &[PoolInstanceRecord],
+    ) -> PoolInstanceRecord {
         debug_assert!(!records.is_empty());
         match self.config.selection {
             InstanceSelection::First => records
@@ -382,8 +386,7 @@ mod tests {
             PoolManagerConfig::default(),
             1,
         );
-        let mut pm_b =
-            PoolManager::new("pm-b", db, dir.clone(), PoolManagerConfig::default(), 2);
+        let mut pm_b = PoolManager::new("pm-b", db, dir.clone(), PoolManagerConfig::default(), 2);
         // pm-a creates the sun pool.
         assert!(matches!(
             pm_a.handle(RequestId(1), &sun_query(), 12),
@@ -457,7 +460,9 @@ mod tests {
                 replicas: 2,
             },
             db.read().walk(|m| {
-                m.attribute("arch").map(|a| a.contains("sun")).unwrap_or(false)
+                m.attribute("arch")
+                    .map(|a| a.contains("sun"))
+                    .unwrap_or(false)
             }),
             db.clone(),
             SchedulingObjective::LeastLoaded,
@@ -477,13 +482,23 @@ mod tests {
                 other => panic!("expected allocation, got {other:?}"),
             }
         }
-        assert_eq!(instances_used.len(), 2, "round robin must use both instances");
+        assert_eq!(
+            instances_used.len(),
+            2,
+            "round robin must use both instances"
+        );
     }
 
     #[test]
     fn destroy_pool_unregisters_and_releases_claims() {
         let (db, dir) = setup(100);
-        let mut pm = PoolManager::new("pm-0", db.clone(), dir.clone(), PoolManagerConfig::default(), 1);
+        let mut pm = PoolManager::new(
+            "pm-0",
+            db.clone(),
+            dir.clone(),
+            PoolManagerConfig::default(),
+            1,
+        );
         let allocation = match pm.handle(RequestId(1), &sun_query(), 12) {
             HandleOutcome::Allocated(a) => a,
             other => panic!("expected allocation, got {other:?}"),

@@ -9,30 +9,23 @@
 
 use std::sync::Arc;
 
-use actyp_query::{
-    classad::translate_requirements, parse_query, BasicQuery, Query, QuerySchema,
-};
+use actyp_query::{classad::translate_requirements, parse_query, BasicQuery, Query, QuerySchema};
 use actyp_simnet::Rng;
 
 use crate::allocation::{Allocation, AllocationError};
 use crate::message::{FragmentTag, RequestId, RequestIdGenerator};
 
 /// How a query manager picks the pool manager for a basic query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum PoolManagerSelection {
     /// Rotate across pool managers.
+    #[default]
     RoundRobin,
     /// Pick a pool manager uniformly at random.
     Random,
     /// Route by the value of a `rsrc` key (e.g. all `sun` queries to one set
     /// of pool managers, all `hp` queries to another — the paper's example).
     ByKeyValue(String),
-}
-
-impl Default for PoolManagerSelection {
-    fn default() -> Self {
-        PoolManagerSelection::RoundRobin
-    }
 }
 
 /// How the results of a decomposed composite query are re-integrated.
@@ -257,7 +250,9 @@ mod tests {
     #[test]
     fn translate_and_prepare_the_paper_query() {
         let mut qm = qm(PoolManagerSelection::RoundRobin);
-        let query = qm.translate_text(&Query::paper_example().to_string()).unwrap();
+        let query = qm
+            .translate_text(&Query::paper_example().to_string())
+            .unwrap();
         let prepared = qm.prepare(&query).unwrap();
         assert_eq!(prepared.fragments.len(), 1);
         assert_eq!(prepared.fragments[0].0.total, 1);

@@ -1,9 +1,9 @@
 //! Resource pools: dynamically created aggregation objects.
 //!
-//! "Resource pools are dynamically-created objects that consist of
-//! 1) machines aggregated according to specified criteria (e.g., software,
-//! user group, machine architecture, etc.), and 2) processes (or threads)
-//! that order the machines on the basis of specified scheduling objectives"
+//! "Resource pools are dynamically-created objects that consist of 1)
+//! machines aggregated according to specified criteria (e.g., software, user
+//! group, machine architecture, etc.), and 2) processes (or threads) that
+//! order the machines on the basis of specified scheduling objectives"
 //! (Section 5.2.3).
 //!
 //! A pool is created by a pool manager when a query maps to a pool name that
@@ -17,8 +17,8 @@
 use std::collections::HashMap;
 
 use actyp_grid::{MachineId, SharedDatabase, TakenBy};
-use actyp_query::{matches_machine, BasicQuery, Constraint, PoolName};
 use actyp_query::ast::{BasicClause, QueryKey};
+use actyp_query::{matches_machine, BasicQuery, Constraint, PoolName};
 use actyp_simnet::Rng;
 
 use crate::allocation::{Allocation, AllocationError, SessionKey};
@@ -83,6 +83,7 @@ impl ResourcePool {
 
     /// Builds a pool directly from an explicit machine cache.  Used by
     /// [`ResourcePool::split_into`], by replication, and by tests.
+    #[allow(clippy::too_many_arguments)]
     pub fn from_cache(
         name: PoolName,
         instance: u32,
@@ -179,14 +180,8 @@ impl ResourcePool {
     ) -> Result<Allocation, AllocationError> {
         let outcome = {
             let guard = self.db.read();
-            self.scheduler.select(
-                &self.cache,
-                &guard,
-                &ScheduleRequest {
-                    query,
-                    hour_of_day,
-                },
-            )?
+            self.scheduler
+                .select(&self.cache, &guard, &ScheduleRequest { query, hour_of_day })?
         };
 
         let mut guard = self.db.write();
@@ -456,7 +451,11 @@ mod tests {
             machines.insert(a.machine);
         }
         // Least-loaded scheduling must not pile everything on one machine.
-        assert!(machines.len() >= 5, "got {} distinct machines", machines.len());
+        assert!(
+            machines.len() >= 5,
+            "got {} distinct machines",
+            machines.len()
+        );
     }
 
     #[test]
@@ -479,7 +478,10 @@ mod tests {
                 failures += 1;
             }
         }
-        assert!(failures > 0, "saturated machines must eventually refuse work");
+        assert!(
+            failures > 0,
+            "saturated machines must eventually refuse work"
+        );
     }
 
     #[test]
@@ -498,8 +500,7 @@ mod tests {
     fn split_produces_disjoint_parts_covering_the_pool() {
         let db = shared_db(100);
         let pool = make_pool(&db);
-        let all: std::collections::HashSet<_> =
-            pool.cached_machines().iter().copied().collect();
+        let all: std::collections::HashSet<_> = pool.cached_machines().iter().copied().collect();
         let parts = pool.split_into(4, SchedulingObjective::LeastLoaded);
         assert_eq!(parts.len(), 4);
         let mut seen = std::collections::HashSet::new();

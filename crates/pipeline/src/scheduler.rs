@@ -127,11 +127,7 @@ impl Scheduler {
         }
     }
 
-    fn acceptable(
-        db: &ResourceDatabase,
-        id: MachineId,
-        request: &ScheduleRequest<'_>,
-    ) -> bool {
+    fn acceptable(db: &ResourceDatabase, id: MachineId, request: &ScheduleRequest<'_>) -> bool {
         let Some(m) = db.get(id) else {
             return false;
         };
@@ -178,8 +174,7 @@ impl Scheduler {
                 // Preferred machines beat non-preferred ones; ties break on
                 // score.
                 Some((_, _, best_score, best_pref)) => {
-                    (preferred && !best_pref)
-                        || (preferred == *best_pref && score > *best_score)
+                    (preferred && !best_pref) || (preferred == *best_pref && score > *best_score)
                 }
             };
             if better {
@@ -240,16 +235,14 @@ impl Scheduler {
     ) -> Result<ScheduleOutcome, AllocationError> {
         let n = cache.len();
         let start = self.round_robin_cursor % n;
-        let mut examined = 0;
         for offset in 0..n {
             let index = (start + offset) % n;
-            examined += 1;
             if Self::acceptable(db, cache[index], request) {
                 self.round_robin_cursor = index + 1;
                 return Ok(ScheduleOutcome {
                     machine: cache[index],
                     cache_index: index,
-                    examined,
+                    examined: offset + 1,
                 });
             }
         }
@@ -346,8 +339,7 @@ mod tests {
             });
         }
         let q = sun_query();
-        let mut sched =
-            Scheduler::new(SchedulingObjective::MostFreeMemory, ReplicaBias::none(), 1);
+        let mut sched = Scheduler::new(SchedulingObjective::MostFreeMemory, ReplicaBias::none(), 1);
         let outcome = sched.select(&cache, &db, &request(&q)).unwrap();
         assert_eq!(outcome.machine, cache[4]);
     }
@@ -359,7 +351,10 @@ mod tests {
         db.get_mut(target).unwrap().effective_speed = 10_000.0;
         let q = sun_query();
         let mut sched = Scheduler::new(SchedulingObjective::FastestCpu, ReplicaBias::none(), 1);
-        assert_eq!(sched.select(&cache, &db, &request(&q)).unwrap().machine, target);
+        assert_eq!(
+            sched.select(&cache, &db, &request(&q)).unwrap().machine,
+            target
+        );
     }
 
     #[test]

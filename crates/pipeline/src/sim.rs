@@ -304,7 +304,12 @@ impl SimulatedPipeline {
     /// Serves one query on a specific pool at virtual time `at`; returns the
     /// completion time on that pool's scheduling-process server and whether
     /// the allocation succeeded.
-    fn serve_on_pool(&mut self, pool_index: usize, request: RequestId, at: SimTime) -> (SimTime, bool) {
+    fn serve_on_pool(
+        &mut self,
+        pool_index: usize,
+        request: RequestId,
+        at: SimTime,
+    ) -> (SimTime, bool) {
         let costs = self.config.costs.clone();
         let entry = &mut self.pools[pool_index];
         let (examined, ok) = match entry.pool.allocate(request, &client_query(), 12) {
@@ -364,7 +369,8 @@ impl SimulatedPipeline {
             // Query manager → pool manager.
             let lat_qm_pm = network.latency(LinkProfile::Local, &mut self.rng, 512);
             let pm_index = (request_counter as usize) % self.pool_managers.len();
-            let pm_done = self.pool_managers[pm_index].serve(qm_done + lat_qm_pm, costs.pool_manager);
+            let pm_done =
+                self.pool_managers[pm_index].serve(qm_done + lat_qm_pm, costs.pool_manager);
 
             // Pool manager → pool(s).
             let lat_pm_pool = network.latency(LinkProfile::Local, &mut self.rng, 512);
@@ -515,7 +521,8 @@ mod tests {
 
     #[test]
     fn replication_reduces_response_time_under_load() {
-        let one = run_experiment(small(PoolTopology::Replicated { replicas: 1 }, 24)).mean_response();
+        let one =
+            run_experiment(small(PoolTopology::Replicated { replicas: 1 }, 24)).mean_response();
         let four =
             run_experiment(small(PoolTopology::Replicated { replicas: 4 }, 24)).mean_response();
         assert!(

@@ -161,9 +161,11 @@ impl NetworkDesktop {
 
         // Mount application and data disks.
         let key = allocation.access_key.0.clone();
-        let _ = self
-            .vfs
-            .mount(allocation.machine, &key, &format!("application:{}", tool.name));
+        let _ = self.vfs.mount(
+            allocation.machine,
+            &key,
+            &format!("application:{}", tool.name),
+        );
         let _ = self.vfs.mount(
             allocation.machine,
             &key,
@@ -277,7 +279,10 @@ mod tests {
     fn full_run_lifecycle() {
         let mut desk = desktop(300, 1);
         let handle = desk
-            .start_run("kapadia", "tsuprem4 gridpoints=2000 steps=500 domain=purdue")
+            .start_run(
+                "kapadia",
+                "tsuprem4 gridpoints=2000 steps=500 domain=purdue",
+            )
             .unwrap();
         assert_eq!(desk.active_runs(), 1);
         assert_eq!(desk.run_state(handle), Some(SessionState::Running));
@@ -315,7 +320,10 @@ mod tests {
         // Fleet has no machine with 1e7 MB of memory.
         let mut desk = desktop(50, 4);
         let err = desk
-            .start_run("kapadia", "carrier-transport carriers=5000000000 gridnodes=100000000")
+            .start_run(
+                "kapadia",
+                "carrier-transport carriers=5000000000 gridnodes=100000000",
+            )
             .unwrap_err();
         assert!(matches!(err, RunError::Allocation(_)));
     }
@@ -352,7 +360,9 @@ mod tests {
     #[test]
     fn concurrent_runs_occupy_distinct_shadow_accounts() {
         let mut desk = desktop(200, 7);
-        let a = desk.start_run("kapadia", "spice nodes=100 arch=sun").unwrap();
+        let a = desk
+            .start_run("kapadia", "spice nodes=100 arch=sun")
+            .unwrap();
         let b = desk.start_run("royo", "spice nodes=100 arch=sun").unwrap();
         assert_eq!(desk.active_runs(), 2);
         assert_ne!(desk.run_owner(a), desk.run_owner(b));

@@ -154,7 +154,10 @@ mod tests {
     fn invalid_transitions_are_rejected() {
         let mut eu = unit();
         let idx = eu.accept("spice", "key-1", false);
-        assert!(!eu.complete(idx, SimDuration::from_secs(1)), "cannot complete a pending run");
+        assert!(
+            !eu.complete(idx, SimDuration::from_secs(1)),
+            "cannot complete a pending run"
+        );
         assert!(eu.start(idx, SimTime::ZERO));
         assert!(!eu.start(idx, SimTime::ZERO), "cannot start twice");
         assert!(eu.complete(idx, SimDuration::from_secs(1)));

@@ -11,10 +11,11 @@
 //! 2. the desktop forwards tool-execution requests to the application
 //!    management component (`actyp-appmgmt`);
 //! 3. the generated query goes to the ActYP pipeline (`actyp-pipeline`);
-//! 4–6. pool managers and resource pools allocate a machine, the virtual
-//!    file system mounts the application and data disks ([`vfs`]), the
-//!    execution unit starts the run ([`execution`]), and on completion the
-//!    desktop unmounts and releases the shadow account and resources.
+//! 4. pool managers and resource pools allocate a machine;
+//! 5. the virtual file system mounts the application and data disks
+//!    ([`vfs`]) and the execution unit starts the run ([`execution`]);
+//! 6. on completion the desktop unmounts and releases the shadow account
+//!    and resources.
 //!
 //! * [`users`] — user accounts, access groups and authorisation checks.
 //! * [`vfs`] — the PUNCH virtual-file-system mount manager (mount/unmount of

@@ -157,9 +157,11 @@ mod tests {
     #[test]
     fn double_mount_is_rejected() {
         let mut vfs = MountManager::new();
-        vfs.mount(MachineId(1), "k", "data:storage/kapadia").unwrap();
+        vfs.mount(MachineId(1), "k", "data:storage/kapadia")
+            .unwrap();
         assert_eq!(
-            vfs.mount(MachineId(1), "k", "data:storage/kapadia").unwrap_err(),
+            vfs.mount(MachineId(1), "k", "data:storage/kapadia")
+                .unwrap_err(),
             MountError::AlreadyMounted("data:storage/kapadia".to_string())
         );
     }

@@ -92,7 +92,10 @@ pub fn translate_requirements(
     }
     let mut query = Query::new();
     for raw_term in expression.split("&&") {
-        let term = raw_term.trim().trim_start_matches('(').trim_end_matches(')');
+        let term = raw_term
+            .trim()
+            .trim_start_matches('(')
+            .trim_end_matches(')');
         if term.is_empty() {
             return Err(err("empty term in conjunction"));
         }
@@ -128,9 +131,10 @@ pub fn translate_requirements(
         }
     }
     if let Some(login) = user_login {
-        query
-            .clauses
-            .push(Clause::single(QueryKey::user("login"), Constraint::eq(login)));
+        query.clauses.push(Clause::single(
+            QueryKey::user("login"),
+            Constraint::eq(login),
+        ));
     }
     if let Some(group) = access_group {
         query.clauses.push(Clause::single(
@@ -187,8 +191,8 @@ mod tests {
 
     #[test]
     fn mixed_attribute_disjunction_is_rejected() {
-        let e = translate_requirements("(Arch == \"SUN\" || Memory >= 10)", None, None)
-            .unwrap_err();
+        let e =
+            translate_requirements("(Arch == \"SUN\" || Memory >= 10)", None, None).unwrap_err();
         assert!(e.message.contains("mixes attributes"));
     }
 

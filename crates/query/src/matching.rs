@@ -177,10 +177,8 @@ mod tests {
     fn missing_attribute_only_satisfies_not_equal() {
         let m = sun_machine();
         let eq = basic(Query::new().with(QueryKey::rsrc("gpu"), Constraint::eq("a100")));
-        let ne = basic(Query::new().with(
-            QueryKey::rsrc("gpu"),
-            Constraint::new(CmpOp::Ne, "a100"),
-        ));
+        let ne =
+            basic(Query::new().with(QueryKey::rsrc("gpu"), Constraint::new(CmpOp::Ne, "a100")));
         assert!(!matches_machine(&eq, &m).is_match());
         assert!(matches_machine(&ne, &m).is_match());
     }
@@ -189,10 +187,8 @@ mod tests {
     fn dynamic_load_attribute_is_comparable() {
         let mut m = sun_machine();
         m.dynamic.current_load = 3.0;
-        let idle = basic(Query::new().with(
-            QueryKey::rsrc("load"),
-            Constraint::new(CmpOp::Lt, 1u64),
-        ));
+        let idle =
+            basic(Query::new().with(QueryKey::rsrc("load"), Constraint::new(CmpOp::Lt, 1u64)));
         assert!(!matches_machine(&idle, &m).is_match());
         m.dynamic.current_load = 0.2;
         assert!(matches_machine(&idle, &m).is_match());
@@ -218,9 +214,8 @@ mod tests {
         let mut outsider = Query::paper_example();
         // Replace the access group with one the machine doesn't allow.
         outsider.clauses.retain(|c| c.key.name != "accessgroup");
-        let outsider = basic(
-            outsider.with(QueryKey::user("accessgroup"), Constraint::eq("physics")),
-        );
+        let outsider =
+            basic(outsider.with(QueryKey::user("accessgroup"), Constraint::eq("physics")));
         assert!(!admits_user(&outsider, &sun_machine(), 12));
     }
 

@@ -23,7 +23,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "query parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "query parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -39,7 +43,10 @@ fn parse_key(token: &str, line: usize) -> Result<QueryKey, ParseError> {
     }
     let section = Section::parse(parts[1]).ok_or_else(|| ParseError {
         line,
-        message: format!("unknown section `{}` (expected rsrc, appl or user)", parts[1]),
+        message: format!(
+            "unknown section `{}` (expected rsrc, appl or user)",
+            parts[1]
+        ),
     })?;
     if parts[0].is_empty() || parts[2].is_empty() {
         return Err(ParseError {
@@ -163,10 +170,7 @@ punch.user.accessgroup = ece
     fn operators_are_parsed_from_value_prefix() {
         let q = parse_query("punch.rsrc.memory = >=128\npunch.rsrc.load = <2\n").unwrap();
         assert_eq!(q.clauses[0].alternatives[0].op, CmpOp::Ge);
-        assert_eq!(
-            q.clauses[0].alternatives[0].value,
-            AttrValue::Num(128.0)
-        );
+        assert_eq!(q.clauses[0].alternatives[0].value, AttrValue::Num(128.0));
         assert_eq!(q.clauses[1].alternatives[0].op, CmpOp::Lt);
     }
 

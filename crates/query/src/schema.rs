@@ -109,13 +109,24 @@ impl std::fmt::Display for SchemaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SchemaError::WrongFamily { found, expected } => {
-                write!(f, "query family `{found}` does not match schema `{expected}`")
+                write!(
+                    f,
+                    "query family `{found}` does not match schema `{expected}`"
+                )
             }
             SchemaError::UnknownKey { section, name } => {
-                write!(f, "key `{name}` is not defined in section `{}`", section.token())
+                write!(
+                    f,
+                    "key `{name}` is not defined in section `{}`",
+                    section.token()
+                )
             }
             SchemaError::OperatorNotAllowed { name, op } => {
-                write!(f, "operator `{}` is not allowed on key `{name}`", op.symbol())
+                write!(
+                    f,
+                    "operator `{}` is not allowed on key `{name}`",
+                    op.symbol()
+                )
             }
             SchemaError::NotNumeric { name } => {
                 write!(f, "key `{name}` requires a numeric value")
@@ -242,25 +253,79 @@ impl QuerySchema {
     /// application/user keys the example query exercises.
     pub fn punch_default() -> Self {
         QuerySchema::new("punch")
-            .with_key(Section::Rsrc, KeySchema::text("arch", "machine architecture"))
-            .with_key(Section::Rsrc, KeySchema::numeric("memory", "installed memory (MB)"))
-            .with_key(Section::Rsrc, KeySchema::text("ostype", "operating system type"))
-            .with_key(Section::Rsrc, KeySchema::text("osversion", "operating system version"))
+            .with_key(
+                Section::Rsrc,
+                KeySchema::text("arch", "machine architecture"),
+            )
+            .with_key(
+                Section::Rsrc,
+                KeySchema::numeric("memory", "installed memory (MB)"),
+            )
+            .with_key(
+                Section::Rsrc,
+                KeySchema::text("ostype", "operating system type"),
+            )
+            .with_key(
+                Section::Rsrc,
+                KeySchema::text("osversion", "operating system version"),
+            )
             .with_key(Section::Rsrc, KeySchema::text("owner", "machine owner"))
             .with_key(Section::Rsrc, KeySchema::numeric("swap", "swap space (MB)"))
-            .with_key(Section::Rsrc, KeySchema::set("cms", "supported cluster management systems"))
-            .with_key(Section::Rsrc, KeySchema::text("domain", "administrative domain"))
-            .with_key(Section::Rsrc, KeySchema::text("license", "application license required"))
-            .with_key(Section::Rsrc, KeySchema::numeric("load", "current load average"))
-            .with_key(Section::Rsrc, KeySchema::numeric("cpus", "number of processors"))
-            .with_key(Section::Rsrc, KeySchema::numeric("speed", "effective speed rating"))
-            .with_key(Section::Rsrc, KeySchema::numeric("availablememory", "free memory (MB)"))
-            .with_key(Section::Appl, KeySchema::numeric("expectedcpuuse", "predicted CPU seconds on the reference machine"))
-            .with_key(Section::Appl, KeySchema::numeric("expectedmemoryuse", "predicted memory footprint (MB)"))
-            .with_key(Section::Appl, KeySchema::text("toolgroup", "tool group of the application"))
-            .with_key(Section::User, KeySchema::text("login", "requesting user's login"))
-            .with_key(Section::User, KeySchema::text("accessgroup", "requesting user's access group"))
-            .with_key(Section::User, KeySchema::text("accesskey", "session access key"))
+            .with_key(
+                Section::Rsrc,
+                KeySchema::set("cms", "supported cluster management systems"),
+            )
+            .with_key(
+                Section::Rsrc,
+                KeySchema::text("domain", "administrative domain"),
+            )
+            .with_key(
+                Section::Rsrc,
+                KeySchema::text("license", "application license required"),
+            )
+            .with_key(
+                Section::Rsrc,
+                KeySchema::numeric("load", "current load average"),
+            )
+            .with_key(
+                Section::Rsrc,
+                KeySchema::numeric("cpus", "number of processors"),
+            )
+            .with_key(
+                Section::Rsrc,
+                KeySchema::numeric("speed", "effective speed rating"),
+            )
+            .with_key(
+                Section::Rsrc,
+                KeySchema::numeric("availablememory", "free memory (MB)"),
+            )
+            .with_key(
+                Section::Appl,
+                KeySchema::numeric(
+                    "expectedcpuuse",
+                    "predicted CPU seconds on the reference machine",
+                ),
+            )
+            .with_key(
+                Section::Appl,
+                KeySchema::numeric("expectedmemoryuse", "predicted memory footprint (MB)"),
+            )
+            .with_key(
+                Section::Appl,
+                KeySchema::text("toolgroup", "tool group of the application"),
+            )
+            .with_key(
+                Section::User,
+                KeySchema::text("login", "requesting user's login"),
+            )
+            .with_key(
+                Section::User,
+                KeySchema::text("accessgroup", "requesting user's access group"),
+            )
+            .with_key(
+                Section::User,
+                KeySchema::text("accesskey", "session access key"),
+            )
     }
 }
 
@@ -291,10 +356,7 @@ mod tests {
     fn operator_restrictions_are_enforced() {
         let schema = QuerySchema::punch_default();
         // Ordered comparison on a text key is rejected.
-        let q = Query::new().with(
-            QueryKey::rsrc("arch"),
-            Constraint::new(CmpOp::Ge, "sun"),
-        );
+        let q = Query::new().with(QueryKey::rsrc("arch"), Constraint::new(CmpOp::Ge, "sun"));
         let errors = schema.validate(&q);
         assert!(errors
             .iter()
@@ -306,7 +368,9 @@ mod tests {
         let schema = QuerySchema::punch_default();
         let q = Query::new().with(QueryKey::rsrc("memory"), Constraint::ge("lots"));
         let errors = schema.validate(&q);
-        assert!(errors.iter().any(|e| matches!(e, SchemaError::NotNumeric { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, SchemaError::NotNumeric { .. })));
     }
 
     #[test]

@@ -62,10 +62,7 @@ impl PoolName {
 
         let keys: Vec<&str> = constraints.iter().map(|(k, _, _)| k.as_str()).collect();
         let ops: Vec<&str> = constraints.iter().map(|(_, op, _)| op.symbol()).collect();
-        let values: Vec<String> = constraints
-            .iter()
-            .map(|(_, _, v)| v.canonical())
-            .collect();
+        let values: Vec<String> = constraints.iter().map(|(_, _, v)| v.canonical()).collect();
 
         PoolName {
             signature: format!("{},{}", keys.join(":"), ops.join(":")),
@@ -182,7 +179,11 @@ mod tests {
     fn constraints_are_sorted_by_key() {
         let basic = Query::paper_example().decompose(1).remove(0);
         let name = PoolName::from_query(&basic);
-        let keys: Vec<&str> = name.constraints.iter().map(|(k, _, _)| k.as_str()).collect();
+        let keys: Vec<&str> = name
+            .constraints
+            .iter()
+            .map(|(k, _, _)| k.as_str())
+            .collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);

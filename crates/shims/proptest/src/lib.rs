@@ -1,0 +1,374 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this shim implements
+//! the subset of the proptest API the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, tuple composition, integer-range and
+//! sampling strategies, and the [`proptest!`] / `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//! - cases are generated from a fixed deterministic seed (reproducible runs);
+//! - there is **no shrinking** — a failing case reports its panic directly.
+
+pub mod test_runner {
+    /// Per-test configuration (`#![proptest_config(..)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// The fixed-seed RNG used by the [`crate::proptest!`] macro.
+        pub fn deterministic() -> Self {
+            TestRng(0x9e37_79b9_7f4a_7c15)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! unsigned_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )+};
+    }
+
+    unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // i128 arithmetic: full-width ranges (e.g. i64::MIN..i64::MAX)
+                    // must not overflow the span computation.
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// `prop::bool::ANY` — a fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by `prop::sample::select`.
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(pub(crate) Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "select over an empty set");
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Strategy returned by `prop::option::of`.
+    #[derive(Debug, Clone)]
+    pub struct OptionOf<S>(pub(crate) S);
+
+    impl<S: Strategy> Strategy for OptionOf<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Match the real crate's bias towards `Some` (90%).
+            if rng.below(10) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// Strategy returned by `prop::collection::vec`.
+    #[derive(Debug, Clone)]
+    pub struct VecOf<S> {
+        pub(crate) element: S,
+        pub(crate) size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecOf<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty vec size range");
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::sample::select`, `prop::bool::ANY`, ...).
+pub mod prop {
+    /// Sampling from an explicit set of values.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Strategy picking one element of `values` uniformly.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            Select(values)
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::AnyBool;
+
+        /// A fair coin flip.
+        pub const ANY: AnyBool = AnyBool;
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::strategy::{OptionOf, Strategy};
+
+        /// Strategy producing `Some(value)` most of the time, `None` sometimes.
+        pub fn of<S: Strategy>(inner: S) -> OptionOf<S> {
+            OptionOf(inner)
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecOf};
+
+        /// Strategy producing vectors whose length falls in `size`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecOf<S> {
+            VecOf { element, size }
+        }
+    }
+}
+
+/// Everything a property test needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }` runs
+/// `cases` times over freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($config:expr; ) => {};
+    (
+        $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);
+                )+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..1000 {
+            let v = (5u64..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let s = (-3i32..4).generate(&mut rng);
+            assert!((-3..4).contains(&s));
+            // Full-width signed range: span exceeds i64::MAX.
+            let w = (i64::MIN..i64::MAX).generate(&mut rng);
+            assert!(w < i64::MAX);
+        }
+    }
+
+    #[test]
+    fn select_and_vec_compose() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        let strat = prop::collection::vec(prop::sample::select(vec!["a", "b"]), 1..4);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|s| *s == "a" || *s == "b"));
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        let strat = prop::option::of(0u8..2);
+        let produced: Vec<_> = (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert!(produced.iter().any(|v| v.is_none()));
+        assert!(produced.iter().any(|v| v.is_some()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_runs(x in 0u64..10, flip in prop::bool::ANY) {
+            prop_assert!(x < 10);
+            let mapped = (0u64..5).prop_map(|v| v * 2);
+            let mut rng = crate::test_runner::TestRng::deterministic();
+            let even = mapped.generate(&mut rng);
+            prop_assert_eq!(even % 2, 0);
+            if flip {
+                prop_assert_ne!(even, 9);
+            }
+        }
+    }
+}

@@ -262,8 +262,7 @@ mod tests {
         let n = 200_000;
         let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
         assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
     }

@@ -391,7 +391,7 @@ mod tests {
         assert_eq!(h.count(1), 2);
         assert_eq!(h.count(9), 1);
         assert_eq!(h.overflow(), 2); // 10.0 and 50.0
-        // Bins 0 and 1 tie for the mode; either is acceptable.
+                                     // Bins 0 and 1 tie for the mode; either is acceptable.
         let mode = h.mode_bin().unwrap();
         assert_eq!(h.count(mode), 2);
     }

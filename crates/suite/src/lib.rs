@@ -26,6 +26,23 @@ pub fn homogeneous_fleet(machines: usize, arch: &str, memory_mb: u64, seed: u64)
 mod tests {
     use super::*;
 
+    /// The minimal end-to-end canary CI relies on: a fleet, one query, a
+    /// non-empty allocation, and a clean release.
+    #[test]
+    fn workspace_smoke_query_through_engine() {
+        use actyp_pipeline::{Engine, PipelineConfig};
+        use actyp_query::Query;
+
+        let db = demo_fleet(200, 42);
+        let mut engine = Engine::new(PipelineConfig::default(), db);
+        let allocations = engine.submit(&Query::paper_example()).unwrap();
+        assert!(!allocations.is_empty(), "query must allocate a machine");
+        assert!(allocations[0].machine_name.contains("sun"));
+        for allocation in &allocations {
+            engine.release(allocation).unwrap();
+        }
+    }
+
     #[test]
     fn helpers_build_the_requested_fleets() {
         assert_eq!(demo_fleet(25, 1).read().len(), 25);

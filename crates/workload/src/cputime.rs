@@ -49,7 +49,7 @@ impl CpuTimeDistribution {
     /// median well under a minute, and a tail reaching past 10⁶ seconds.
     pub fn punch() -> Self {
         CpuTimeDistribution {
-            body_mu: 1.6,   // e^1.6 ≈ 5 s median for the body
+            body_mu: 1.6, // e^1.6 ≈ 5 s median for the body
             body_sigma: 1.4,
             tail_probability: 0.015,
             tail_scale: 600.0,
@@ -121,7 +121,10 @@ mod tests {
     fn the_tail_reaches_very_long_runs() {
         let xs = samples(200_000);
         let beyond_1e5 = xs.iter().filter(|s| s.cpu_seconds > 1e5).count();
-        assert!(beyond_1e5 > 0, "a production-size sample must contain huge runs");
+        assert!(
+            beyond_1e5 > 0,
+            "a production-size sample must contain huge runs"
+        );
     }
 
     #[test]
@@ -149,8 +152,14 @@ mod tests {
         let mut rng = Rng::new(7);
         let h = CpuTimeDistribution::punch().histogram(&mut rng, 100_000, 1_000);
         let mode = h.mode_bin().unwrap();
-        assert!(mode < 10, "mode bin {mode} should be within the first ten seconds");
-        assert!(h.overflow() > 0, "some runs exceed the 1,000-second plot range");
+        assert!(
+            mode < 10,
+            "mode bin {mode} should be within the first ten seconds"
+        );
+        assert!(
+            h.overflow() > 0,
+            "some runs exceed the 1,000-second plot range"
+        );
         assert_eq!(h.total(), 100_000);
     }
 

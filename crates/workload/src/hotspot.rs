@@ -98,10 +98,7 @@ mod tests {
         assert_eq!(burst.len(), 40);
         assert!(!burst.is_empty());
         // Sorted by submission time and inside the window.
-        assert!(burst
-            .submissions
-            .windows(2)
-            .all(|w| w[0].0 <= w[1].0));
+        assert!(burst.submissions.windows(2).all(|w| w[0].0 <= w[1].0));
         assert!(burst
             .submissions
             .iter()
@@ -117,7 +114,11 @@ mod tests {
             .iter()
             .map(|(_, _, q)| PoolName::from_query(&q.decompose(4).remove(0)).full())
             .collect();
-        assert_eq!(names.len(), 1, "identical specs must hit one pool: {names:?}");
+        assert_eq!(
+            names.len(),
+            1,
+            "identical specs must hit one pool: {names:?}"
+        );
     }
 
     #[test]
@@ -137,8 +138,16 @@ mod tests {
     fn generation_is_deterministic_per_seed() {
         let a = HotspotBurst::generate(&ClassAssignment::spice_lab(15), &mut Rng::new(7));
         let b = HotspotBurst::generate(&ClassAssignment::spice_lab(15), &mut Rng::new(7));
-        let ta: Vec<_> = a.submissions.iter().map(|(t, l, _)| (*t, l.clone())).collect();
-        let tb: Vec<_> = b.submissions.iter().map(|(t, l, _)| (*t, l.clone())).collect();
+        let ta: Vec<_> = a
+            .submissions
+            .iter()
+            .map(|(t, l, _)| (*t, l.clone()))
+            .collect();
+        let tb: Vec<_> = b
+            .submissions
+            .iter()
+            .map(|(t, l, _)| (*t, l.clone()))
+            .collect();
         assert_eq!(ta, tb);
     }
 }

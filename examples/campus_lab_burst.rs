@@ -12,8 +12,8 @@
 
 use actyp_grid::{FleetSpec, SyntheticFleet};
 use actyp_pipeline::PipelineConfig;
-use actyp_punch::{NetworkDesktop, UserRegistry};
 use actyp_punch::users::User;
+use actyp_punch::{NetworkDesktop, UserRegistry};
 use actyp_simnet::Rng;
 use actyp_workload::{ClassAssignment, HotspotBurst};
 
@@ -27,8 +27,12 @@ fn main() {
     let mut users = UserRegistry::demo();
     for i in 0..60 {
         users.register(
-            User::new(&format!("student{i:03}"), "ece-students", "storage.purdue.edu")
-                .with_tools(["spice"]),
+            User::new(
+                &format!("student{i:03}"),
+                "ece-students",
+                "storage.purdue.edu",
+            )
+            .with_tools(["spice"]),
         );
     }
     let mut desktop = NetworkDesktop::with_users(db, PipelineConfig::default(), users);

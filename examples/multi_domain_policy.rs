@@ -51,7 +51,10 @@ fn main() {
             "punch.rsrc.arch = sun\npunch.user.login = guest\npunch.user.accessgroup = public\n",
         )
         .expect("an idle machine exists for the public user");
-    println!("public user scheduled on {} (an idle machine)", public[0].machine_name);
+    println!(
+        "public user scheduled on {} (an idle machine)",
+        public[0].machine_name
+    );
     engine.release(&public[0]).unwrap();
 
     // A user from a group the domain does not admit is rejected by every

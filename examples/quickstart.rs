@@ -47,7 +47,9 @@ punch.user.accessgroup = ece
 
     // 4. Submitting the same kind of query again reuses the dynamically
     //    created pool — the "active yellow pages" effect.
-    let again = engine.submit_text(query).expect("second allocation succeeds");
+    let again = engine
+        .submit_text(query)
+        .expect("second allocation succeeds");
     println!(
         "second query served by the same pool: {}",
         again[0].pool == allocation.pool

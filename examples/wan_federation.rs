@@ -29,8 +29,14 @@ fn main() {
         ..base
     })
     .run();
-    println!("simulated mean response, LAN configuration: {:.3} s", lan.mean_response());
-    println!("simulated mean response, WAN configuration: {:.3} s", wan.mean_response());
+    println!(
+        "simulated mean response, LAN configuration: {:.3} s",
+        lan.mean_response()
+    );
+    println!(
+        "simulated mean response, WAN configuration: {:.3} s",
+        wan.mean_response()
+    );
     println!(
         "WAN adds ≈{:.0} ms of unavoidable round-trip latency\n",
         (wan.mean_response() - lan.mean_response()) * 1e3
@@ -69,7 +75,9 @@ fn main() {
     println!(
         "composite query returned {} matches across domains: {:?}",
         both.len(),
-        both.iter().map(|a| a.machine_name.clone()).collect::<Vec<_>>()
+        both.iter()
+            .map(|a| a.machine_name.clone())
+            .collect::<Vec<_>>()
     );
     for a in &both {
         pipeline.release(a).expect("release succeeds");

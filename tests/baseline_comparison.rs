@@ -97,7 +97,10 @@ fn baselines_and_pipeline_agree_when_nothing_matches() {
     assert!(engine.submit(&impossible).is_err());
 
     let mut central = CentralScheduler::new(db.clone());
-    assert!(matches!(central.submit(basic.clone()), SubmitOutcome::Queued(_)));
+    assert!(matches!(
+        central.submit(basic.clone()),
+        SubmitOutcome::Queued(_)
+    ));
 
     let mut matchmaker = Matchmaker::new(db);
     assert!(matchmaker.negotiate(&basic).machine.is_none());

@@ -35,13 +35,18 @@ fn desktop_runs_complete_through_the_whole_stack() {
     assert_eq!(desktop.active_runs(), 0);
     assert_eq!(desktop.mounts().active(), 0);
     // Every allocation was released back to the pipeline.
-    assert_eq!(desktop.engine().stats().allocations, desktop.engine().stats().releases);
+    assert_eq!(
+        desktop.engine().stats().allocations,
+        desktop.engine().stats().releases
+    );
 }
 
 #[test]
 fn authorization_is_enforced_before_any_resources_are_touched() {
     let mut desktop = NetworkDesktop::new(fleet(100, 2), PipelineConfig::default());
-    let err = desktop.start_run("guest", "minimos devicesize=1").unwrap_err();
+    let err = desktop
+        .start_run("guest", "minimos devicesize=1")
+        .unwrap_err();
     assert!(matches!(err, RunError::Authorization(_)));
     assert_eq!(desktop.engine().stats().requests, 0);
     assert_eq!(desktop.mounts().active(), 0);

@@ -70,7 +70,11 @@ fn failures_after_pool_creation_shrink_the_usable_set_gracefully() {
         }
     }
     assert!(engine.submit_text(&sun_text()).is_ok());
-    assert_eq!(engine.pool_instances(), 1, "the original pool keeps serving");
+    assert_eq!(
+        engine.pool_instances(),
+        1,
+        "the original pool keeps serving"
+    );
 }
 
 #[test]
@@ -95,7 +99,9 @@ fn monitor_driven_failures_and_recoveries_are_respected() {
     // Allocations keep landing on the surviving machines only.
     if up > 0 {
         for _ in 0..up.min(5) {
-            let a = engine.submit_text(&sun_text()).expect("survivors can serve");
+            let a = engine
+                .submit_text(&sun_text())
+                .expect("survivors can serve");
             assert_eq!(db.read().get(a[0].machine).unwrap().state, MachineState::Up);
         }
     }
@@ -113,11 +119,16 @@ fn shadow_account_exhaustion_is_reported() {
         machine.num_cpus = 64;
     }
     let mut engine = Engine::new(PipelineConfig::default(), db);
-    let first = engine.submit_text(&sun_text()).expect("one account available");
+    let first = engine
+        .submit_text(&sun_text())
+        .expect("one account available");
     let err = engine.submit_text(&sun_text()).unwrap_err();
     assert_eq!(err, AllocationError::ShadowAccountsExhausted);
     engine.release(&first[0]).unwrap();
-    assert!(engine.submit_text(&sun_text()).is_ok(), "release frees the account");
+    assert!(
+        engine.submit_text(&sun_text()).is_ok(),
+        "release frees the account"
+    );
 }
 
 #[test]
@@ -154,7 +165,10 @@ fn ttl_exhaustion_is_reported_when_no_domain_can_serve() {
     // With TTL 1 the query dies after the first manager; with a larger TTL
     // it would exhaust the visited list and report NoSuchResources.
     assert!(
-        matches!(err, AllocationError::NoSuchResources | AllocationError::TtlExpired),
+        matches!(
+            err,
+            AllocationError::NoSuchResources | AllocationError::TtlExpired
+        ),
         "got {err:?}"
     );
     let err2 = Engine::federated(

@@ -3,8 +3,8 @@
 //! the `actyp-bench` binaries).
 
 use actyp_bench::{
-    ablation_pm_selection, ablation_scheduler, baseline_comparison, fig4_pools_lan,
-    fig5_pools_wan, fig6_pool_size, fig7_splitting, fig8_replication, fig9_cputime_dist, Scale,
+    ablation_pm_selection, ablation_scheduler, baseline_comparison, fig4_pools_lan, fig5_pools_wan,
+    fig6_pool_size, fig7_splitting, fig8_replication, fig9_cputime_dist, Scale,
 };
 
 fn scale() -> Scale {
@@ -108,6 +108,8 @@ fn ablations_and_baseline_comparison_run_at_reduced_scale() {
 
     let baseline = baseline_comparison(&s);
     let row = &baseline.rows[0].1;
-    assert!(row[0] < row[1] && row[0] < row[2],
-        "the pipeline must examine fewer machine records than the centralized baselines: {row:?}");
+    assert!(
+        row[0] < row[1] && row[0] < row[2],
+        "the pipeline must examine fewer machine records than the centralized baselines: {row:?}"
+    );
 }
