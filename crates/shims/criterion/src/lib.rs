@@ -1,0 +1,242 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this shim implements
+//! the subset of the criterion API the workspace's benches use: `Criterion`
+//! with builder-style configuration, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: after a warm-up phase the routine is
+//! timed over `sample_size` samples sized to fill `measurement_time`, and the
+//! per-iteration mean / min / max are printed.  There are no statistical
+//! comparisons with previous runs and no HTML reports — this is a smoke-grade
+//! harness that keeps `cargo bench` compiling and producing usable numbers.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value away (re-export of
+/// `std::hint::black_box`, which real criterion also uses on recent rustc).
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost.  The shim runs one setup per
+/// routine invocation regardless of the variant, which is the conservative
+/// (never-reuses-state) interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: criterion would batch many per allocation.
+    SmallInput,
+    /// Large inputs: criterion would batch few per allocation.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over this bencher's sample plan.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_count {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                std_black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            self.samples.push(elapsed / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// Benchmark driver mirroring criterion's builder API.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibration pass: one sample of one iteration, reused as warm-up.
+        let mut calibration = Vec::with_capacity(1);
+        f(&mut Bencher {
+            samples: &mut calibration,
+            sample_count: 1,
+            iters_per_sample: 1,
+        });
+        let per_iter = calibration
+            .first()
+            .copied()
+            .unwrap_or(Duration::from_nanos(1))
+            .max(Duration::from_nanos(1));
+
+        let warm_iters = duration_ratio(self.warm_up_time, per_iter).clamp(1, 1_000_000);
+        let mut warm = Vec::with_capacity(1);
+        f(&mut Bencher {
+            samples: &mut warm,
+            sample_count: 1,
+            iters_per_sample: warm_iters,
+        });
+
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = duration_ratio(budget_per_sample, per_iter).clamp(1, 10_000_000);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        f(&mut Bencher {
+            samples: &mut samples,
+            sample_count: self.sample_size,
+            iters_per_sample,
+        });
+
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} samples x {} iters)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            samples.len(),
+            iters_per_sample,
+        );
+        self
+    }
+}
+
+fn duration_ratio(total: Duration, per_iter: Duration) -> u64 {
+    (total.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions sharing one `Criterion` config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`); none apply here.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u64;
+        c.bench_function("shim/self_test", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn duration_formatting_covers_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(4)), "4.00 s");
+    }
+}
