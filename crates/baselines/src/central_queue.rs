@@ -124,22 +124,31 @@ impl CentralScheduler {
     /// dispatch the chosen machine's job count is bumped, exactly as the
     /// pipeline does, so the two architectures are load-comparable.
     pub fn submit(&mut self, query: BasicQuery) -> SubmitOutcome {
-        match self.try_dispatch(&query) {
-            Some((machine, examined)) => {
-                let mut guard = self.db.write();
-                if let Some(m) = guard.get_mut(machine) {
-                    m.dynamic.active_jobs += 1;
-                    m.dynamic.current_load += 1.0 / m.num_cpus.max(1) as f64;
-                }
-                self.dispatched += 1;
-                SubmitOutcome::Dispatched { machine, examined }
-            }
+        match self.try_submit(&query) {
+            Some((machine, examined)) => SubmitOutcome::Dispatched { machine, examined },
             None => {
                 let class = QueueClass::classify(query.expected_cpu_use());
                 self.queue_mut(class).push_back(query);
                 SubmitOutcome::Queued(class)
             }
         }
+    }
+
+    /// Dispatches a job if a machine fits right now; unlike
+    /// [`CentralScheduler::submit`], a job that does not fit is *not*
+    /// queued — callers that report failures to their client (the unified
+    /// `ResourceManager` surface) use this so rejected jobs cannot pile up
+    /// inside the scheduler.
+    pub fn try_submit(&mut self, query: &BasicQuery) -> Option<(MachineId, usize)> {
+        let (machine, examined) = self.try_dispatch(query)?;
+        let mut guard = self.db.write();
+        if let Some(m) = guard.get_mut(machine) {
+            m.dynamic.active_jobs += 1;
+            m.dynamic.current_load += 1.0 / m.num_cpus.max(1) as f64;
+        }
+        drop(guard);
+        self.dispatched += 1;
+        Some((machine, examined))
     }
 
     /// Marks a previously dispatched job as finished on `machine`.
@@ -160,17 +169,8 @@ impl CentralScheduler {
         for class in [QueueClass::Short, QueueClass::Medium, QueueClass::Long] {
             let mut remaining = VecDeque::new();
             while let Some(query) = self.queue_mut(class).pop_front() {
-                match self.try_dispatch(&query) {
-                    Some((machine, _)) => {
-                        let mut guard = self.db.write();
-                        if let Some(m) = guard.get_mut(machine) {
-                            m.dynamic.active_jobs += 1;
-                            m.dynamic.current_load += 1.0 / m.num_cpus.max(1) as f64;
-                        }
-                        drop(guard);
-                        self.dispatched += 1;
-                        dispatched += 1;
-                    }
+                match self.try_submit(&query) {
+                    Some(_) => dispatched += 1,
                     None => remaining.push_back(query),
                 }
             }
@@ -252,6 +252,26 @@ mod tests {
         }
         assert_eq!(scheduler.schedule_cycle(), 2);
         assert_eq!(scheduler.queued(), 0);
+    }
+
+    #[test]
+    fn try_submit_dispatches_without_queuing_failures() {
+        let database = db(5);
+        let mut scheduler = CentralScheduler::new(database.clone());
+        assert!(scheduler.try_submit(&job(10.0)).is_some());
+        assert_eq!(scheduler.dispatched(), 1);
+
+        // Saturate every machine: the job is rejected, not parked.
+        {
+            let mut guard = database.write();
+            let ids: Vec<_> = guard.iter().map(|m| m.id).collect();
+            for id in ids {
+                let m = guard.get_mut(id).unwrap();
+                m.dynamic.current_load = m.max_allowed_load + 1.0;
+            }
+        }
+        assert!(scheduler.try_submit(&job(10.0)).is_none());
+        assert_eq!(scheduler.queued(), 0, "try_submit never queues");
     }
 
     #[test]

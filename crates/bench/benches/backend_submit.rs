@@ -1,0 +1,104 @@
+//! `backend_submit`: the same submit → wait → release workload swept across
+//! all four backends — embedded engine, threaded live pipeline, centralized
+//! multi-queue scheduler and centralized matchmaker — through the unified
+//! `ResourceManager` API.  Because the client code is identical, the
+//! numbers isolate the architectural cost of each deployment; a second
+//! live-only benchmark shows what ticket-based pipelining buys over
+//! blocking round trips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use actyp_grid::{FleetSpec, SyntheticFleet};
+use actyp_pipeline::{BackendKind, PipelineBuilder, ResourceManager};
+use actyp_query::Query;
+
+fn fleet(machines: usize, seed: u64) -> actyp_grid::SharedDatabase {
+    SyntheticFleet::new(FleetSpec::with_machines(machines), seed)
+        .generate()
+        .into_shared()
+}
+
+/// One blocking round trip per iteration, identical client code on every
+/// backend.
+fn bench_backend_round_trip(c: &mut Criterion) {
+    let query = Query::paper_example();
+    for kind in BackendKind::ALL {
+        let manager = PipelineBuilder::new()
+            .database(fleet(800, 7))
+            .build(kind)
+            .unwrap();
+        // Warm up so the pipeline's pool exists (steady state is what the
+        // comparison is about; pool creation is a one-time cost).
+        let warm = manager.submit_wait(&query).unwrap();
+        for a in &warm {
+            manager.release(a).unwrap();
+        }
+        c.bench_function(&format!("backend_submit/{kind}"), |b| {
+            b.iter(|| {
+                let allocations = manager.submit_wait(black_box(&query)).unwrap();
+                for a in &allocations {
+                    manager.release(a).unwrap();
+                }
+            })
+        });
+        manager.shutdown().unwrap();
+    }
+}
+
+/// A batch of tickets in flight at once versus one-at-a-time blocking
+/// submission, on the live backend: the pipelining win the paper measures.
+fn bench_live_pipelining(c: &mut Criterion) {
+    const BATCH: usize = 8;
+    let query = Query::paper_example();
+    let pipeline = PipelineBuilder::new()
+        .database(fleet(800, 8))
+        .query_managers(2)
+        .pool_managers(2)
+        .window(BATCH)
+        .build_live()
+        .unwrap();
+    let warm = pipeline.submit_wait(&query).unwrap();
+    for a in &warm {
+        pipeline.release(a).unwrap();
+    }
+
+    c.bench_function("backend_submit/live_blocking_x8", |b| {
+        b.iter(|| {
+            for _ in 0..BATCH {
+                let allocations = pipeline.submit_wait(black_box(&query)).unwrap();
+                for a in &allocations {
+                    pipeline.release(a).unwrap();
+                }
+            }
+        })
+    });
+
+    c.bench_function("backend_submit/live_pipelined_x8", |b| {
+        b.iter(|| {
+            let queries = vec![query.clone(); BATCH];
+            let tickets = pipeline.submit_batch(black_box(queries)).unwrap();
+            for ticket in tickets {
+                let allocations = pipeline.wait(ticket).unwrap();
+                for a in &allocations {
+                    pipeline.release(a).unwrap();
+                }
+            }
+        })
+    });
+    pipeline.shutdown().unwrap();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = backend_submit;
+    config = config();
+    targets = bench_backend_round_trip, bench_live_pipelining
+}
+criterion_main!(backend_submit);

@@ -1,32 +1,36 @@
 //! End-to-end benchmarks: one embedded-pipeline scheduling decision, one
 //! live (threaded) pipeline round trip, and one small simulated experiment
 //! of each figure family.  These are the "does the whole system stay fast"
-//! guards; the figure binaries in `src/bin/` are the full sweeps.
+//! guards; the figure binaries in `src/bin/` are the full sweeps.  The
+//! deployments are driven through the unified `ResourceManager` surface.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use actyp_bench::{baseline_comparison, fig4_pools_lan, fig7_splitting, fig8_replication, Scale};
 use actyp_grid::{FleetSpec, SyntheticFleet};
-use actyp_pipeline::{Engine, LivePipeline, PipelineConfig};
+use actyp_pipeline::{BackendKind, PipelineBuilder};
 use actyp_query::Query;
 
 fn bench_engine_round_trip(c: &mut Criterion) {
     let db = SyntheticFleet::new(FleetSpec::with_machines(800), 5)
         .generate()
         .into_shared();
-    let mut engine = Engine::new(PipelineConfig::default(), db);
+    let manager = PipelineBuilder::new()
+        .database(db)
+        .build(BackendKind::Embedded)
+        .unwrap();
     let query = Query::paper_example();
     // Warm up so the pool exists (the steady-state cost is what matters).
-    let warm = engine.submit(&query).unwrap();
+    let warm = manager.submit_wait(&query).unwrap();
     for a in &warm {
-        engine.release(a).unwrap();
+        manager.release(a).unwrap();
     }
     c.bench_function("e2e/engine_submit_release_800", |b| {
         b.iter(|| {
-            let allocations = engine.submit(black_box(&query)).unwrap();
+            let allocations = manager.submit_wait(black_box(&query)).unwrap();
             for a in &allocations {
-                engine.release(a).unwrap();
+                manager.release(a).unwrap();
             }
         })
     });
@@ -36,28 +40,26 @@ fn bench_live_round_trip(c: &mut Criterion) {
     let db = SyntheticFleet::new(FleetSpec::with_machines(800), 6)
         .generate()
         .into_shared();
-    let pipeline = LivePipeline::start(
-        PipelineConfig {
-            query_managers: 2,
-            pool_managers: 2,
-            ..PipelineConfig::default()
-        },
-        db,
-    );
+    let pipeline = PipelineBuilder::new()
+        .database(db)
+        .query_managers(2)
+        .pool_managers(2)
+        .build(BackendKind::Live)
+        .unwrap();
     let query = Query::paper_example();
-    let warm = pipeline.submit(query.clone()).unwrap();
+    let warm = pipeline.submit_wait(&query).unwrap();
     for a in &warm {
         pipeline.release(a).unwrap();
     }
     c.bench_function("e2e/live_submit_release_800", |b| {
         b.iter(|| {
-            let allocations = pipeline.submit(black_box(query.clone())).unwrap();
+            let allocations = pipeline.submit_wait(black_box(&query)).unwrap();
             for a in &allocations {
                 pipeline.release(a).unwrap();
             }
         })
     });
-    pipeline.shutdown();
+    pipeline.shutdown().unwrap();
 }
 
 fn bench_figure_sweeps_quick(c: &mut Criterion) {

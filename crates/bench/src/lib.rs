@@ -10,10 +10,9 @@
 //! closed-loop clients).  [`Scale::quick`] shrinks everything so the same
 //! code can run in CI and in unit tests.
 
-use actyp_baselines::{CentralScheduler, Matchmaker, SubmitOutcome};
 use actyp_grid::{FleetSpec, SyntheticFleet};
 use actyp_pipeline::sim::{ExperimentConfig, PoolTopology, SimulatedPipeline};
-use actyp_pipeline::{Engine, PipelineConfig, SchedulingObjective};
+use actyp_pipeline::{BackendKind, PipelineBuilder, ResourceManager, SchedulingObjective};
 use actyp_query::{Constraint, Query, QueryKey};
 use actyp_simnet::{LinkProfile, NetworkModel, Rng};
 use actyp_workload::CpuTimeDistribution;
@@ -341,57 +340,36 @@ pub fn baseline_comparison(scale: &Scale) -> FigureSeries {
     let query = Query::new()
         .with(QueryKey::rsrc("arch"), Constraint::eq("sun"))
         .with(QueryKey::rsrc("memory"), Constraint::ge(128u64));
-    let basic = query.decompose(1).remove(0);
 
-    // Pipeline: queries hit the dynamically created sun pool.
-    let mut engine = Engine::new(PipelineConfig::default(), db.clone());
-    let mut pipeline_examined = 0u64;
-    for _ in 0..queries {
-        if let Ok(allocations) = engine.submit(&query) {
-            for a in &allocations {
-                pipeline_examined += a.examined as u64;
+    // All three architectures run the same workload over the same fleet
+    // through the unified `ResourceManager` surface; the pipeline's queries
+    // hit the dynamically created sun pool, the centralized designs scan
+    // the full table per decision.
+    let kinds = [
+        (BackendKind::Embedded, "actyp-pipeline"),
+        (BackendKind::CentralQueue, "central-queue"),
+        (BackendKind::Matchmaker, "matchmaker"),
+    ];
+    let mut examined = Vec::with_capacity(kinds.len());
+    for (kind, _) in kinds {
+        let manager = PipelineBuilder::new()
+            .database(db.clone())
+            .build(kind)
+            .expect("database configured");
+        for _ in 0..queries {
+            if let Ok(allocations) = manager.submit_wait(&query) {
+                for a in &allocations {
+                    let _ = manager.release(a);
+                }
             }
-            for a in &allocations {
-                let _ = engine.release(a);
-            }
         }
-    }
-
-    // Centralized multi-queue scheduler.
-    let mut central = CentralScheduler::new(db.clone());
-    let mut central_machines = Vec::new();
-    for _ in 0..queries {
-        if let SubmitOutcome::Dispatched { machine, .. } = central.submit(basic.clone()) {
-            central_machines.push(machine);
-        }
-    }
-    for m in central_machines {
-        central.finish(m);
-    }
-
-    // Centralized matchmaker.
-    let mut matchmaker = Matchmaker::new(db);
-    for _ in 0..queries {
-        if let Some(machine) = matchmaker.negotiate(&basic).machine {
-            matchmaker.release(machine);
-        }
+        examined.push(manager.stats().records_examined as f64);
     }
 
     FigureSeries {
         x_name: "queries".to_string(),
-        columns: vec![
-            "actyp-pipeline".to_string(),
-            "central-queue".to_string(),
-            "matchmaker".to_string(),
-        ],
-        rows: vec![(
-            queries as f64,
-            vec![
-                pipeline_examined as f64,
-                central.scanned_total() as f64,
-                matchmaker.evaluated_total() as f64,
-            ],
-        )],
+        columns: kinds.iter().map(|(_, label)| label.to_string()).collect(),
+        rows: vec![(queries as f64, examined)],
     }
 }
 
@@ -419,24 +397,22 @@ pub fn ablation_pm_selection(scale: &Scale) -> FigureSeries {
             )
             .generate()
             .into_shared();
-            let mut engine = Engine::new(
-                PipelineConfig {
-                    pool_managers: 4,
-                    pool_manager_selection: policy.clone(),
-                    ..PipelineConfig::default()
-                },
-                db,
-            );
+            let manager = PipelineBuilder::new()
+                .database(db)
+                .pool_managers(4)
+                .pool_manager_selection(policy.clone())
+                .build_embedded()
+                .expect("database configured");
             for i in 0..queries {
                 let arch = if i % 2 == 0 { "sun" } else { "hp" };
                 let q = Query::new().with(QueryKey::rsrc("arch"), Constraint::eq(arch));
-                if let Ok(allocations) = engine.submit(&q) {
+                if let Ok(allocations) = manager.submit_wait(&q) {
                     for a in &allocations {
-                        let _ = engine.release(a);
+                        let _ = manager.release(a);
                     }
                 }
             }
-            engine.stats().forwards as f64
+            manager.stats().forwards as f64
         })
         .collect();
     FigureSeries {

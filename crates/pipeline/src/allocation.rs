@@ -86,6 +86,9 @@ pub enum AllocationError {
     TtlExpired,
     /// The referenced allocation is unknown (double release, bad handle).
     UnknownAllocation,
+    /// The referenced ticket is unknown (already waited, or issued by a
+    /// different backend).
+    UnknownTicket,
     /// Internal failure (a stage died, a channel closed).
     Internal(String),
 }
@@ -111,6 +114,7 @@ impl fmt::Display for AllocationError {
                 write!(f, "request time-to-live expired during delegation")
             }
             AllocationError::UnknownAllocation => write!(f, "unknown allocation handle"),
+            AllocationError::UnknownTicket => write!(f, "unknown submission ticket"),
             AllocationError::Internal(m) => write!(f, "internal pipeline error: {m}"),
         }
     }

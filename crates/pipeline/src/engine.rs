@@ -9,11 +9,21 @@
 //! other managers, delegation with TTL and visited-list, allocation, and
 //! re-integration — as ordinary synchronous calls.
 //!
+//! All mutable stage state lives behind one internal lock, so every client
+//! method takes `&self` — exactly the same receiver as
+//! [`crate::live::LivePipeline`].  That symmetry is what lets the unified
+//! [`crate::api::ResourceManager`] surface treat the embedded and threaded
+//! deployments interchangeably; prefer that trait (via
+//! [`crate::api::PipelineBuilder`]) for new client code and treat the
+//! inherent `submit*` methods as legacy shims.
+//!
 //! The embedded engine is what the examples, the baselines comparison and
 //! the simulated experiments drive; [`crate::live`] puts the same stages on
 //! threads connected by channels to demonstrate the pipelined deployment.
 
 use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use actyp_grid::SharedDatabase;
 use actyp_query::{BasicQuery, Query, QuerySchema};
@@ -87,14 +97,20 @@ pub struct EngineStats {
     pub releases: u64,
 }
 
-/// The embedded pipeline.
-pub struct Engine {
-    config: PipelineConfig,
-    directory: SharedDirectory,
+/// The mutable interior of the embedded pipeline: every stage object plus
+/// the bookkeeping the control flow updates while routing a query.
+struct EngineCore {
     query_managers: Vec<QueryManager>,
     pool_managers: Vec<PoolManager>,
     qm_cursor: usize,
     stats: EngineStats,
+}
+
+/// The embedded pipeline.
+pub struct Engine {
+    config: PipelineConfig,
+    directory: SharedDirectory,
+    core: Mutex<EngineCore>,
 }
 
 impl Engine {
@@ -149,10 +165,12 @@ impl Engine {
         Engine {
             config,
             directory,
-            query_managers,
-            pool_managers,
-            qm_cursor: 0,
-            stats: EngineStats::default(),
+            core: Mutex::new(EngineCore {
+                query_managers,
+                pool_managers,
+                qm_cursor: 0,
+                stats: EngineStats::default(),
+            }),
         }
     }
 
@@ -161,23 +179,30 @@ impl Engine {
         &self.directory
     }
 
-    /// Lifetime statistics.
-    pub fn stats(&self) -> &EngineStats {
-        &self.stats
+    /// A snapshot of the lifetime statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.core.lock().stats.clone()
     }
 
     /// Names of the pool managers in the pipeline.
     pub fn pool_manager_names(&self) -> Vec<String> {
-        self.pool_managers
-            .iter()
-            .map(|pm| pm.name().to_string())
-            .collect()
+        self.core.lock().pool_manager_names()
     }
 
-    /// Mutable access to a pool manager by name (used by experiments that
-    /// pre-install pools).
-    pub fn pool_manager_mut(&mut self, name: &str) -> Option<&mut PoolManager> {
-        self.pool_managers.iter_mut().find(|pm| pm.name() == name)
+    /// Runs a closure with mutable access to a pool manager by name (used by
+    /// experiments that pre-install or destroy pools).
+    ///
+    /// The engine's internal lock is held while the closure runs: the
+    /// closure must not call back into this engine (`submit`, `release`,
+    /// `stats`, …), or it will deadlock.
+    pub fn with_pool_manager<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut PoolManager) -> R,
+    ) -> Option<R> {
+        let mut core = self.core.lock();
+        let index = core.pm_index(name)?;
+        Some(f(&mut core.pool_managers[index]))
     }
 
     /// Total number of pool instances across all managers.
@@ -185,40 +210,94 @@ impl Engine {
         self.directory.read().instance_count()
     }
 
-    fn pm_index(&self, name: &str) -> Option<usize> {
-        self.pool_managers.iter().position(|pm| pm.name() == name)
-    }
-
     /// Submits a query in the native text format.
-    pub fn submit_text(&mut self, text: &str) -> Result<Vec<Allocation>, AllocationError> {
-        let qm = self.qm_cursor % self.query_managers.len();
-        let query = self.query_managers[qm].translate_text(text)?;
+    ///
+    /// Legacy shim: prefer [`crate::api::ResourceManager::submit_text`]
+    /// through [`crate::api::PipelineBuilder`].
+    pub fn submit_text(&self, text: &str) -> Result<Vec<Allocation>, AllocationError> {
+        let query = {
+            let mut core = self.core.lock();
+            let qm = core.qm_cursor % core.query_managers.len();
+            core.query_managers[qm].translate_text(text)?
+        };
         self.submit(&query)
     }
 
     /// Submits a ClassAds requirements expression (interoperability path).
     pub fn submit_classad(
-        &mut self,
+        &self,
         expression: &str,
         login: Option<&str>,
         group: Option<&str>,
     ) -> Result<Vec<Allocation>, AllocationError> {
-        let qm = self.qm_cursor % self.query_managers.len();
-        let query = self.query_managers[qm].translate_classad(expression, login, group)?;
+        let query = {
+            let mut core = self.core.lock();
+            let qm = core.qm_cursor % core.query_managers.len();
+            core.query_managers[qm].translate_classad(expression, login, group)?
+        };
         self.submit(&query)
     }
 
     /// Submits an already-constructed query.  Returns the allocations the
     /// re-integration policy keeps (surplus matches are released
     /// internally).
-    pub fn submit(&mut self, query: &Query) -> Result<Vec<Allocation>, AllocationError> {
+    ///
+    /// Legacy shim: prefer [`crate::api::ResourceManager::submit`] through
+    /// [`crate::api::PipelineBuilder`].
+    pub fn submit(&self, query: &Query) -> Result<Vec<Allocation>, AllocationError> {
+        self.core
+            .lock()
+            .submit(&self.config, &self.directory, query)
+    }
+
+    /// Releases an allocation: the owning pool manager is found through the
+    /// directory and the machine's state is restored.
+    pub fn release(&self, allocation: &Allocation) -> Result<(), AllocationError> {
+        let manager = owning_manager(&self.directory, allocation);
+        self.core.lock().release(manager, allocation)
+    }
+}
+
+/// Looks up, through the directory, the pool manager hosting the instance an
+/// allocation came from (`None` when the instance is no longer registered —
+/// the release paths then fall back to scanning the managers).
+pub(crate) fn owning_manager(
+    directory: &SharedDirectory,
+    allocation: &Allocation,
+) -> Option<String> {
+    directory
+        .read()
+        .instances(&allocation.pool)
+        .into_iter()
+        .find(|r| r.instance == allocation.pool_instance)
+        .map(|r| r.manager)
+}
+
+impl EngineCore {
+    fn pool_manager_names(&self) -> Vec<String> {
+        self.pool_managers
+            .iter()
+            .map(|pm| pm.name().to_string())
+            .collect()
+    }
+
+    fn pm_index(&self, name: &str) -> Option<usize> {
+        self.pool_managers.iter().position(|pm| pm.name() == name)
+    }
+
+    fn submit(
+        &mut self,
+        config: &PipelineConfig,
+        directory: &SharedDirectory,
+        query: &Query,
+    ) -> Result<Vec<Allocation>, AllocationError> {
         self.stats.requests += 1;
         let qm_index = self.qm_cursor % self.query_managers.len();
         self.qm_cursor += 1;
 
         let prepared = self.query_managers[qm_index].prepare(query)?;
         let pm_names = self.pool_manager_names();
-        let hour = self.config.hour_of_day;
+        let hour = config.hour_of_day;
 
         let mut results = Vec::with_capacity(prepared.fragments.len());
         for (tag, basic) in &prepared.fragments {
@@ -226,7 +305,7 @@ impl Engine {
             let start = self.query_managers[qm_index]
                 .select_pool_manager(basic, &pm_names)
                 .ok_or_else(|| AllocationError::Internal("no pool managers".to_string()))?;
-            let result = self.route_fragment(tag.request, basic, &start, hour);
+            let result = self.route_fragment(config, tag.request, basic, &start, hour);
             match &result {
                 Ok(_) => self.stats.allocations += 1,
                 Err(_) => self.stats.failures += 1,
@@ -235,10 +314,12 @@ impl Engine {
         }
 
         let (keep, surplus) =
-            self.query_managers[qm_index].reintegrate(results, self.config.reintegration)?;
+            self.query_managers[qm_index].reintegrate(results, config.reintegration)?;
         for extra in surplus {
-            // Surplus matches from composite queries are handed back.
-            let _ = self.release(&extra);
+            // Surplus matches from composite queries are handed back to the
+            // hosting manager, found through the directory like any release.
+            let manager = owning_manager(directory, &extra);
+            let _ = self.release(manager, &extra);
             self.stats.allocations = self.stats.allocations.saturating_sub(1);
         }
         Ok(keep)
@@ -248,12 +329,13 @@ impl Engine {
     /// delegations until it is allocated or fails.
     fn route_fragment(
         &mut self,
+        config: &PipelineConfig,
         request: RequestId,
         basic: &BasicQuery,
         start: &str,
         hour: u8,
     ) -> Result<Allocation, AllocationError> {
-        let mut routing = RoutingState::new(self.config.ttl);
+        let mut routing = RoutingState::new(config.ttl);
         let mut current = start.to_string();
         loop {
             if !routing.visit(&current) {
@@ -295,16 +377,11 @@ impl Engine {
         }
     }
 
-    /// Releases an allocation: the owning pool manager is found through the
-    /// directory and the machine's state is restored.
-    pub fn release(&mut self, allocation: &Allocation) -> Result<(), AllocationError> {
-        let manager = self
-            .directory
-            .read()
-            .instances(&allocation.pool)
-            .into_iter()
-            .find(|r| r.instance == allocation.pool_instance)
-            .map(|r| r.manager);
+    fn release(
+        &mut self,
+        manager: Option<String>,
+        allocation: &Allocation,
+    ) -> Result<(), AllocationError> {
         // Fall back to scanning managers when the instance is no longer
         // registered (pool destroyed while allocations were outstanding).
         let index = manager
@@ -339,7 +416,7 @@ mod tests {
 
     #[test]
     fn end_to_end_allocation_from_text_query() {
-        let mut engine = Engine::new(PipelineConfig::default(), fleet_db(300, 1));
+        let engine = Engine::new(PipelineConfig::default(), fleet_db(300, 1));
         let allocations = engine.submit_text(&paper_text()).unwrap();
         assert_eq!(allocations.len(), 1);
         let a = &allocations[0];
@@ -354,7 +431,7 @@ mod tests {
 
     #[test]
     fn repeated_queries_reuse_the_dynamically_created_pool() {
-        let mut engine = Engine::new(PipelineConfig::default(), fleet_db(300, 2));
+        let engine = Engine::new(PipelineConfig::default(), fleet_db(300, 2));
         for _ in 0..10 {
             engine.submit_text(&paper_text()).unwrap();
         }
@@ -369,7 +446,7 @@ mod tests {
             ..PipelineConfig::default()
         };
         let db = fleet_db(400, 3);
-        let mut engine = Engine::new(config, db.clone());
+        let engine = Engine::new(config, db.clone());
         let text = "punch.rsrc.arch = sun | hp\npunch.user.accessgroup = ece\n";
         let allocations = engine.submit_text(text).unwrap();
         assert_eq!(allocations.len(), 1);
@@ -381,7 +458,7 @@ mod tests {
 
     #[test]
     fn composite_query_with_all_policy_returns_every_match() {
-        let mut engine = Engine::new(PipelineConfig::default(), fleet_db(400, 4));
+        let engine = Engine::new(PipelineConfig::default(), fleet_db(400, 4));
         let text = "punch.rsrc.arch = sun | hp\n";
         let allocations = engine.submit_text(text).unwrap();
         assert_eq!(allocations.len(), 2);
@@ -394,7 +471,7 @@ mod tests {
 
     #[test]
     fn impossible_queries_fail_cleanly() {
-        let mut engine = Engine::new(PipelineConfig::default(), fleet_db(100, 5));
+        let engine = Engine::new(PipelineConfig::default(), fleet_db(100, 5));
         let err = engine.submit_text("punch.rsrc.arch = cray\n").unwrap_err();
         assert_eq!(err, AllocationError::NoSuchResources);
         assert_eq!(engine.stats().failures, 1);
@@ -402,7 +479,7 @@ mod tests {
 
     #[test]
     fn parse_and_schema_errors_do_not_reach_pool_managers() {
-        let mut engine = Engine::new(PipelineConfig::default(), fleet_db(50, 6));
+        let engine = Engine::new(PipelineConfig::default(), fleet_db(50, 6));
         assert!(matches!(
             engine.submit_text("nonsense").unwrap_err(),
             AllocationError::Parse(_)
@@ -412,7 +489,7 @@ mod tests {
 
     #[test]
     fn classad_queries_are_interoperable() {
-        let mut engine = Engine::new(PipelineConfig::default(), fleet_db(300, 7));
+        let engine = Engine::new(PipelineConfig::default(), fleet_db(300, 7));
         let allocations = engine
             .submit_classad(
                 "Arch == \"SUN\" && Memory >= 128",
@@ -439,7 +516,7 @@ mod tests {
             pool_manager_selection: PoolManagerSelection::RoundRobin,
             ..PipelineConfig::default()
         };
-        let mut engine = Engine::federated(
+        let engine = Engine::federated(
             config,
             vec![("purdue".to_string(), sun_db), ("upc".to_string(), hp_db)],
         );
@@ -455,7 +532,7 @@ mod tests {
             ttl: 0,
             ..PipelineConfig::default()
         };
-        let mut engine = Engine::new(config, fleet_db(100, 10));
+        let engine = Engine::new(config, fleet_db(100, 10));
         let err = engine.submit_text(&paper_text()).unwrap_err();
         assert_eq!(err, AllocationError::TtlExpired);
     }
@@ -469,7 +546,7 @@ mod tests {
             pool_manager_selection: PoolManagerSelection::RoundRobin,
             ..PipelineConfig::default()
         };
-        let mut engine = Engine::new(config, fleet_db(300, 11));
+        let engine = Engine::new(config, fleet_db(300, 11));
         engine.submit_text(&paper_text()).unwrap();
         engine.submit_text(&paper_text()).unwrap();
         assert_eq!(engine.pool_instances(), 1);
@@ -479,7 +556,7 @@ mod tests {
 
     #[test]
     fn release_of_unknown_allocation_is_rejected() {
-        let mut engine = Engine::new(PipelineConfig::default(), fleet_db(100, 12));
+        let engine = Engine::new(PipelineConfig::default(), fleet_db(100, 12));
         let mut allocations = engine.submit_text(&paper_text()).unwrap();
         let mut fake = allocations.remove(0);
         engine.release(&fake).unwrap();
@@ -491,14 +568,14 @@ mod tests {
     #[test]
     fn empty_database_yields_no_such_resources() {
         let db = ResourceDatabase::new().into_shared();
-        let mut engine = Engine::new(PipelineConfig::default(), db);
+        let engine = Engine::new(PipelineConfig::default(), db);
         let err = engine.submit_text(&paper_text()).unwrap_err();
         assert_eq!(err, AllocationError::NoSuchResources);
     }
 
     #[test]
     fn many_concurrent_allocations_spread_over_machines() {
-        let mut engine = Engine::new(PipelineConfig::default(), fleet_db(200, 13));
+        let engine = Engine::new(PipelineConfig::default(), fleet_db(200, 13));
         let mut machines = std::collections::HashSet::new();
         let mut allocations = Vec::new();
         for _ in 0..50 {
@@ -524,7 +601,7 @@ mod tests {
             pool_manager_selection: PoolManagerSelection::ByKeyValue("arch".to_string()),
             ..PipelineConfig::default()
         };
-        let mut engine = Engine::new(config, fleet_db(300, 14));
+        let engine = Engine::new(config, fleet_db(300, 14));
         for _ in 0..6 {
             engine
                 .submit(&Query::new().with(QueryKey::rsrc("arch"), Constraint::eq("sun")))
@@ -534,5 +611,25 @@ mod tests {
         // instance exists and no forwards were needed.
         assert_eq!(engine.pool_instances(), 1);
         assert_eq!(engine.stats().forwards, 0);
+    }
+
+    #[test]
+    fn shared_references_submit_concurrently() {
+        // The whole client surface works on `&self`, so an engine can be
+        // shared across threads without an external lock.
+        let engine = std::sync::Arc::new(Engine::new(PipelineConfig::default(), fleet_db(300, 15)));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let engine = engine.clone();
+            joins.push(std::thread::spawn(move || {
+                let allocations = engine.submit_text(&paper_text()).unwrap();
+                engine.release(&allocations[0]).unwrap();
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(engine.stats().allocations, 4);
+        assert_eq!(engine.stats().releases, 4);
     }
 }

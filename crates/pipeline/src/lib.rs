@@ -32,8 +32,15 @@
 //! * [`sim`] — the discrete-event simulated deployment used to reproduce the
 //!   paper's controlled experiments (Figures 4–8), where stage service times
 //!   and LAN/WAN link latencies are modelled explicitly.
+//!
+//! Clients should not pick a deployment-specific entry point: the [`api`]
+//! module provides the unified [`api::ResourceManager`] surface — ticket
+//! based, pipelined, identical across the embedded engine, the threaded
+//! pipeline and the centralized baseline architectures — constructed
+//! through one [`api::PipelineBuilder`].
 
 pub mod allocation;
+pub mod api;
 pub mod directory;
 pub mod engine;
 pub mod live;
@@ -45,6 +52,7 @@ pub mod scheduler;
 pub mod sim;
 
 pub use allocation::{Allocation, AllocationError, SessionKey};
+pub use api::{BackendKind, PipelineBuilder, ResourceManager, StatsSnapshot, Ticket};
 pub use directory::{LocalDirectoryService, PoolInstanceRecord, SharedDirectory};
 pub use engine::{Engine, EngineStats, PipelineConfig};
 pub use live::LivePipeline;

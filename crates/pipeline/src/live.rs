@@ -9,27 +9,62 @@
 //! request while pool managers serve another and resource pools scan their
 //! caches for a third.
 //!
+//! Clients that want that pipelining from a single thread should use
+//! [`submit_async`](LivePipeline::submit_async) (or, preferably, the
+//! ticket-based [`crate::api::ResourceManager`] surface): it launches a
+//! query into the pipeline and returns immediately with a receiver for the
+//! eventual reply, so several queries can be in flight at once.
+//!
 //! The channel hop stands in for the TCP/UDP hop of the paper's deployment;
 //! the simulated deployment ([`crate::sim`]) is where wire latency is
 //! modelled explicitly.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 
 use actyp_grid::SharedDatabase;
 use actyp_query::{BasicQuery, Query, QuerySchema};
 
 use crate::allocation::{Allocation, AllocationError};
 use crate::directory::{LocalDirectoryService, SharedDirectory};
-use crate::engine::PipelineConfig;
+use crate::engine::{EngineStats, PipelineConfig};
 use crate::message::{RequestId, RequestIdGenerator, RoutingState};
 use crate::pool_manager::{HandleOutcome, PoolManager, PoolManagerConfig};
 use crate::query_manager::QueryManager;
 
 type AllocationReply = Sender<Result<Allocation, AllocationError>>;
+
+/// Per-stage counters shared by every worker thread; the live deployment's
+/// equivalent of [`EngineStats`].
+#[derive(Debug, Default)]
+struct LiveCounters {
+    requests: AtomicU64,
+    fragments: AtomicU64,
+    allocations: AtomicU64,
+    failures: AtomicU64,
+    delegations: AtomicU64,
+    forwards: AtomicU64,
+    releases: AtomicU64,
+}
+
+impl LiveCounters {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            fragments: self.fragments.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            delegations: self.delegations.load(Ordering::Relaxed),
+            forwards: self.forwards.load(Ordering::Relaxed),
+            releases: self.releases.load(Ordering::Relaxed),
+        }
+    }
+}
 
 enum QmMsg {
     Submit {
@@ -37,6 +72,10 @@ enum QmMsg {
         reply: Sender<Result<Vec<Allocation>, AllocationError>>,
     },
     Shutdown,
+    /// Test hook: makes the receiving worker panic so teardown reporting can
+    /// be exercised.
+    #[cfg(test)]
+    Panic,
 }
 
 enum PmMsg {
@@ -67,6 +106,7 @@ struct PmWorker {
     rx: Receiver<PmMsg>,
     peers: HashMap<String, Sender<PmMsg>>,
     peer_order: Vec<String>,
+    counters: Arc<LiveCounters>,
 }
 
 impl PmWorker {
@@ -113,6 +153,7 @@ impl PmWorker {
                             pool,
                             instance,
                         } => {
+                            self.counters.forwards.fetch_add(1, Ordering::Relaxed);
                             if manager == self.manager.name() {
                                 let result = self
                                     .manager
@@ -136,6 +177,7 @@ impl PmWorker {
                         HandleOutcome::CannotCreate => {
                             // Delegate to a peer that has not yet seen the
                             // query, carrying the routing state along.
+                            self.counters.delegations.fetch_add(1, Ordering::Relaxed);
                             let next = self
                                 .peer_order
                                 .iter()
@@ -173,6 +215,7 @@ struct QmWorker {
     pm_txs: HashMap<String, Sender<PmMsg>>,
     pm_names: Vec<String>,
     config: PipelineConfig,
+    counters: Arc<LiveCounters>,
 }
 
 impl QmWorker {
@@ -183,17 +226,21 @@ impl QmWorker {
                 QmMsg::Submit { query, reply } => {
                     let _ = reply.send(self.process(&query));
                 }
+                #[cfg(test)]
+                QmMsg::Panic => panic!("injected query-manager panic"),
             }
         }
     }
 
     fn process(&mut self, query: &Query) -> Result<Vec<Allocation>, AllocationError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let prepared = self.manager.prepare(query)?;
         let hour = self.config.hour_of_day;
 
         // Launch every fragment into the pipeline, then collect replies.
         let mut pending = Vec::with_capacity(prepared.fragments.len());
         for (tag, basic) in prepared.fragments {
+            self.counters.fragments.fetch_add(1, Ordering::Relaxed);
             let target = self
                 .manager
                 .select_pool_manager(&basic, &self.pm_names)
@@ -224,6 +271,12 @@ impl QmWorker {
                 })
             })
             .collect();
+        for result in &results {
+            match result {
+                Ok(_) => self.counters.allocations.fetch_add(1, Ordering::Relaxed),
+                Err(_) => self.counters.failures.fetch_add(1, Ordering::Relaxed),
+            };
+        }
 
         let (keep, surplus) = self
             .manager
@@ -240,6 +293,8 @@ impl QmWorker {
                     .is_ok()
                     && matches!(rx.recv(), Ok(Ok(())))
                 {
+                    self.counters.releases.fetch_add(1, Ordering::Relaxed);
+                    self.counters.allocations.fetch_sub(1, Ordering::Relaxed);
                     break;
                 }
             }
@@ -248,13 +303,22 @@ impl QmWorker {
     }
 }
 
+/// Stage threads by kind, so teardown can stop the stages in pipeline
+/// order (query managers first, then pool managers).
+#[derive(Default)]
+struct StageWorkers {
+    query_managers: Vec<JoinHandle<()>>,
+    pool_managers: Vec<JoinHandle<()>>,
+}
+
 /// A running, threaded deployment of the pipeline.
 pub struct LivePipeline {
     qm_tx: Sender<QmMsg>,
     pm_txs: HashMap<String, Sender<PmMsg>>,
     directory: SharedDirectory,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<StageWorkers>,
     query_managers: usize,
+    counters: Arc<LiveCounters>,
 }
 
 impl LivePipeline {
@@ -271,6 +335,7 @@ impl LivePipeline {
         assert!(!domains.is_empty(), "at least one domain is required");
         let directory: SharedDirectory = LocalDirectoryService::new().into_shared();
         let ids = Arc::new(RequestIdGenerator::new());
+        let counters = Arc::new(LiveCounters::default());
 
         // Pool-manager stages and their channels.
         let mut pm_txs: HashMap<String, Sender<PmMsg>> = HashMap::new();
@@ -282,7 +347,7 @@ impl LivePipeline {
             pm_rxs.push((name, db, rx));
         }
 
-        let mut workers = Vec::new();
+        let mut workers = StageWorkers::default();
         for (i, (name, db, rx)) in pm_rxs.into_iter().enumerate() {
             let manager = PoolManager::new(
                 name,
@@ -301,8 +366,11 @@ impl LivePipeline {
                 rx,
                 peers: pm_txs.clone(),
                 peer_order: pm_names.clone(),
+                counters: counters.clone(),
             };
-            workers.push(std::thread::spawn(move || worker.run()));
+            workers
+                .pool_managers
+                .push(std::thread::spawn(move || worker.run()));
         }
 
         // Query-manager stages share one submission channel (any idle stage
@@ -324,16 +392,20 @@ impl LivePipeline {
                 pm_txs: pm_txs.clone(),
                 pm_names: pm_names.clone(),
                 config: config.clone(),
+                counters: counters.clone(),
             };
-            workers.push(std::thread::spawn(move || worker.run()));
+            workers
+                .query_managers
+                .push(std::thread::spawn(move || worker.run()));
         }
 
         LivePipeline {
             qm_tx,
             pm_txs,
             directory,
-            workers,
+            workers: Mutex::new(workers),
             query_managers,
+            counters,
         }
     }
 
@@ -342,34 +414,52 @@ impl LivePipeline {
         &self.directory
     }
 
+    /// A snapshot of the per-stage counters, unified with the embedded
+    /// engine's [`EngineStats`].
+    pub fn stats(&self) -> EngineStats {
+        self.counters.snapshot()
+    }
+
     /// Submits a query in the native text format and waits for the reply.
     pub fn submit_text(&self, text: &str) -> Result<Vec<Allocation>, AllocationError> {
         let query =
             actyp_query::parse_query(text).map_err(|e| AllocationError::Parse(e.to_string()))?;
-        self.submit(query)
+        self.submit(&query)
     }
 
     /// Submits an already-built query and waits for the reply.
-    pub fn submit(&self, query: Query) -> Result<Vec<Allocation>, AllocationError> {
+    ///
+    /// Legacy shim: prefer [`crate::api::ResourceManager::submit`] through
+    /// [`crate::api::PipelineBuilder`], which keeps several queries in
+    /// flight instead of blocking on each.
+    pub fn submit(&self, query: &Query) -> Result<Vec<Allocation>, AllocationError> {
+        let rx = self.submit_async(query.clone())?;
+        rx.recv()
+            .map_err(|_| AllocationError::Internal("query manager dropped the reply".to_string()))?
+    }
+
+    /// Launches a query into the pipeline without waiting: the returned
+    /// receiver yields the reply when the pipeline finishes.  Several
+    /// launched queries overlap across the query-manager, pool-manager and
+    /// pool stages — this is the pipelining the paper measures, available to
+    /// a single client thread.
+    #[allow(clippy::type_complexity)]
+    pub fn submit_async(
+        &self,
+        query: Query,
+    ) -> Result<Receiver<Result<Vec<Allocation>, AllocationError>>, AllocationError> {
         let (tx, rx) = unbounded();
         self.qm_tx
             .send(QmMsg::Submit { query, reply: tx })
             .map_err(|_| AllocationError::Internal("query manager stage is down".to_string()))?;
-        rx.recv()
-            .map_err(|_| AllocationError::Internal("query manager dropped the reply".to_string()))?
+        Ok(rx)
     }
 
     /// Releases an allocation.
     pub fn release(&self, allocation: &Allocation) -> Result<(), AllocationError> {
         // Find the hosting manager through the directory; fall back to
         // asking every manager.
-        let manager = self
-            .directory
-            .read()
-            .instances(&allocation.pool)
-            .into_iter()
-            .find(|r| r.instance == allocation.pool_instance)
-            .map(|r| r.manager);
+        let manager = crate::engine::owning_manager(&self.directory, allocation);
         let order: Vec<&Sender<PmMsg>> = match manager.as_ref().and_then(|m| self.pm_txs.get(m)) {
             Some(tx) => vec![tx],
             None => self.pm_txs.values().collect(),
@@ -387,7 +477,10 @@ impl LivePipeline {
                 continue;
             }
             match rx.recv() {
-                Ok(Ok(())) => return Ok(()),
+                Ok(Ok(())) => {
+                    self.counters.releases.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
                 Ok(Err(e)) => last = Err(e),
                 Err(_) => last = Err(AllocationError::Internal("stage is down".to_string())),
             }
@@ -395,30 +488,69 @@ impl LivePipeline {
         last
     }
 
-    /// Shuts the deployment down, joining every stage thread.
-    pub fn shutdown(mut self) {
-        self.send_shutdown();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
+    /// Shuts the deployment down, joining every stage thread.  A worker that
+    /// panicked during the run is reported here instead of being silently
+    /// detached; the error lists every panicking stage.
+    ///
+    /// Teardown follows the pipeline order: the query-manager stages are
+    /// stopped and joined first, so every submission already queued is fully
+    /// processed (its fragments forwarded to the pool managers and their
+    /// replies awaited) before the pool-manager stages are stopped.
+    /// Outstanding [`submit_async`](LivePipeline::submit_async) receivers
+    /// therefore still yield their real outcome after shutdown.
+    pub fn shutdown(&self) -> Result<(), AllocationError> {
+        let mut panics = Vec::new();
 
-    fn send_shutdown(&self) {
+        // Phase 1: stop the query managers.  Each worker consumes its
+        // shutdown marker only after the submissions queued ahead of it.
         for _ in 0..self.query_managers {
             let _ = self.qm_tx.send(QmMsg::Shutdown);
         }
+        let qm_handles: Vec<JoinHandle<()>> =
+            self.workers.lock().query_managers.drain(..).collect();
+        Self::join_into(qm_handles, &mut panics);
+
+        // Phase 2: no new fragments can arrive now — stop the pool managers.
         for sender in self.pm_txs.values() {
             let _ = sender.send(PmMsg::Shutdown);
         }
+        let pm_handles: Vec<JoinHandle<()>> = self.workers.lock().pool_managers.drain(..).collect();
+        Self::join_into(pm_handles, &mut panics);
+
+        if panics.is_empty() {
+            Ok(())
+        } else {
+            Err(AllocationError::Internal(format!(
+                "stage worker panicked: {}",
+                panics.join("; ")
+            )))
+        }
+    }
+
+    fn join_into(handles: Vec<JoinHandle<()>>, panics: &mut Vec<String>) {
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                panics.push(panic_message(payload.as_ref()));
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
 impl Drop for LivePipeline {
     fn drop(&mut self) {
-        self.send_shutdown();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        // A leaked pipeline must not orphan its stage threads.  Errors are
+        // deliberately swallowed here — call `shutdown` to observe them.
+        let _ = self.shutdown();
     }
 }
 
@@ -446,7 +578,11 @@ mod tests {
         assert!(allocations[0].machine_name.contains("sun"));
         pipeline.release(&allocations[0]).unwrap();
         assert!(pipeline.release(&allocations[0]).is_err());
-        pipeline.shutdown();
+        let stats = pipeline.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.allocations, 1);
+        assert_eq!(stats.releases, 1);
+        pipeline.shutdown().unwrap();
     }
 
     #[test]
@@ -474,6 +610,7 @@ mod tests {
         }
         let total: usize = joins.into_iter().map(|j| j.join().unwrap()).sum();
         assert_eq!(total, 30);
+        assert_eq!(pipeline.stats().allocations, 30);
     }
 
     #[test]
@@ -492,7 +629,7 @@ mod tests {
         let outstanding: u32 = db.read().iter().map(|m| m.dynamic.active_jobs).sum();
         assert_eq!(outstanding, 1);
         pipeline.release(&allocations[0]).unwrap();
-        pipeline.shutdown();
+        pipeline.shutdown().unwrap();
     }
 
     #[test]
@@ -512,7 +649,7 @@ mod tests {
         let hp = pipeline.submit_text("punch.rsrc.arch = hp\n").unwrap();
         assert!(sun[0].machine_name.contains("sun"));
         assert!(hp[0].machine_name.contains("hp"));
-        pipeline.shutdown();
+        pipeline.shutdown().unwrap();
     }
 
     #[test]
@@ -522,7 +659,7 @@ mod tests {
             pipeline.submit_text("garbage").unwrap_err(),
             AllocationError::Parse(_)
         ));
-        pipeline.shutdown();
+        pipeline.shutdown().unwrap();
     }
 
     #[test]
@@ -530,5 +667,53 @@ mod tests {
         let pipeline = LivePipeline::start(PipelineConfig::default(), fleet_db(50, 8));
         let _ = pipeline.submit_text(&paper_text()).unwrap();
         drop(pipeline);
+    }
+
+    #[test]
+    fn async_submissions_overlap_in_the_pipeline() {
+        let config = PipelineConfig {
+            query_managers: 2,
+            ..PipelineConfig::default()
+        };
+        let pipeline = LivePipeline::start(config, fleet_db(300, 9));
+        let query = Query::paper_example();
+        // Three queries in flight before any reply is awaited.
+        let pending: Vec<_> = (0..3)
+            .map(|_| pipeline.submit_async(query.clone()).unwrap())
+            .collect();
+        for rx in pending {
+            let allocations = rx.recv().unwrap().unwrap();
+            pipeline.release(&allocations[0]).unwrap();
+        }
+        assert_eq!(pipeline.stats().allocations, 3);
+        pipeline.shutdown().unwrap();
+    }
+
+    #[test]
+    fn queued_submissions_complete_across_shutdown() {
+        // Shutdown stops the stages in pipeline order, so a submission that
+        // is still queued when shutdown begins is processed end to end and
+        // its receiver yields the real outcome.
+        let pipeline = LivePipeline::start(PipelineConfig::default(), fleet_db(200, 11));
+        let rx = pipeline.submit_async(Query::paper_example()).unwrap();
+        pipeline.shutdown().unwrap();
+        let allocations = rx.recv().unwrap().unwrap();
+        assert_eq!(allocations.len(), 1);
+    }
+
+    #[test]
+    fn worker_panics_surface_at_shutdown() {
+        let pipeline = LivePipeline::start(PipelineConfig::default(), fleet_db(50, 10));
+        pipeline.qm_tx.send(QmMsg::Panic).unwrap();
+        let err = pipeline.shutdown().unwrap_err();
+        match err {
+            AllocationError::Internal(message) => {
+                assert!(message.contains("panicked"), "got: {message}");
+                assert!(message.contains("injected query-manager panic"));
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // A second shutdown (and the eventual drop) is a clean no-op.
+        pipeline.shutdown().unwrap();
     }
 }

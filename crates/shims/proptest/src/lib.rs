@@ -2,7 +2,8 @@
 //!
 //! The build environment has no access to crates.io, so this shim implements
 //! the subset of the proptest API the workspace's property tests use: the
-//! [`Strategy`] trait with `prop_map`, tuple composition, integer-range and
+//! [`strategy::Strategy`] trait with `prop_map`, tuple composition,
+//! integer-range and
 //! sampling strategies, and the [`proptest!`] / `prop_assert*` macros.
 //!
 //! Differences from the real crate, by design:

@@ -27,20 +27,25 @@ mod tests {
     use super::*;
 
     /// The minimal end-to-end canary CI relies on: a fleet, one query, a
-    /// non-empty allocation, and a clean release.
+    /// non-empty allocation, and a clean release — through the unified
+    /// `ResourceManager` surface.
     #[test]
     fn workspace_smoke_query_through_engine() {
-        use actyp_pipeline::{Engine, PipelineConfig};
+        use actyp_pipeline::{BackendKind, PipelineBuilder};
         use actyp_query::Query;
 
         let db = demo_fleet(200, 42);
-        let mut engine = Engine::new(PipelineConfig::default(), db);
-        let allocations = engine.submit(&Query::paper_example()).unwrap();
+        let manager = PipelineBuilder::new()
+            .database(db)
+            .build(BackendKind::Embedded)
+            .unwrap();
+        let allocations = manager.submit_wait(&Query::paper_example()).unwrap();
         assert!(!allocations.is_empty(), "query must allocate a machine");
         assert!(allocations[0].machine_name.contains("sun"));
         for allocation in &allocations {
-            engine.release(allocation).unwrap();
+            manager.release(allocation).unwrap();
         }
+        manager.shutdown().unwrap();
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! ```
 
 use actyp_grid::{FleetSpec, SyntheticFleet, UsagePolicy};
-use actyp_pipeline::{AllocationError, Engine, PipelineConfig};
+use actyp_pipeline::{AllocationError, BackendKind, PipelineBuilder};
 
 fn main() {
     // One domain whose machines are open to the `ece` group only, and whose
@@ -31,11 +31,14 @@ fn main() {
         }
     }
 
-    let mut engine = Engine::new(PipelineConfig::default(), db);
+    let manager = PipelineBuilder::new()
+        .database(db)
+        .build(BackendKind::Embedded)
+        .expect("a database was configured");
 
     // An ece user is admitted everywhere.
-    let ece = engine
-        .submit_text(
+    let ece = manager
+        .submit_text_wait(
             "punch.rsrc.arch = sun\npunch.user.login = kapadia\npunch.user.accessgroup = ece\n",
         )
         .expect("ece user is admitted");
@@ -43,11 +46,11 @@ fn main() {
         "ece user scheduled on {} (load-based policy does not apply to ece)",
         ece[0].machine_name
     );
-    engine.release(&ece[0]).unwrap();
+    manager.release(&ece[0]).unwrap();
 
     // A public user is only admitted to idle machines.
-    let public = engine
-        .submit_text(
+    let public = manager
+        .submit_text_wait(
             "punch.rsrc.arch = sun\npunch.user.login = guest\npunch.user.accessgroup = public\n",
         )
         .expect("an idle machine exists for the public user");
@@ -55,11 +58,11 @@ fn main() {
         "public user scheduled on {} (an idle machine)",
         public[0].machine_name
     );
-    engine.release(&public[0]).unwrap();
+    manager.release(&public[0]).unwrap();
 
     // A user from a group the domain does not admit is rejected by every
     // machine, so the allocation fails even though machines are free.
-    let outsider = engine.submit_text(
+    let outsider = manager.submit_text_wait(
         "punch.rsrc.arch = sun\npunch.user.login = mallory\npunch.user.accessgroup = physics\n",
     );
     match outsider {
@@ -69,5 +72,5 @@ fn main() {
         other => println!("unexpected outcome for the outsider: {other:?}"),
     }
 
-    println!("engine stats: {:?}", engine.stats());
+    println!("stats: {:?}", manager.stats());
 }

@@ -1,12 +1,13 @@
 //! Quickstart: stand up an active yellow pages pipeline over a synthetic
-//! fleet, submit the paper's example query, and release the allocation.
+//! fleet through the unified `ResourceManager` API, submit the paper's
+//! example query, and release the allocation.
 //!
 //! ```text
 //! cargo run -p actyp-suite --example quickstart
 //! ```
 
 use actyp_grid::{FleetSpec, SyntheticFleet};
-use actyp_pipeline::{Engine, PipelineConfig};
+use actyp_pipeline::{BackendKind, PipelineBuilder};
 
 fn main() {
     // 1. A resource database of 500 machines (the "white pages").
@@ -15,9 +16,13 @@ fn main() {
         .into_shared();
     println!("white pages: {} machines registered", db.read().len());
 
-    // 2. The resource-management pipeline: query managers, pool managers,
-    //    and pools created on demand.
-    let mut engine = Engine::new(PipelineConfig::default(), db);
+    // 2. The resource-management pipeline behind the one client surface.
+    //    Swap `Embedded` for `Live`, `CentralQueue` or `Matchmaker` to run
+    //    the same client code against a different architecture.
+    let manager = PipelineBuilder::new()
+        .database(db)
+        .build(BackendKind::Embedded)
+        .expect("a database was configured");
 
     // 3. The paper's example query, in the native key/value language.
     let query = "\
@@ -30,7 +35,8 @@ punch.user.accessgroup = ece
 ";
     println!("submitting query:\n{query}");
 
-    let allocations = engine.submit_text(query).expect("allocation succeeds");
+    let ticket = manager.submit_text(query).expect("query parses");
+    let allocations = manager.wait(ticket).expect("allocation succeeds");
     let allocation = &allocations[0];
     println!(
         "allocated {} (execution unit port {}, mount manager port {})",
@@ -40,15 +46,11 @@ punch.user.accessgroup = ece
         "session key {}; served by pool `{}` after examining {} machines",
         allocation.access_key, allocation.pool, allocation.examined
     );
-    println!(
-        "pools now registered in the directory: {}",
-        engine.pool_instances()
-    );
 
     // 4. Submitting the same kind of query again reuses the dynamically
     //    created pool — the "active yellow pages" effect.
-    let again = engine
-        .submit_text(query)
+    let again = manager
+        .submit_text_wait(query)
         .expect("second allocation succeeds");
     println!(
         "second query served by the same pool: {}",
@@ -58,7 +60,8 @@ punch.user.accessgroup = ece
     // 5. Release everything (event 6 of Figure 1: the desktop relinquishes
     //    the shadow account and resources).
     for a in again.iter().chain(allocations.iter()) {
-        engine.release(a).expect("release succeeds");
+        manager.release(a).expect("release succeeds");
     }
-    println!("released; engine stats: {:?}", engine.stats());
+    println!("released; stats: {:?}", manager.stats());
+    manager.shutdown().expect("clean teardown");
 }

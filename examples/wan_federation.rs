@@ -1,7 +1,10 @@
 //! Wide-area federation: reproduce the paper's WAN experiment setting in
 //! miniature — clients at one site, parts of the ActYP service at another —
 //! and show both what the simulation measures (Figure 5's latency floor) and
-//! how the live pipeline delegates queries between the two domains.
+//! how the live pipeline delegates queries between the two domains.  The
+//! live deployment is driven through the unified `ResourceManager` API with
+//! ticket-based submission, so the two cross-domain queries are in flight
+//! simultaneously.
 //!
 //! ```text
 //! cargo run -p actyp-suite --example wan_federation
@@ -9,7 +12,7 @@
 
 use actyp_grid::{FleetSpec, SyntheticFleet};
 use actyp_pipeline::sim::{ExperimentConfig, PoolTopology, SimulatedPipeline};
-use actyp_pipeline::{LivePipeline, PipelineConfig};
+use actyp_pipeline::{PipelineBuilder, ResourceManager};
 use actyp_simnet::{LinkProfile, NetworkModel};
 
 fn main() {
@@ -51,14 +54,26 @@ fn main() {
     let upc = SyntheticFleet::new(FleetSpec::homogeneous(120, "hp", 512), 2)
         .generate()
         .into_shared();
-    let pipeline = LivePipeline::start_federated(
-        PipelineConfig::default(),
-        vec![("purdue".to_string(), purdue), ("upc".to_string(), upc)],
-    );
+    let pipeline = PipelineBuilder::new()
+        .federated(vec![
+            ("purdue".to_string(), purdue),
+            ("upc".to_string(), upc),
+        ])
+        .window(8)
+        .build_live()
+        .expect("domains were configured");
 
-    for arch in ["sun", "hp"] {
+    // Both queries are launched before either reply is awaited — the
+    // pipelining the paper measures, from one client thread.
+    let sun_ticket = pipeline
+        .submit_text("punch.rsrc.arch = sun\n")
+        .expect("sun query parses");
+    let hp_ticket = pipeline
+        .submit_text("punch.rsrc.arch = hp\n")
+        .expect("hp query parses");
+    for (arch, ticket) in [("sun", sun_ticket), ("hp", hp_ticket)] {
         let allocations = pipeline
-            .submit_text(&format!("punch.rsrc.arch = {arch}\n"))
+            .wait(ticket)
             .expect("federated allocation succeeds");
         println!(
             "query for `{arch}` satisfied by {} (pool `{}`)",
@@ -70,7 +85,7 @@ fn main() {
     // A composite query spanning both domains is decomposed, served at each
     // site, and re-integrated.
     let both = pipeline
-        .submit_text("punch.rsrc.arch = sun | hp\n")
+        .submit_text_wait("punch.rsrc.arch = sun | hp\n")
         .expect("composite allocation succeeds");
     println!(
         "composite query returned {} matches across domains: {:?}",
@@ -82,5 +97,6 @@ fn main() {
     for a in &both {
         pipeline.release(a).expect("release succeeds");
     }
-    pipeline.shutdown();
+    println!("stats: {:?}", pipeline.stats());
+    pipeline.shutdown().expect("clean teardown");
 }

@@ -1,11 +1,11 @@
 //! Integration test: the ActYP pipeline and the centralized baselines make
 //! equivalent *placement* decisions on the same fleet and query language,
 //! while differing in the amount of work per decision — the architectural
-//! contrast Section 8 of the paper draws qualitatively.
+//! contrast Section 8 of the paper draws qualitatively.  All three
+//! architectures are driven through the unified [`ResourceManager`] trait.
 
-use actyp_baselines::{CentralScheduler, Matchmaker, SubmitOutcome};
 use actyp_grid::{FleetSpec, SyntheticFleet};
-use actyp_pipeline::{Engine, PipelineConfig};
+use actyp_pipeline::{BackendKind, PipelineBuilder};
 use actyp_query::{Constraint, Query, QueryKey};
 
 fn fleet(machines: usize, seed: u64) -> actyp_grid::SharedDatabase {
@@ -21,87 +21,80 @@ fn sun_query() -> Query {
         .with(QueryKey::user("accessgroup"), Constraint::eq("ece"))
 }
 
+const COMPARED: [BackendKind; 3] = [
+    BackendKind::Embedded,
+    BackendKind::CentralQueue,
+    BackendKind::Matchmaker,
+];
+
 #[test]
 fn all_three_architectures_satisfy_the_same_constraints() {
     let db = fleet(300, 1);
     let query = sun_query();
-    let basic = query.decompose(1).remove(0);
 
-    let mut engine = Engine::new(PipelineConfig::default(), db.clone());
-    let pipeline_machine = engine.submit(&query).unwrap().remove(0).machine;
-
-    let mut central = CentralScheduler::new(db.clone());
-    let central_machine = match central.submit(basic.clone()) {
-        SubmitOutcome::Dispatched { machine, .. } => machine,
-        other => panic!("expected dispatch, got {other:?}"),
-    };
-
-    let mut matchmaker = Matchmaker::new(db.clone());
-    let mm_machine = matchmaker.negotiate(&basic).machine.unwrap();
-
-    let guard = db.read();
-    for machine in [pipeline_machine, central_machine, mm_machine] {
+    for kind in COMPARED {
+        let manager = PipelineBuilder::new()
+            .database(db.clone())
+            .build(kind)
+            .unwrap();
+        let machine = manager.submit_wait(&query).unwrap().remove(0).machine;
+        let guard = db.read();
         let record = guard.get(machine).unwrap();
-        assert!(record.attribute("arch").unwrap().contains("sun"));
-        assert!(record.attribute("memory").unwrap().as_num().unwrap() >= 128.0);
+        assert!(record.attribute("arch").unwrap().contains("sun"), "{kind}");
+        assert!(
+            record.attribute("memory").unwrap().as_num().unwrap() >= 128.0,
+            "{kind}"
+        );
     }
 }
 
 #[test]
 fn pipeline_amortises_matching_work_through_pools() {
-    let db = fleet(1_000, 2);
-    let query = sun_query();
-    let basic = query.decompose(1).remove(0);
     let queries = 50;
+    let mut examined = std::collections::HashMap::new();
 
-    let mut engine = Engine::new(PipelineConfig::default(), db.clone());
-    let mut pipeline_examined = 0usize;
-    for _ in 0..queries {
-        let allocations = engine.submit(&query).unwrap();
-        pipeline_examined += allocations[0].examined;
-        engine.release(&allocations[0]).unwrap();
-    }
-
-    let mut central = CentralScheduler::new(db.clone());
-    for _ in 0..queries {
-        if let SubmitOutcome::Dispatched { machine, .. } = central.submit(basic.clone()) {
-            central.finish(machine);
+    for kind in COMPARED {
+        // A fresh fleet per backend so load states are identical.
+        let manager = PipelineBuilder::new()
+            .database(fleet(1_000, 2))
+            .build(kind)
+            .unwrap();
+        for _ in 0..queries {
+            let allocations = manager.submit_wait(&sun_query()).unwrap();
+            for a in &allocations {
+                manager.release(a).unwrap();
+            }
         }
-    }
-
-    let mut matchmaker = Matchmaker::new(db);
-    for _ in 0..queries {
-        if let Some(machine) = matchmaker.negotiate(&basic).machine {
-            matchmaker.release(machine);
-        }
+        examined.insert(kind, manager.stats().records_examined);
+        manager.shutdown().unwrap();
     }
 
     // Pools only scan the machines that satisfy the aggregation criteria;
     // the centralized designs scan the full table for every decision.
+    let pipeline = examined[&BackendKind::Embedded];
+    let central = examined[&BackendKind::CentralQueue];
+    let matchmaker = examined[&BackendKind::Matchmaker];
     assert!(
-        (pipeline_examined as u64) < central.scanned_total(),
-        "pipeline examined {pipeline_examined}, central scanned {}",
-        central.scanned_total()
+        pipeline < central,
+        "pipeline examined {pipeline}, central scanned {central}"
     );
-    assert!((pipeline_examined as u64) < matchmaker.evaluated_total());
-    assert_eq!(central.scanned_total(), matchmaker.evaluated_total());
+    assert!(pipeline < matchmaker);
+    assert_eq!(central, matchmaker);
 }
 
 #[test]
 fn baselines_and_pipeline_agree_when_nothing_matches() {
     let db = fleet(100, 3);
     let impossible = Query::new().with(QueryKey::rsrc("arch"), Constraint::eq("cray"));
-    let basic = impossible.decompose(1).remove(0);
 
-    let mut engine = Engine::new(PipelineConfig::default(), db.clone());
-    assert!(engine.submit(&impossible).is_err());
-
-    let mut central = CentralScheduler::new(db.clone());
-    assert!(matches!(
-        central.submit(basic.clone()),
-        SubmitOutcome::Queued(_)
-    ));
-
-    let mut matchmaker = Matchmaker::new(db);
-    assert!(matchmaker.negotiate(&basic).machine.is_none());
+    for kind in COMPARED {
+        let manager = PipelineBuilder::new()
+            .database(db.clone())
+            .build(kind)
+            .unwrap();
+        assert!(manager.submit_wait(&impossible).is_err(), "{kind}");
+        let stats = manager.stats();
+        assert_eq!(stats.failures, 1, "{kind}");
+        assert_eq!(stats.allocations, 0, "{kind}");
+    }
 }

@@ -1,11 +1,12 @@
 //! Property-based tests over cross-crate invariants: query round-tripping,
-//! pool-name stability, decomposition/reintegration, scheduling validity and
-//! allocation/release conservation.
+//! pool-name stability, decomposition/reintegration, scheduling validity,
+//! allocation/release conservation, and the delegation routing-state
+//! invariants (TTL monotonicity, visited-list, termination).
 
 use proptest::prelude::*;
 
 use actyp_grid::{FleetSpec, SyntheticFleet};
-use actyp_pipeline::{Engine, PipelineConfig};
+use actyp_pipeline::{PipelineBuilder, ResourceManager, RoutingState};
 use actyp_query::{parse_query, Constraint, PoolName, Query, QueryKey};
 
 /// Strategy for a valid `rsrc` constraint set.
@@ -15,6 +16,19 @@ fn arch_strategy() -> impl Strategy<Value = &'static str> {
 
 fn memory_strategy() -> impl Strategy<Value = u64> {
     prop::sample::select(vec![16u64, 64, 128, 256, 512, 1024])
+}
+
+fn manager_names_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(
+        prop::sample::select(vec![0usize, 1, 2, 3, 4, 5, 6, 7]),
+        1..8,
+    )
+    .prop_map(|indices| {
+        let mut names: Vec<String> = indices.iter().map(|i| format!("pm-{i}")).collect();
+        names.sort();
+        names.dedup();
+        names
+    })
 }
 
 fn query_strategy() -> impl Strategy<Value = Query> {
@@ -92,8 +106,11 @@ proptest! {
             .generate()
             .into_shared();
         let jobs_before: u32 = db.read().iter().map(|m| m.dynamic.active_jobs).sum();
-        let mut engine = Engine::new(PipelineConfig::default(), db.clone());
-        match engine.submit(&query) {
+        let manager = PipelineBuilder::new()
+            .database(db.clone())
+            .build_embedded()
+            .unwrap();
+        match manager.submit_wait(&query) {
             Ok(allocations) => {
                 {
                     let guard = db.read();
@@ -116,7 +133,7 @@ proptest! {
                     }
                 }
                 for a in &allocations {
-                    prop_assert!(engine.release(a).is_ok());
+                    prop_assert!(manager.release(a).is_ok());
                 }
                 let jobs_after: u32 = db.read().iter().map(|m| m.dynamic.active_jobs).sum();
                 prop_assert_eq!(jobs_before, jobs_after);
@@ -151,5 +168,76 @@ proptest! {
         } else {
             prop_assert_ne!(&pa.identifier, &pb.identifier);
         }
+    }
+
+    /// The TTL carried with a query strictly decreases on every visit, so a
+    /// delegated query can never live longer than its initial TTL.
+    #[test]
+    fn routing_ttl_strictly_decreases(
+        ttl in 1u32..32,
+        managers in manager_names_strategy()
+    ) {
+        let mut routing = RoutingState::new(ttl);
+        let mut previous = routing.ttl;
+        for manager in &managers {
+            if !routing.visit(manager) {
+                prop_assert_eq!(routing.ttl, 0, "visit only fails when the TTL is spent");
+                break;
+            }
+            prop_assert!(routing.ttl < previous, "TTL must strictly decrease");
+            previous = routing.ttl;
+        }
+    }
+
+    /// The visited list never records the same pool manager twice, however
+    /// often the query returns to it.
+    #[test]
+    fn routing_visited_list_never_revisits(
+        ttl in 1u32..32,
+        managers in prop::collection::vec(prop::sample::select(vec!["pm-a", "pm-b", "pm-c"]), 1..16)
+    ) {
+        let mut routing = RoutingState::new(ttl);
+        for manager in &managers {
+            if !routing.visit(manager) {
+                break;
+            }
+            prop_assert!(routing.has_visited(manager));
+        }
+        let mut unique = routing.visited.clone();
+        unique.sort();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), routing.visited.len(), "no duplicates");
+    }
+
+    /// Delegation as the pool managers perform it — always pick a manager
+    /// that has not yet seen the query, while the routing state stays alive
+    /// — terminates within `ttl` hops and visits every manager at most
+    /// once.
+    #[test]
+    fn routing_delegation_terminates_within_ttl(
+        ttl in 1u32..16,
+        managers in manager_names_strategy()
+    ) {
+        let mut routing = RoutingState::new(ttl);
+        let mut hops = 0u32;
+        let mut current = managers[0].clone();
+        loop {
+            if !routing.visit(&current) {
+                break; // TTL expired
+            }
+            hops += 1;
+            prop_assert!(hops <= ttl, "a query cannot outlive its TTL");
+            // The delegation rule of the pool-manager stage: next unvisited.
+            let next = managers.iter().find(|name| !routing.has_visited(name));
+            match next {
+                Some(name) if routing.alive() => current = name.clone(),
+                _ => break, // every manager seen, or TTL exhausted
+            }
+        }
+        prop_assert!(hops <= ttl);
+        prop_assert!(
+            routing.visited.len() as u32 <= ttl.min(managers.len() as u32),
+            "at most one visit per manager, bounded by the TTL"
+        );
     }
 }

@@ -1,9 +1,14 @@
 //! Integration test: the full PUNCH flow (desktop → application management →
-//! ActYP pipeline → allocation → release) and the live threaded deployment,
-//! exercised across crates exactly as the examples do.
+//! ActYP pipeline → allocation → release) and the live threaded deployment.
+//! Every backend is driven through the unified [`ResourceManager`] surface,
+//! exactly as the examples do.
+
+use std::sync::Arc;
 
 use actyp_grid::{FleetSpec, SyntheticFleet};
-use actyp_pipeline::{LivePipeline, PipelineConfig, PoolManagerSelection};
+use actyp_pipeline::{
+    BackendKind, PipelineBuilder, PipelineConfig, PoolManagerSelection, ResourceManager,
+};
 use actyp_punch::{NetworkDesktop, RunError};
 use actyp_query::Query;
 
@@ -54,13 +59,15 @@ fn authorization_is_enforced_before_any_resources_are_touched() {
 
 #[test]
 fn live_pipeline_handles_a_burst_of_concurrent_clients() {
-    let config = PipelineConfig {
-        query_managers: 2,
-        pool_managers: 2,
-        pool_manager_selection: PoolManagerSelection::RoundRobin,
-        ..PipelineConfig::default()
-    };
-    let pipeline = std::sync::Arc::new(LivePipeline::start(config, fleet(600, 3)));
+    let pipeline = Arc::new(
+        PipelineBuilder::new()
+            .database(fleet(600, 3))
+            .query_managers(2)
+            .pool_managers(2)
+            .pool_manager_selection(PoolManagerSelection::RoundRobin)
+            .build_live()
+            .unwrap(),
+    );
     let text = Query::paper_example().to_string();
 
     let mut joins = Vec::new();
@@ -70,7 +77,9 @@ fn live_pipeline_handles_a_burst_of_concurrent_clients() {
         joins.push(std::thread::spawn(move || {
             let mut count = 0;
             for _ in 0..10 {
-                let allocations = pipeline.submit_text(&text).expect("allocation succeeds");
+                let allocations = pipeline
+                    .submit_text_wait(&text)
+                    .expect("allocation succeeds");
                 assert_eq!(allocations.len(), 1);
                 assert!(allocations[0].machine_name.contains("sun"));
                 pipeline.release(&allocations[0]).expect("release succeeds");
@@ -81,27 +90,61 @@ fn live_pipeline_handles_a_burst_of_concurrent_clients() {
     }
     let total: usize = joins.into_iter().map(|j| j.join().unwrap()).sum();
     assert_eq!(total, 80);
+    assert_eq!(pipeline.stats().allocations, 80);
 
     // Temporal locality: the 80 identical queries created exactly one pool.
-    assert_eq!(pipeline.directory().read().instance_count(), 1);
+    assert_eq!(pipeline.pipeline().directory().read().instance_count(), 1);
+    pipeline.shutdown().unwrap();
+}
+
+#[test]
+fn single_client_keeps_several_tickets_in_flight() {
+    // The pipelining the paper measures, from one client thread: tickets
+    // are submitted before any earlier ticket is waited on, so the queries
+    // overlap across the query-manager, pool-manager and pool stages.
+    let pipeline = PipelineBuilder::new()
+        .database(fleet(400, 5))
+        .query_managers(2)
+        .window(8)
+        .build_live()
+        .unwrap();
+    let query = Query::paper_example();
+
+    let first = pipeline.submit(query.clone()).unwrap();
+    let second = pipeline.submit(query.clone()).unwrap();
+    let third = pipeline.submit(query).unwrap();
+    // Three tickets submitted, none redeemed: all three are in flight.
+    assert!(pipeline.stats().in_flight >= 2);
+
+    for ticket in [first, second, third] {
+        let allocations = pipeline.wait(ticket).unwrap();
+        assert_eq!(allocations.len(), 1);
+        pipeline.release(&allocations[0]).unwrap();
+    }
+    let stats = pipeline.stats();
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(stats.allocations, 3);
+    assert_eq!(stats.releases, 3);
+    pipeline.shutdown().unwrap();
 }
 
 #[test]
 fn live_and_embedded_deployments_agree_on_semantics() {
     let db = fleet(300, 4);
-    let mut engine = actyp_pipeline::Engine::new(PipelineConfig::default(), db.clone());
-    let live = LivePipeline::start(PipelineConfig::default(), db);
-
     let text = "punch.rsrc.arch = hp\npunch.rsrc.memory = >=256\n";
-    let from_engine = engine.submit_text(text).expect("embedded allocation");
-    let from_live = live.submit_text(text).expect("live allocation");
-
-    // Same pool name (aggregation criteria), both hp machines with >=256 MB.
-    assert_eq!(from_engine[0].pool, from_live[0].pool);
-    for allocation in [&from_engine[0], &from_live[0]] {
-        assert!(allocation.machine_name.contains("hp"));
+    let mut pools = Vec::new();
+    for kind in [BackendKind::Embedded, BackendKind::Live] {
+        let manager = PipelineBuilder::new()
+            .database(db.clone())
+            .build(kind)
+            .unwrap();
+        let allocations = manager.submit_text_wait(text).expect("allocation succeeds");
+        // Both deployments aggregate by the same criteria (same pool name)
+        // and select an hp machine with >=256 MB.
+        assert!(allocations[0].machine_name.contains("hp"));
+        pools.push(allocations[0].pool.clone());
+        manager.release(&allocations[0]).unwrap();
+        manager.shutdown().unwrap();
     }
-    engine.release(&from_engine[0]).unwrap();
-    live.release(&from_live[0]).unwrap();
-    live.shutdown();
+    assert_eq!(pools[0], pools[1]);
 }

@@ -1,15 +1,26 @@
 //! Integration test: failure injection — machines going down mid-operation,
 //! pool destruction with outstanding allocations, TTL exhaustion, shadow
-//! account exhaustion, and monitor-driven recovery.
+//! account exhaustion, and monitor-driven recovery.  Backends are driven
+//! through the unified [`ResourceManager`] trait; the concrete
+//! [`EmbeddedBackend`] handle is kept where a scenario must reach inside
+//! the engine (pool destruction).
 
 use actyp_grid::{FleetSpec, MachineState, MonitorConfig, ResourceMonitor, SyntheticFleet};
-use actyp_pipeline::{AllocationError, Engine, PipelineConfig};
+use actyp_pipeline::api::EmbeddedBackend;
+use actyp_pipeline::{AllocationError, PipelineBuilder, ResourceManager};
 use actyp_simnet::SimTime;
 
 fn homogeneous(machines: usize, seed: u64) -> actyp_grid::SharedDatabase {
     SyntheticFleet::new(FleetSpec::homogeneous(machines, "sun", 256), seed)
         .generate()
         .into_shared()
+}
+
+fn embedded(db: actyp_grid::SharedDatabase) -> EmbeddedBackend {
+    PipelineBuilder::new()
+        .database(db)
+        .build_embedded()
+        .unwrap()
 }
 
 fn sun_text() -> String {
@@ -30,10 +41,12 @@ fn down_machines_are_never_allocated() {
             guard.set_state(*id, MachineState::Down);
         }
     }
-    let mut engine = Engine::new(PipelineConfig::default(), db.clone());
+    let manager = embedded(db.clone());
     let mut allocations = Vec::new();
     for _ in 0..10 {
-        let a = engine.submit_text(&sun_text()).expect("up machines remain");
+        let a = manager
+            .submit_text_wait(&sun_text())
+            .expect("up machines remain");
         allocations.extend(a);
     }
     let guard = db.read();
@@ -45,10 +58,10 @@ fn down_machines_are_never_allocated() {
 #[test]
 fn failures_after_pool_creation_shrink_the_usable_set_gracefully() {
     let db = homogeneous(10, 2);
-    let mut engine = Engine::new(PipelineConfig::default(), db.clone());
+    let manager = embedded(db.clone());
     // Create the pool with every machine healthy.
-    let first = engine.submit_text(&sun_text()).unwrap();
-    engine.release(&first[0]).unwrap();
+    let first = manager.submit_text_wait(&sun_text()).unwrap();
+    manager.release(&first[0]).unwrap();
 
     // Now everything fails.
     {
@@ -58,7 +71,7 @@ fn failures_after_pool_creation_shrink_the_usable_set_gracefully() {
             guard.set_state(id, MachineState::Down);
         }
     }
-    let err = engine.submit_text(&sun_text()).unwrap_err();
+    let err = manager.submit_text_wait(&sun_text()).unwrap_err();
     assert_eq!(err, AllocationError::NoneAvailable);
 
     // Recovery restores service without rebuilding the pool.
@@ -69,9 +82,9 @@ fn failures_after_pool_creation_shrink_the_usable_set_gracefully() {
             guard.set_state(id, MachineState::Up);
         }
     }
-    assert!(engine.submit_text(&sun_text()).is_ok());
+    assert!(manager.submit_text_wait(&sun_text()).is_ok());
     assert_eq!(
-        engine.pool_instances(),
+        manager.engine().pool_instances(),
         1,
         "the original pool keeps serving"
     );
@@ -80,7 +93,7 @@ fn failures_after_pool_creation_shrink_the_usable_set_gracefully() {
 #[test]
 fn monitor_driven_failures_and_recoveries_are_respected() {
     let db = homogeneous(40, 3);
-    let mut engine = Engine::new(PipelineConfig::default(), db.clone());
+    let manager = embedded(db.clone());
     let mut monitor = ResourceMonitor::new(
         MonitorConfig {
             failure_probability: 0.4,
@@ -99,8 +112,8 @@ fn monitor_driven_failures_and_recoveries_are_respected() {
     // Allocations keep landing on the surviving machines only.
     if up > 0 {
         for _ in 0..up.min(5) {
-            let a = engine
-                .submit_text(&sun_text())
+            let a = manager
+                .submit_text_wait(&sun_text())
                 .expect("survivors can serve");
             assert_eq!(db.read().get(a[0].machine).unwrap().state, MachineState::Up);
         }
@@ -118,15 +131,15 @@ fn shadow_account_exhaustion_is_reported() {
         machine.max_allowed_load = 100.0; // only shadow accounts limit us
         machine.num_cpus = 64;
     }
-    let mut engine = Engine::new(PipelineConfig::default(), db);
-    let first = engine
-        .submit_text(&sun_text())
+    let manager = embedded(db);
+    let first = manager
+        .submit_text_wait(&sun_text())
         .expect("one account available");
-    let err = engine.submit_text(&sun_text()).unwrap_err();
+    let err = manager.submit_text_wait(&sun_text()).unwrap_err();
     assert_eq!(err, AllocationError::ShadowAccountsExhausted);
-    engine.release(&first[0]).unwrap();
+    manager.release(&first[0]).unwrap();
     assert!(
-        engine.submit_text(&sun_text()).is_ok(),
+        manager.submit_text_wait(&sun_text()).is_ok(),
         "release frees the account"
     );
 }
@@ -134,34 +147,40 @@ fn shadow_account_exhaustion_is_reported() {
 #[test]
 fn destroying_a_pool_with_outstanding_allocations_still_allows_release() {
     let db = homogeneous(20, 5);
-    let mut engine = Engine::new(PipelineConfig::default(), db);
-    let allocation = engine.submit_text(&sun_text()).unwrap().remove(0);
+    let manager = embedded(db);
+    let allocation = manager.submit_text_wait(&sun_text()).unwrap().remove(0);
+    let engine = manager.engine();
     let pm_names = engine.pool_manager_names();
-    let pm = engine.pool_manager_mut(&pm_names[0]).unwrap();
-    assert!(pm.destroy_pool(&allocation.pool, allocation.pool_instance));
+    let destroyed = engine
+        .with_pool_manager(&pm_names[0], |pm| {
+            pm.destroy_pool(&allocation.pool, allocation.pool_instance)
+        })
+        .unwrap();
+    assert!(destroyed);
     // The directory entry is gone, but the fallback release path (scanning
     // the hosting managers) must not leak the machine… in this case the pool
     // itself is gone, so release reports the allocation as unknown rather
     // than corrupting state.
-    let result = engine.release(&allocation);
+    let result = manager.release(&allocation);
     assert!(matches!(result, Err(AllocationError::UnknownAllocation)));
     // New queries recreate the pool on demand.
-    assert!(engine.submit_text(&sun_text()).is_ok());
+    assert!(manager.submit_text_wait(&sun_text()).is_ok());
 }
 
 #[test]
 fn ttl_exhaustion_is_reported_when_no_domain_can_serve() {
     // Two domains, neither of which has hp machines.
-    let purdue = homogeneous(10, 6);
-    let upc = homogeneous(10, 7);
-    let mut engine = Engine::federated(
-        PipelineConfig {
-            ttl: 1,
-            ..PipelineConfig::default()
-        },
-        vec![("purdue".to_string(), purdue), ("upc".to_string(), upc)],
-    );
-    let err = engine.submit_text("punch.rsrc.arch = hp\n").unwrap_err();
+    let manager = PipelineBuilder::new()
+        .federated(vec![
+            ("purdue".to_string(), homogeneous(10, 6)),
+            ("upc".to_string(), homogeneous(10, 7)),
+        ])
+        .ttl(1)
+        .build_embedded()
+        .unwrap();
+    let err = manager
+        .submit_text_wait("punch.rsrc.arch = hp\n")
+        .unwrap_err();
     // With TTL 1 the query dies after the first manager; with a larger TTL
     // it would exhaust the visited list and report NoSuchResources.
     assert!(
@@ -171,14 +190,14 @@ fn ttl_exhaustion_is_reported_when_no_domain_can_serve() {
         ),
         "got {err:?}"
     );
-    let err2 = Engine::federated(
-        PipelineConfig::default(),
-        vec![
+    let err2 = PipelineBuilder::new()
+        .federated(vec![
             ("purdue".to_string(), homogeneous(10, 8)),
             ("upc".to_string(), homogeneous(10, 9)),
-        ],
-    )
-    .submit_text("punch.rsrc.arch = hp\n")
-    .unwrap_err();
+        ])
+        .build_embedded()
+        .unwrap()
+        .submit_text_wait("punch.rsrc.arch = hp\n")
+        .unwrap_err();
     assert_eq!(err2, AllocationError::NoSuchResources);
 }
