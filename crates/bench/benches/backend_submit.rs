@@ -1,16 +1,18 @@
 //! `backend_submit`: the same submit → wait → release workload swept across
-//! all four backends — embedded engine, threaded live pipeline, centralized
-//! multi-queue scheduler and centralized matchmaker — through the unified
+//! all five backends — embedded engine, threaded live pipeline, centralized
+//! multi-queue scheduler, centralized matchmaker, and the remote backend
+//! talking to a loopback `ypd` daemon — through the unified
 //! `ResourceManager` API.  Because the client code is identical, the
-//! numbers isolate the architectural cost of each deployment; a second
-//! live-only benchmark shows what ticket-based pipelining buys over
-//! blocking round trips.
+//! numbers isolate the architectural cost of each deployment (for the
+//! remote backend: the wire hop, framing and correlation); pipelined
+//! variants show what ticket-based pipelining buys over blocking round
+//! trips, in-process and across the socket.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use actyp_grid::{FleetSpec, SyntheticFleet};
-use actyp_pipeline::{BackendKind, PipelineBuilder, ResourceManager};
+use actyp_pipeline::{BackendKind, PipelineBuilder, ResourceManager, StageAddress};
 use actyp_query::Query;
 
 fn fleet(machines: usize, seed: u64) -> actyp_grid::SharedDatabase {
@@ -89,6 +91,53 @@ fn bench_live_pipelining(c: &mut Criterion) {
     pipeline.shutdown().unwrap();
 }
 
+/// The fifth configuration: the identical round-trip workload against a
+/// loopback `ypd` daemon hosting the live pipeline, so the wire-hop
+/// overhead (framing, correlation, TCP) is tracked right next to the
+/// in-process numbers — plus the pipelined-vs-blocking comparison across
+/// the socket.
+fn bench_remote_round_trip(c: &mut Criterion) {
+    const BATCH: usize = 8;
+    let query = Query::paper_example();
+    let server = PipelineBuilder::new()
+        .database(fleet(800, 9))
+        .query_managers(2)
+        .window(BATCH)
+        .serve(&StageAddress::new("127.0.0.1", 0), BackendKind::Live)
+        .expect("loopback ypd starts");
+    let remote = PipelineBuilder::remote(&server.local_addr()).expect("connect to loopback ypd");
+    let warm = remote.submit_wait(&query).unwrap();
+    for a in &warm {
+        remote.release(a).unwrap();
+    }
+
+    c.bench_function("backend_submit/remote", |b| {
+        b.iter(|| {
+            let allocations = remote.submit_wait(black_box(&query)).unwrap();
+            for a in &allocations {
+                remote.release(a).unwrap();
+            }
+        })
+    });
+
+    c.bench_function("backend_submit/remote_pipelined_x8", |b| {
+        b.iter(|| {
+            let queries = vec![query.clone(); BATCH];
+            let tickets = remote.submit_batch(black_box(queries)).unwrap();
+            for ticket in tickets {
+                let allocations = remote.wait(ticket).unwrap();
+                for a in &allocations {
+                    remote.release(a).unwrap();
+                }
+            }
+        })
+    });
+
+    remote.halt_daemon().unwrap();
+    remote.shutdown().unwrap();
+    server.join().unwrap();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -99,6 +148,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = backend_submit;
     config = config();
-    targets = bench_backend_round_trip, bench_live_pipelining
+    targets = bench_backend_round_trip, bench_live_pipelining, bench_remote_round_trip
 }
 criterion_main!(backend_submit);

@@ -6,125 +6,19 @@
 //! [`Allocation`] is that reply, extended with the bookkeeping the desktop
 //! needs to later release the resources (machine id, pool name, shadow
 //! account uid).
+//!
+//! Since the API went over the wire these types are *protocol* types: they
+//! are defined (with their binary codec) in [`actyp_proto::types`] and
+//! re-exported here, so a client and a `ypd` daemon agree on them by
+//! construction and in-process code keeps its familiar paths.
 
-use std::fmt;
-
-use actyp_grid::MachineId;
-
-use crate::message::RequestId;
-
-/// A session-specific access key exchanged among the resources taking part
-/// in a run.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct SessionKey(pub String);
-
-impl SessionKey {
-    /// Derives a key from a request id, an instance number and a nonce.
-    /// (The production system exchanged cryptographic material; a unique
-    /// opaque token preserves the interface.)
-    pub fn derive(request: RequestId, instance: u32, nonce: u64) -> Self {
-        SessionKey(format!(
-            "actyp-{:08x}-{instance:02x}-{nonce:016x}",
-            request.0
-        ))
-    }
-}
-
-impl fmt::Display for SessionKey {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
-
-/// A successful resource allocation returned to the client.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Allocation {
-    /// The request this allocation answers.
-    pub request: RequestId,
-    /// Database id of the selected machine.
-    pub machine: MachineId,
-    /// Host name of the selected machine.
-    pub machine_name: String,
-    /// TCP port of the PUNCH execution unit on the machine.
-    pub execution_port: u16,
-    /// TCP port of the PVFS mount manager on the machine.
-    pub mount_port: u16,
-    /// The shadow-account uid selected for the run, when one was needed
-    /// (runs in the shared account carry `None`).
-    pub shadow_uid: Option<u32>,
-    /// Session-specific access key.
-    pub access_key: SessionKey,
-    /// Full name (`signature/identifier`) of the pool that served the query.
-    pub pool: String,
-    /// Instance number of that pool.
-    pub pool_instance: u32,
-    /// Number of cached machines the scheduling process examined (used by
-    /// the evaluation; the paper's response times are dominated by this
-    /// linear search).
-    pub examined: usize,
-}
-
-/// Why an allocation failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AllocationError {
-    /// The query could not be parsed.
-    Parse(String),
-    /// The query violates the schema of its family.
-    Schema(String),
-    /// No pool exists or can be created for the requested aggregation (no
-    /// machine in the white pages satisfies the constraints).
-    NoSuchResources,
-    /// The pool exists but every matching machine is busy, down or denied by
-    /// policy at the moment.
-    NoneAvailable,
-    /// All matching machines rejected the user (user-group or usage policy).
-    PolicyDenied,
-    /// A shadow account was required but none are free on the candidates.
-    ShadowAccountsExhausted,
-    /// The delegation time-to-live reached zero before any pool manager
-    /// could satisfy the request.
-    TtlExpired,
-    /// The referenced allocation is unknown (double release, bad handle).
-    UnknownAllocation,
-    /// The referenced ticket is unknown (already waited, or issued by a
-    /// different backend).
-    UnknownTicket,
-    /// Internal failure (a stage died, a channel closed).
-    Internal(String),
-}
-
-impl fmt::Display for AllocationError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AllocationError::Parse(m) => write!(f, "query parse error: {m}"),
-            AllocationError::Schema(m) => write!(f, "query schema violation: {m}"),
-            AllocationError::NoSuchResources => {
-                write!(f, "no resources of the requested type exist")
-            }
-            AllocationError::NoneAvailable => {
-                write!(f, "no matching resource is currently available")
-            }
-            AllocationError::PolicyDenied => {
-                write!(f, "access denied by machine usage policies")
-            }
-            AllocationError::ShadowAccountsExhausted => {
-                write!(f, "no shadow accounts available on matching machines")
-            }
-            AllocationError::TtlExpired => {
-                write!(f, "request time-to-live expired during delegation")
-            }
-            AllocationError::UnknownAllocation => write!(f, "unknown allocation handle"),
-            AllocationError::UnknownTicket => write!(f, "unknown submission ticket"),
-            AllocationError::Internal(m) => write!(f, "internal pipeline error: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for AllocationError {}
+pub use actyp_proto::types::{Allocation, AllocationError, SessionKey};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::message::RequestId;
+    use actyp_grid::MachineId;
 
     #[test]
     fn session_keys_are_unique_per_nonce() {
@@ -147,6 +41,12 @@ mod tests {
         assert!(AllocationError::Parse("line 3".into())
             .to_string()
             .contains("line 3"));
+        assert!(AllocationError::Network("reset".into())
+            .to_string()
+            .contains("reset"));
+        assert!(AllocationError::Protocol("bad frame".into())
+            .to_string()
+            .contains("bad frame"));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! The paper's central claim is that the *same* pipeline stages can be
 //! deployed embedded, distributed/replicated, or simulated.  This module is
 //! the seam that makes the claim visible to clients: a single trait served
-//! by four backends —
+//! by five backends —
 //!
 //! | backend | constructor | what it is |
 //! |---|---|---|
@@ -12,6 +12,7 @@
 //! | [`LiveBackend`] | [`PipelineBuilder::build_live`] | [`LivePipeline`], every stage on its own thread, with a bounded in-flight window |
 //! | [`CentralQueueBackend`] | [`PipelineBuilder::build_central_queue`] | the PBS/SGE-style centralized multi-queue scheduler baseline |
 //! | [`MatchmakerBackend`] | [`PipelineBuilder::build_matchmaker`] | the Condor-style centralized matchmaker baseline |
+//! | [`RemoteBackend`] | [`PipelineBuilder::remote`] | a client of the `ypd` daemon: the same surface across a TCP hop, speaking the [`actyp_proto`] wire protocol (serve any backend with [`PipelineBuilder::serve`]) |
 //!
 //! Submission is *ticket based*: [`ResourceManager::submit`] returns a
 //! [`Ticket`] immediately and [`ResourceManager::wait`] /
@@ -54,6 +55,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Condvar;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -64,10 +66,13 @@ use actyp_query::{BasicQuery, PoolName, Query};
 use crate::allocation::{Allocation, AllocationError, SessionKey};
 use crate::engine::{Engine, EngineStats, PipelineConfig};
 use crate::live::LivePipeline;
-use crate::message::RequestId;
+use crate::message::{RequestId, StageAddress};
 use crate::pool_manager::InstanceSelection;
 use crate::query_manager::{PoolManagerSelection, ReintegrationPolicy};
 use crate::scheduler::SchedulingObjective;
+
+pub use crate::remote::{RemoteBackend, ServerHandle};
+pub use actyp_proto::types::StatsSnapshot;
 
 /// The outcome a ticket resolves to.
 pub type QueryOutcome = Result<Vec<Allocation>, AllocationError>;
@@ -80,7 +85,7 @@ pub type DomainList = Vec<(String, SharedDatabase)>;
 /// instead of silently resolving to another query's outcome.
 static BACKEND_BRANDS: AtomicU64 = AtomicU64::new(0);
 
-fn next_backend_brand() -> u64 {
+pub(crate) fn next_backend_brand() -> u64 {
     BACKEND_BRANDS.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -99,6 +104,17 @@ impl Ticket {
     /// The ticket's backend-local identifier (diagnostics).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The issuing backend's brand (ticket-forgery checks).
+    pub(crate) fn brand(&self) -> u64 {
+        self.brand
+    }
+
+    /// Rebuilds a ticket from its parts (used by the remote backend, whose
+    /// ticket ids are issued by the server).
+    pub(crate) fn from_parts(brand: u64, id: u64) -> Self {
+        Ticket { brand, id }
     }
 }
 
@@ -137,54 +153,24 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
-/// A unified snapshot of the counters every backend reports.
-///
-/// The pipeline backends fill the per-stage counters (fragments,
-/// delegations, forwards); the centralized baselines leave those at zero —
-/// they have no stages to delegate between, which is exactly the
-/// architectural contrast the paper draws.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct StatsSnapshot {
-    /// Client requests submitted.
-    pub requests: u64,
-    /// Basic queries produced by decomposition.
-    pub fragments: u64,
-    /// Successful allocations handed to clients.
-    pub allocations: u64,
-    /// Failed requests or fragments.
-    pub failures: u64,
-    /// Delegations between pool managers (pipeline backends only).
-    pub delegations: u64,
-    /// Forwards to pool instances hosted elsewhere (pipeline backends only).
-    pub forwards: u64,
-    /// Allocations released by clients.
-    pub releases: u64,
-    /// Machine records examined — the quantity the paper's comparison
-    /// figures plot.  Pool caches keep it small for the pipeline; the
-    /// centralized baselines scan the full table per decision.  The
-    /// pipeline backends attribute scans to the successful allocations they
-    /// return (`Allocation::examined`); the baselines report their central
-    /// component's lifetime scan total, which includes decisions that found
-    /// no machine — that asymmetry is inherited from the figure accounting
-    /// the paper's evaluation uses.
-    pub records_examined: u64,
-    /// Tickets submitted but not yet redeemed.
-    pub in_flight: usize,
-}
-
-impl StatsSnapshot {
-    fn from_engine(stats: EngineStats, records_examined: u64, in_flight: usize) -> Self {
-        StatsSnapshot {
-            requests: stats.requests,
-            fragments: stats.fragments,
-            allocations: stats.allocations,
-            failures: stats.failures,
-            delegations: stats.delegations,
-            forwards: stats.forwards,
-            releases: stats.releases,
-            records_examined,
-            in_flight,
-        }
+/// Folds an [`EngineStats`] (shared by the embedded and live pipelines)
+/// into the unified [`StatsSnapshot`] the trait reports.  The snapshot type
+/// itself lives in [`actyp_proto`] — it crosses the wire verbatim.
+fn snapshot_from_engine(
+    stats: EngineStats,
+    records_examined: u64,
+    in_flight: usize,
+) -> StatsSnapshot {
+    StatsSnapshot {
+        requests: stats.requests,
+        fragments: stats.fragments,
+        allocations: stats.allocations,
+        failures: stats.failures,
+        delegations: stats.delegations,
+        forwards: stats.forwards,
+        releases: stats.releases,
+        records_examined,
+        in_flight,
     }
 }
 
@@ -209,6 +195,25 @@ pub trait ResourceManager: Send + Sync {
     /// Non-blocking redemption: `None` while the query is still in flight,
     /// `Some(outcome)` once it finished (the ticket is then spent).
     fn try_poll(&self, ticket: Ticket) -> Option<QueryOutcome>;
+
+    /// Bounded redemption: blocks up to `timeout` for the outcome.  Returns
+    /// `None` if the deadline elapses first — the ticket then remains
+    /// redeemable.  The default implementation polls; the remote backend
+    /// ships the deadline to the server instead, so the wait (and its
+    /// timeout) happen one network hop away.
+    fn wait_deadline(&self, ticket: Ticket, timeout: Duration) -> Option<QueryOutcome> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(outcome) = self.try_poll(ticket) {
+                return Some(outcome);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            std::thread::sleep((deadline - now).min(Duration::from_micros(200)));
+        }
+    }
 
     /// Releases an allocation back to the resource manager.
     fn release(&self, allocation: &Allocation) -> Result<(), AllocationError>;
@@ -402,7 +407,7 @@ impl ResourceManager for EmbeddedBackend {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        StatsSnapshot::from_engine(
+        snapshot_from_engine(
             self.engine.stats(),
             self.examined.load(Ordering::Relaxed),
             self.tickets.len(),
@@ -513,6 +518,42 @@ impl ResourceManager for LiveBackend {
         outcome
     }
 
+    /// Blocks on the reply channel with a timeout instead of the default
+    /// poll loop, so a deadline-bounded wait parks the thread at zero CPU —
+    /// this is the path a `ypd` daemon hits for every remote
+    /// wait-with-deadline.  Redemption is one-at-a-time: while one thread
+    /// waits on a ticket, a concurrent redeemer of the *same* ticket sees
+    /// `UnknownTicket`, exactly as it would after [`wait`](Self::wait)
+    /// claimed it.
+    fn wait_deadline(&self, ticket: Ticket, timeout: Duration) -> Option<QueryOutcome> {
+        use crossbeam::channel::RecvTimeoutError;
+        if ticket.brand != self.brand {
+            return Some(Err(AllocationError::UnknownTicket));
+        }
+        let rx = match self.pending.lock().remove(&ticket.id) {
+            Some(rx) => rx,
+            None => return Some(Err(AllocationError::UnknownTicket)),
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(outcome) => {
+                self.settle(&outcome);
+                Some(outcome)
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Deadline elapsed: the ticket stays redeemable.
+                self.pending.lock().insert(ticket.id, rx);
+                None
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                let outcome = Err(AllocationError::Internal(
+                    "pipeline dropped the reply".to_string(),
+                ));
+                self.settle(&outcome);
+                Some(outcome)
+            }
+        }
+    }
+
     fn try_poll(&self, ticket: Ticket) -> Option<QueryOutcome> {
         use crossbeam::channel::TryRecvError;
         if ticket.brand != self.brand {
@@ -541,7 +582,7 @@ impl ResourceManager for LiveBackend {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        StatsSnapshot::from_engine(
+        snapshot_from_engine(
             self.pipeline.stats(),
             self.examined.load(Ordering::Relaxed),
             self.pending.lock().len(),
@@ -983,6 +1024,26 @@ impl PipelineBuilder {
             BackendKind::Matchmaker => Box::new(self.build_matchmaker()?),
         })
     }
+
+    /// Builds the configured backend and hosts it behind the wire protocol
+    /// at `addr` (the `ypd` daemon embedded in this process).  `addr` with
+    /// port 0 binds an ephemeral port; read it back with
+    /// [`ServerHandle::local_addr`].
+    pub fn serve(
+        self,
+        addr: &StageAddress,
+        kind: BackendKind,
+    ) -> Result<ServerHandle, AllocationError> {
+        crate::remote::serve(self.build(kind)?, addr)
+    }
+
+    /// Connects to a `ypd` daemon at `addr` — a fifth deployment behind the
+    /// same trait, with the pipeline stages on the far side of a network
+    /// hop.  Addresses parse from strings (`"host:port".parse()`), so this
+    /// composes directly with CLI arguments and environment variables.
+    pub fn remote(addr: &StageAddress) -> Result<RemoteBackend, AllocationError> {
+        RemoteBackend::connect(addr)
+    }
 }
 
 #[cfg(test)]
@@ -1099,6 +1160,32 @@ mod tests {
             manager.release(&allocations[0]).unwrap();
         }
         manager.shutdown().unwrap();
+    }
+
+    #[test]
+    fn wait_deadline_resolves_or_preserves_the_ticket() {
+        for kind in BackendKind::ALL {
+            let manager = builder(300, 26).build(kind).unwrap();
+            let ticket = manager.submit_text(&paper_text()).unwrap();
+            // A zero deadline may or may not catch the outcome on the live
+            // backend; eager backends resolve instantly.  On a timeout the
+            // ticket must remain redeemable.
+            let outcome = match manager.wait_deadline(ticket, Duration::ZERO) {
+                Some(outcome) => outcome,
+                None => manager
+                    .wait_deadline(ticket, Duration::from_secs(30))
+                    .expect("resolves within the deadline"),
+            };
+            let allocations = outcome.unwrap();
+            manager.release(&allocations[0]).unwrap();
+            // The ticket is spent now.
+            assert_eq!(
+                manager.wait_deadline(ticket, Duration::from_millis(1)),
+                Some(Err(AllocationError::UnknownTicket)),
+                "{kind}"
+            );
+            manager.shutdown().unwrap();
+        }
     }
 
     #[test]

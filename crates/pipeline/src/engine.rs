@@ -13,9 +13,10 @@
 //! method takes `&self` — exactly the same receiver as
 //! [`crate::live::LivePipeline`].  That symmetry is what lets the unified
 //! [`crate::api::ResourceManager`] surface treat the embedded and threaded
-//! deployments interchangeably; prefer that trait (via
-//! [`crate::api::PipelineBuilder`]) for new client code and treat the
-//! inherent `submit*` methods as legacy shims.
+//! deployments interchangeably.  Submission goes through that trait (via
+//! [`crate::api::PipelineBuilder`]) exclusively — the legacy inherent
+//! `submit*` shims are gone; the engine keeps only translation helpers and
+//! inspection surface as public API.
 //!
 //! The embedded engine is what the examples, the baselines comparison and
 //! the simulated experiments drive; [`crate::live`] puts the same stages on
@@ -210,41 +211,35 @@ impl Engine {
         self.directory.read().instance_count()
     }
 
-    /// Submits a query in the native text format.
-    ///
-    /// Legacy shim: prefer [`crate::api::ResourceManager::submit_text`]
-    /// through [`crate::api::PipelineBuilder`].
-    pub fn submit_text(&self, text: &str) -> Result<Vec<Allocation>, AllocationError> {
-        let query = {
-            let mut core = self.core.lock();
-            let qm = core.qm_cursor % core.query_managers.len();
-            core.query_managers[qm].translate_text(text)?
-        };
-        self.submit(&query)
+    /// Translates a query written in the native key/value text format
+    /// (validation included), without submitting it.
+    pub fn translate_text(&self, text: &str) -> Result<Query, AllocationError> {
+        let mut core = self.core.lock();
+        let qm = core.qm_cursor % core.query_managers.len();
+        core.query_managers[qm].translate_text(text)
     }
 
-    /// Submits a ClassAds requirements expression (interoperability path).
-    pub fn submit_classad(
+    /// Translates a ClassAds requirements expression into a native query
+    /// (interoperability path), without submitting it.
+    pub fn translate_classad(
         &self,
         expression: &str,
         login: Option<&str>,
         group: Option<&str>,
-    ) -> Result<Vec<Allocation>, AllocationError> {
-        let query = {
-            let mut core = self.core.lock();
-            let qm = core.qm_cursor % core.query_managers.len();
-            core.query_managers[qm].translate_classad(expression, login, group)?
-        };
-        self.submit(&query)
+    ) -> Result<Query, AllocationError> {
+        let mut core = self.core.lock();
+        let qm = core.qm_cursor % core.query_managers.len();
+        core.query_managers[qm].translate_classad(expression, login, group)
     }
 
-    /// Submits an already-constructed query.  Returns the allocations the
-    /// re-integration policy keeps (surplus matches are released
-    /// internally).
+    /// Runs one query through the embedded pipeline.  Returns the
+    /// allocations the re-integration policy keeps (surplus matches are
+    /// released internally).
     ///
-    /// Legacy shim: prefer [`crate::api::ResourceManager::submit`] through
-    /// [`crate::api::PipelineBuilder`].
-    pub fn submit(&self, query: &Query) -> Result<Vec<Allocation>, AllocationError> {
+    /// Crate-internal: clients reach this through
+    /// [`crate::api::ResourceManager`] on the embedded backend — the former
+    /// public `submit*` shims are gone.
+    pub(crate) fn submit(&self, query: &Query) -> Result<Vec<Allocation>, AllocationError> {
         self.core
             .lock()
             .submit(&self.config, &self.directory, query)
@@ -414,10 +409,17 @@ mod tests {
         Query::paper_example().to_string()
     }
 
+    /// What the removed `Engine::submit_text` shim did: translate (with
+    /// schema validation) on a query manager, then run the pipeline.
+    fn submit_text(engine: &Engine, text: &str) -> Result<Vec<Allocation>, AllocationError> {
+        let query = engine.translate_text(text)?;
+        engine.submit(&query)
+    }
+
     #[test]
     fn end_to_end_allocation_from_text_query() {
         let engine = Engine::new(PipelineConfig::default(), fleet_db(300, 1));
-        let allocations = engine.submit_text(&paper_text()).unwrap();
+        let allocations = submit_text(&engine, &paper_text()).unwrap();
         assert_eq!(allocations.len(), 1);
         let a = &allocations[0];
         assert!(a.machine_name.contains("sun"));
@@ -433,7 +435,7 @@ mod tests {
     fn repeated_queries_reuse_the_dynamically_created_pool() {
         let engine = Engine::new(PipelineConfig::default(), fleet_db(300, 2));
         for _ in 0..10 {
-            engine.submit_text(&paper_text()).unwrap();
+            submit_text(&engine, &paper_text()).unwrap();
         }
         assert_eq!(engine.pool_instances(), 1, "temporal locality: one pool");
         assert_eq!(engine.stats().allocations, 10);
@@ -448,7 +450,7 @@ mod tests {
         let db = fleet_db(400, 3);
         let engine = Engine::new(config, db.clone());
         let text = "punch.rsrc.arch = sun | hp\npunch.user.accessgroup = ece\n";
-        let allocations = engine.submit_text(text).unwrap();
+        let allocations = submit_text(&engine, text).unwrap();
         assert_eq!(allocations.len(), 1);
         // Both fragment pools exist, but only one allocation is outstanding.
         assert_eq!(engine.pool_instances(), 2);
@@ -460,7 +462,7 @@ mod tests {
     fn composite_query_with_all_policy_returns_every_match() {
         let engine = Engine::new(PipelineConfig::default(), fleet_db(400, 4));
         let text = "punch.rsrc.arch = sun | hp\n";
-        let allocations = engine.submit_text(text).unwrap();
+        let allocations = submit_text(&engine, text).unwrap();
         assert_eq!(allocations.len(), 2);
         let archs: std::collections::HashSet<String> = allocations
             .iter()
@@ -472,7 +474,7 @@ mod tests {
     #[test]
     fn impossible_queries_fail_cleanly() {
         let engine = Engine::new(PipelineConfig::default(), fleet_db(100, 5));
-        let err = engine.submit_text("punch.rsrc.arch = cray\n").unwrap_err();
+        let err = submit_text(&engine, "punch.rsrc.arch = cray\n").unwrap_err();
         assert_eq!(err, AllocationError::NoSuchResources);
         assert_eq!(engine.stats().failures, 1);
     }
@@ -481,7 +483,7 @@ mod tests {
     fn parse_and_schema_errors_do_not_reach_pool_managers() {
         let engine = Engine::new(PipelineConfig::default(), fleet_db(50, 6));
         assert!(matches!(
-            engine.submit_text("nonsense").unwrap_err(),
+            submit_text(&engine, "nonsense").unwrap_err(),
             AllocationError::Parse(_)
         ));
         assert_eq!(engine.pool_instances(), 0);
@@ -490,13 +492,14 @@ mod tests {
     #[test]
     fn classad_queries_are_interoperable() {
         let engine = Engine::new(PipelineConfig::default(), fleet_db(300, 7));
-        let allocations = engine
-            .submit_classad(
+        let query = engine
+            .translate_classad(
                 "Arch == \"SUN\" && Memory >= 128",
                 Some("royo"),
                 Some("ece"),
             )
             .unwrap();
+        let allocations = engine.submit(&query).unwrap();
         assert_eq!(allocations.len(), 1);
         assert!(allocations[0].machine_name.contains("sun"));
     }
@@ -520,7 +523,7 @@ mod tests {
             config,
             vec![("purdue".to_string(), sun_db), ("upc".to_string(), hp_db)],
         );
-        let allocations = engine.submit_text("punch.rsrc.arch = hp\n").unwrap();
+        let allocations = submit_text(&engine, "punch.rsrc.arch = hp\n").unwrap();
         assert_eq!(allocations.len(), 1);
         assert!(allocations[0].machine_name.contains("hp"));
         assert!(engine.stats().delegations >= 1);
@@ -533,7 +536,7 @@ mod tests {
             ..PipelineConfig::default()
         };
         let engine = Engine::new(config, fleet_db(100, 10));
-        let err = engine.submit_text(&paper_text()).unwrap_err();
+        let err = submit_text(&engine, &paper_text()).unwrap_err();
         assert_eq!(err, AllocationError::TtlExpired);
     }
 
@@ -547,8 +550,8 @@ mod tests {
             ..PipelineConfig::default()
         };
         let engine = Engine::new(config, fleet_db(300, 11));
-        engine.submit_text(&paper_text()).unwrap();
-        engine.submit_text(&paper_text()).unwrap();
+        submit_text(&engine, &paper_text()).unwrap();
+        submit_text(&engine, &paper_text()).unwrap();
         assert_eq!(engine.pool_instances(), 1);
         assert!(engine.stats().forwards >= 1);
         assert_eq!(engine.stats().allocations, 2);
@@ -557,7 +560,7 @@ mod tests {
     #[test]
     fn release_of_unknown_allocation_is_rejected() {
         let engine = Engine::new(PipelineConfig::default(), fleet_db(100, 12));
-        let mut allocations = engine.submit_text(&paper_text()).unwrap();
+        let mut allocations = submit_text(&engine, &paper_text()).unwrap();
         let mut fake = allocations.remove(0);
         engine.release(&fake).unwrap();
         // Releasing again (or a forged key) fails.
@@ -569,7 +572,7 @@ mod tests {
     fn empty_database_yields_no_such_resources() {
         let db = ResourceDatabase::new().into_shared();
         let engine = Engine::new(PipelineConfig::default(), db);
-        let err = engine.submit_text(&paper_text()).unwrap_err();
+        let err = submit_text(&engine, &paper_text()).unwrap_err();
         assert_eq!(err, AllocationError::NoSuchResources);
     }
 
@@ -579,7 +582,7 @@ mod tests {
         let mut machines = std::collections::HashSet::new();
         let mut allocations = Vec::new();
         for _ in 0..50 {
-            let mut a = engine.submit_text(&paper_text()).unwrap();
+            let mut a = submit_text(&engine, &paper_text()).unwrap();
             machines.insert(a[0].machine);
             allocations.append(&mut a);
         }
@@ -622,7 +625,7 @@ mod tests {
         for _ in 0..4 {
             let engine = engine.clone();
             joins.push(std::thread::spawn(move || {
-                let allocations = engine.submit_text(&paper_text()).unwrap();
+                let allocations = submit_text(&engine, &paper_text()).unwrap();
                 engine.release(&allocations[0]).unwrap();
             }));
         }

@@ -23,12 +23,16 @@
 //!    allocation queries.  Pools can be split for concurrent search and
 //!    replicated with an instance-specific bias.
 //!
-//! Three deployments of the same stages are provided:
+//! Four deployments of the same stages are provided:
 //!
 //! * [`engine::Engine`] — the embedded, synchronous pipeline (single address
 //!   space); the form used by the examples and baselines.
 //! * [`live::LivePipeline`] — every stage on its own thread, connected by
 //!   channels, demonstrating stage replication and pipelining.
+//! * [`remote`] — the wire deployment: a `ypd` daemon hosts any backend
+//!   behind the versioned [`actyp_proto`] protocol, and
+//!   [`remote::RemoteBackend`] serves the same client surface across a TCP
+//!   hop, with tickets pipelined on one connection.
 //! * [`sim`] — the discrete-event simulated deployment used to reproduce the
 //!   paper's controlled experiments (Figures 4–8), where stage service times
 //!   and LAN/WAN link latencies are modelled explicitly.
@@ -47,6 +51,7 @@ pub mod live;
 pub mod message;
 pub mod pool_manager;
 pub mod query_manager;
+pub mod remote;
 pub mod resource_pool;
 pub mod scheduler;
 pub mod sim;
@@ -56,8 +61,11 @@ pub use api::{BackendKind, PipelineBuilder, ResourceManager, StatsSnapshot, Tick
 pub use directory::{LocalDirectoryService, PoolInstanceRecord, SharedDirectory};
 pub use engine::{Engine, EngineStats, PipelineConfig};
 pub use live::LivePipeline;
-pub use message::{FragmentTag, RequestId, RequestIdGenerator, RoutingState, StageAddress};
+pub use message::{
+    AddressParseError, FragmentTag, RequestId, RequestIdGenerator, RoutingState, StageAddress,
+};
 pub use pool_manager::{HandleOutcome, InstanceSelection, PoolManager, PoolManagerConfig};
 pub use query_manager::{PoolManagerSelection, QueryManager, ReintegrationPolicy};
+pub use remote::{serve, RemoteBackend, ServerHandle};
 pub use resource_pool::ResourcePool;
 pub use scheduler::{ReplicaBias, ScheduleOutcome, Scheduler, SchedulingObjective};

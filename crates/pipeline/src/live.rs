@@ -9,11 +9,12 @@
 //! request while pool managers serve another and resource pools scan their
 //! caches for a third.
 //!
-//! Clients that want that pipelining from a single thread should use
-//! [`submit_async`](LivePipeline::submit_async) (or, preferably, the
-//! ticket-based [`crate::api::ResourceManager`] surface): it launches a
-//! query into the pipeline and returns immediately with a receiver for the
-//! eventual reply, so several queries can be in flight at once.
+//! Clients reach the pipeline through the ticket-based
+//! [`crate::api::ResourceManager`] surface (the former blocking `submit*`
+//! shims are gone).  The underlying primitive is
+//! [`submit_async`](LivePipeline::submit_async): it launches a query into
+//! the pipeline and returns immediately with a receiver for the eventual
+//! reply, so several queries can be in flight at once.
 //!
 //! The channel hop stands in for the TCP/UDP hop of the paper's deployment;
 //! the simulated deployment ([`crate::sim`]) is where wire latency is
@@ -420,24 +421,6 @@ impl LivePipeline {
         self.counters.snapshot()
     }
 
-    /// Submits a query in the native text format and waits for the reply.
-    pub fn submit_text(&self, text: &str) -> Result<Vec<Allocation>, AllocationError> {
-        let query =
-            actyp_query::parse_query(text).map_err(|e| AllocationError::Parse(e.to_string()))?;
-        self.submit(&query)
-    }
-
-    /// Submits an already-built query and waits for the reply.
-    ///
-    /// Legacy shim: prefer [`crate::api::ResourceManager::submit`] through
-    /// [`crate::api::PipelineBuilder`], which keeps several queries in
-    /// flight instead of blocking on each.
-    pub fn submit(&self, query: &Query) -> Result<Vec<Allocation>, AllocationError> {
-        let rx = self.submit_async(query.clone())?;
-        rx.recv()
-            .map_err(|_| AllocationError::Internal("query manager dropped the reply".to_string()))?
-    }
-
     /// Launches a query into the pipeline without waiting: the returned
     /// receiver yields the reply when the pipeline finishes.  Several
     /// launched queries overlap across the query-manager, pool-manager and
@@ -570,10 +553,23 @@ mod tests {
         Query::paper_example().to_string()
     }
 
+    /// What the removed `LivePipeline::submit_text` shim did: parse, launch
+    /// asynchronously, block for the reply.
+    fn submit_text(
+        pipeline: &LivePipeline,
+        text: &str,
+    ) -> Result<Vec<Allocation>, AllocationError> {
+        let query =
+            actyp_query::parse_query(text).map_err(|e| AllocationError::Parse(e.to_string()))?;
+        let rx = pipeline.submit_async(query)?;
+        rx.recv()
+            .map_err(|_| AllocationError::Internal("query manager dropped the reply".to_string()))?
+    }
+
     #[test]
     fn live_pipeline_allocates_and_releases() {
         let pipeline = LivePipeline::start(PipelineConfig::default(), fleet_db(200, 1));
-        let allocations = pipeline.submit_text(&paper_text()).unwrap();
+        let allocations = submit_text(&pipeline, &paper_text()).unwrap();
         assert_eq!(allocations.len(), 1);
         assert!(allocations[0].machine_name.contains("sun"));
         pipeline.release(&allocations[0]).unwrap();
@@ -600,7 +596,7 @@ mod tests {
             joins.push(std::thread::spawn(move || {
                 let mut allocations = Vec::new();
                 for _ in 0..5 {
-                    allocations.extend(p.submit_text(&paper_text()).unwrap());
+                    allocations.extend(submit_text(&p, &paper_text()).unwrap());
                 }
                 for a in &allocations {
                     p.release(a).unwrap();
@@ -621,9 +617,11 @@ mod tests {
         };
         let db = fleet_db(400, 3);
         let pipeline = LivePipeline::start(config, db.clone());
-        let allocations = pipeline
-            .submit_text("punch.rsrc.arch = sun | hp\npunch.user.accessgroup = ece\n")
-            .unwrap();
+        let allocations = submit_text(
+            &pipeline,
+            "punch.rsrc.arch = sun | hp\npunch.user.accessgroup = ece\n",
+        )
+        .unwrap();
         assert_eq!(allocations.len(), 1);
         // The surplus fragment allocation was handed back by the pipeline.
         let outstanding: u32 = db.read().iter().map(|m| m.dynamic.active_jobs).sum();
@@ -645,8 +643,8 @@ mod tests {
             vec![("purdue".to_string(), sun_db), ("upc".to_string(), hp_db)],
         );
         // Both queries succeed regardless of which domain they reach first.
-        let sun = pipeline.submit_text("punch.rsrc.arch = sun\n").unwrap();
-        let hp = pipeline.submit_text("punch.rsrc.arch = hp\n").unwrap();
+        let sun = submit_text(&pipeline, "punch.rsrc.arch = sun\n").unwrap();
+        let hp = submit_text(&pipeline, "punch.rsrc.arch = hp\n").unwrap();
         assert!(sun[0].machine_name.contains("sun"));
         assert!(hp[0].machine_name.contains("hp"));
         pipeline.shutdown().unwrap();
@@ -656,7 +654,7 @@ mod tests {
     fn parse_errors_are_returned_to_the_caller() {
         let pipeline = LivePipeline::start(PipelineConfig::default(), fleet_db(50, 7));
         assert!(matches!(
-            pipeline.submit_text("garbage").unwrap_err(),
+            submit_text(&pipeline, "garbage").unwrap_err(),
             AllocationError::Parse(_)
         ));
         pipeline.shutdown().unwrap();
@@ -665,7 +663,7 @@ mod tests {
     #[test]
     fn shutdown_via_drop_does_not_hang() {
         let pipeline = LivePipeline::start(PipelineConfig::default(), fleet_db(50, 8));
-        let _ = pipeline.submit_text(&paper_text()).unwrap();
+        let _ = submit_text(&pipeline, &paper_text()).unwrap();
         drop(pipeline);
     }
 

@@ -6,64 +6,13 @@
 //! replicated and distributed freely.  [`RoutingState`] is that carried
 //! state: the time-to-live counter and the list of pool managers already
 //! visited (both analogous to the TTL field and fragment bookkeeping of IP).
+//!
+//! [`RequestId`] and [`StageAddress`] now live in [`actyp_proto`] (and are
+//! re-exported here): they travel on the wire — a request id doubles as the
+//! protocol's correlation id, and a stage address is what the `ypd` CLI and
+//! [`crate::api::PipelineBuilder::remote`] parse from `host:port` strings.
 
-use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Globally unique identifier of a client request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct RequestId(pub u64);
-
-impl fmt::Display for RequestId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "req-{}", self.0)
-    }
-}
-
-/// Monotonic generator of request identifiers, shared by query managers.
-#[derive(Debug, Default)]
-pub struct RequestIdGenerator {
-    next: AtomicU64,
-}
-
-impl RequestIdGenerator {
-    /// A generator starting at zero.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Returns a fresh identifier.
-    pub fn next(&self) -> RequestId {
-        RequestId(self.next.fetch_add(1, Ordering::Relaxed))
-    }
-}
-
-/// Logical network address of a pipeline stage (host name and TCP/UDP port).
-/// The live deployment maps these to channels; the simulated deployment maps
-/// them to latency-model endpoints.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct StageAddress {
-    /// Host the stage runs on.
-    pub host: String,
-    /// Port the stage listens on.
-    pub port: u16,
-}
-
-impl StageAddress {
-    /// Convenience constructor.
-    pub fn new(host: impl Into<String>, port: u16) -> Self {
-        StageAddress {
-            host: host.into(),
-            port,
-        }
-    }
-}
-
-impl fmt::Display for StageAddress {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.host, self.port)
-    }
-}
+pub use actyp_proto::types::{AddressParseError, RequestId, RequestIdGenerator, StageAddress};
 
 /// Identifies one fragment of a decomposed composite query so that results
 /// can be re-integrated at the end of the pipeline.
@@ -168,6 +117,13 @@ mod tests {
     fn stage_address_display() {
         let a = StageAddress::new("actyp.ecn.purdue.edu", 7200);
         assert_eq!(a.to_string(), "actyp.ecn.purdue.edu:7200");
+    }
+
+    #[test]
+    fn stage_address_parses_from_args_and_env_strings() {
+        let a: StageAddress = "actyp.ecn.purdue.edu:7200".parse().unwrap();
+        assert_eq!(a, StageAddress::new("actyp.ecn.purdue.edu", 7200));
+        assert!("noport".parse::<StageAddress>().is_err());
     }
 
     #[test]

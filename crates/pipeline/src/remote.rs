@@ -1,0 +1,1386 @@
+//! The wire deployment: a `ypd` server hosting any backend behind the
+//! [`actyp_proto`] protocol, and the [`RemoteBackend`] client that puts the
+//! same [`ResourceManager`] surface on the other end of a TCP socket.
+//!
+//! The paper's architecture is explicitly a *network* service — "queries
+//! propagate from one stage to the next via TCP or UDP", and "all state
+//! information is carried with the query itself".  This module closes the
+//! gap the in-process backends leave open: the exact client code that runs
+//! against the embedded engine runs unchanged against a daemon on another
+//! machine, and the ticket pipelining the paper measures now spans a real
+//! network hop — multiple tickets in flight on one connection, multiplexed
+//! by [`RequestId`] correlation.
+//!
+//! # Server
+//!
+//! [`serve`] binds a listener and hosts *any* [`ResourceManager`] — the
+//! embedded engine, the threaded live pipeline or a centralized baseline —
+//! behind a threaded accept loop.  Each connection is a *session* with its
+//! own ticket table: wire ticket ids are session-scoped, so one client can
+//! never redeem (or guess) another's tickets.  Slow operations (submit,
+//! which may block on the live backend's admission window, and wait) run on
+//! per-request worker threads so the session keeps reading frames — that is
+//! what makes server-side pipelining real.  Allocations are *session
+//! leases*: a session that ends settles its outstanding tickets (outcomes
+//! awaited, bounded by a teardown budget) and hands back every allocation
+//! the client still held, so an abruptly disconnected client leaks neither
+//! machines nor window permits.  [`ServerHandle::halt`] (or a client's
+//! [`ClientFrame::Halt`]) drains the daemon gracefully: the listener stops
+//! accepting, open sessions finish, and [`ServerHandle::join`] then tears
+//! the hosted backend down.
+//!
+//! # Client
+//!
+//! [`RemoteBackend::connect`] performs the protocol's version negotiation
+//! and then implements the whole trait over the socket.  A background
+//! reader thread routes response frames to the requests that sent them, so
+//! any number of client threads (or one thread holding many tickets) share
+//! the connection.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use actyp_proto::{
+    negotiate, read_client_frame, read_server_frame, write_frame, ClientFrame, ServerFrame,
+    MAX_SEQUENCE_LEN, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+};
+use actyp_query::Query;
+
+use crate::allocation::{Allocation, AllocationError};
+use crate::api::{QueryOutcome, ResourceManager, StatsSnapshot, Ticket};
+use crate::message::{RequestId, RequestIdGenerator, StageAddress};
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Upper bound on worker threads (blocking submits/waits) per session; a
+/// request beyond it is answered with an error instead of spawning, so one
+/// connection cannot exhaust the daemon's threads.
+const MAX_SESSION_WORKERS: usize = 256;
+
+struct ServerShared {
+    manager: Box<dyn ResourceManager>,
+    draining: AtomicBool,
+    wake_addr: SocketAddr,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+    /// Sessions that panicked and were reaped before [`ServerHandle::join`]
+    /// ran; counted so the panic still surfaces at join time.
+    reaped_panics: AtomicU64,
+}
+
+impl ServerShared {
+    /// Flags the drain and pokes the blocking `accept` awake with a dummy
+    /// connection so the accept loop observes it.
+    fn begin_drain(&self) {
+        if self.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.wake_addr);
+    }
+}
+
+/// A running `ypd` server.  Dropping the handle does *not* stop the daemon;
+/// call [`ServerHandle::halt`] then [`ServerHandle::join`] for a graceful
+/// drain (or let a client send [`ClientFrame::Halt`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServerHandle {
+    /// The address the daemon actually listens on (resolves port 0 binds).
+    pub fn local_addr(&self) -> StageAddress {
+        StageAddress::new(self.addr.ip().to_string(), self.addr.port())
+    }
+
+    /// Asks the daemon to drain: stop accepting new connections and let the
+    /// open sessions run to completion.  Idempotent.
+    pub fn halt(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// Blocks until the daemon has fully drained (accept loop stopped and
+    /// every session finished — sessions end when their client disconnects
+    /// or shuts its session down), then tears the hosted backend down and
+    /// surfaces any stage worker panics.  Call [`ServerHandle::halt`] first,
+    /// or this blocks until a client halts the daemon.
+    ///
+    /// Every teardown step runs even when an earlier one failed — the
+    /// hosted backend is always shut down — and all problems are reported
+    /// together.
+    pub fn join(self) -> Result<(), AllocationError> {
+        let mut problems: Vec<String> = Vec::new();
+        if let Some(handle) = self.accept.lock().take() {
+            if handle.join().is_err() {
+                problems.push("ypd accept loop panicked".to_string());
+            }
+        }
+        let sessions: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.sessions.lock());
+        let mut panicked = self.shared.reaped_panics.load(Ordering::Relaxed);
+        for session in sessions {
+            if session.join().is_err() {
+                panicked += 1;
+            }
+        }
+        if panicked > 0 {
+            problems.push(format!(
+                "{panicked} ypd session(s) panicked during the daemon's lifetime"
+            ));
+        }
+        if let Err(e) = self.shared.manager.shutdown() {
+            problems.push(e.to_string());
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(AllocationError::Internal(problems.join("; ")))
+        }
+    }
+}
+
+/// Binds `addr` and serves `manager` over the wire protocol until halted.
+///
+/// `addr.port == 0` binds an ephemeral port; read it back with
+/// [`ServerHandle::local_addr`].
+pub fn serve(
+    manager: Box<dyn ResourceManager>,
+    addr: &StageAddress,
+) -> Result<ServerHandle, AllocationError> {
+    let listener = TcpListener::bind((addr.host.as_str(), addr.port))
+        .map_err(|e| AllocationError::Network(format!("bind {addr}: {e}")))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| AllocationError::Network(format!("local_addr: {e}")))?;
+    // The wake connection must reach the listener even when it is bound to
+    // the unspecified address — via the loopback of the same family (an
+    // IPv6-only listener never accepts an IPv4 wake).
+    let wake_addr = if local.ip().is_unspecified() {
+        let loopback: std::net::IpAddr = if local.is_ipv4() {
+            std::net::Ipv4Addr::LOCALHOST.into()
+        } else {
+            std::net::Ipv6Addr::LOCALHOST.into()
+        };
+        SocketAddr::new(loopback, local.port())
+    } else {
+        local
+    };
+    let shared = Arc::new(ServerShared {
+        manager,
+        draining: AtomicBool::new(false),
+        wake_addr,
+        sessions: Mutex::new(Vec::new()),
+        reaped_panics: AtomicU64::new(0),
+    });
+
+    let accept_shared = shared.clone();
+    let accept = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let session_shared = accept_shared.clone();
+            let handle = std::thread::spawn(move || run_session(session_shared, stream));
+            let mut sessions = accept_shared.sessions.lock();
+            // Reap finished sessions so a long-lived daemon serving many
+            // short connections does not accumulate handles forever —
+            // joining each reaped handle (it has already finished, so this
+            // cannot block) keeps their panics from vanishing.
+            let mut index = 0;
+            while index < sessions.len() {
+                if sessions[index].is_finished() {
+                    if sessions.swap_remove(index).join().is_err() {
+                        accept_shared.reaped_panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else {
+                    index += 1;
+                }
+            }
+            sessions.push(handle);
+        }
+    });
+
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        accept: Mutex::new(Some(accept)),
+    })
+}
+
+/// Per-connection session state: the reply socket, the session-scoped
+/// ticket table mapping wire ticket ids to backend tickets, and the
+/// allocation leases the session currently holds.
+struct SessionState {
+    writer: Mutex<TcpStream>,
+    tickets: Mutex<HashMap<u64, Ticket>>,
+    /// Allocations delivered to this client and not yet released, keyed by
+    /// access key.  Allocations are *session leases*: whatever is still
+    /// here when the session ends is handed back, so a client that
+    /// crashes (even one whose Outcome reply raced its disconnect) cannot
+    /// strand a machine claim.
+    leases: Mutex<HashMap<String, Allocation>>,
+    next_ticket: AtomicU64,
+}
+
+impl SessionState {
+    /// Best-effort reply; a vanished client is detected by the read loop.
+    fn send(&self, frame: &ServerFrame) {
+        let mut writer = self.writer.lock();
+        let _ = write_frame(&mut *writer, frame);
+    }
+
+    fn issue(&self, ticket: Ticket) -> u64 {
+        let wire_id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.tickets.lock().insert(wire_id, ticket);
+        wire_id
+    }
+
+    /// Records the leases of a redeemed outcome, then delivers it.  The
+    /// lease is taken *before* the reply leaves, so there is no window in
+    /// which the allocation belongs to nobody.
+    fn deliver_outcome(&self, corr: RequestId, outcome: crate::api::QueryOutcome) {
+        if let Ok(allocations) = &outcome {
+            let mut leases = self.leases.lock();
+            for allocation in allocations {
+                leases.insert(allocation.access_key.0.clone(), allocation.clone());
+            }
+        }
+        self.send(&ServerFrame::Outcome { corr, outcome });
+    }
+}
+
+fn run_session(shared: Arc<ServerShared>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+
+    // --- Version negotiation: the first frame must be a Hello. ---
+    let hello = match read_client_frame(&mut stream) {
+        Ok(Some(frame)) => frame,
+        _ => return,
+    };
+    let reply_stream = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let state = Arc::new(SessionState {
+        writer: Mutex::new(reply_stream),
+        tickets: Mutex::new(HashMap::new()),
+        leases: Mutex::new(HashMap::new()),
+        next_ticket: AtomicU64::new(0),
+    });
+    match hello {
+        ClientFrame::Hello {
+            min_version,
+            max_version,
+        } => match negotiate(min_version, max_version) {
+            Some(version) => state.send(&ServerFrame::HelloAck { version }),
+            None => {
+                state.send(&ServerFrame::HelloReject {
+                    message: format!(
+                        "no common protocol version: client speaks {min_version}..={max_version}, \
+                         server speaks {MIN_SUPPORTED_VERSION}..={PROTOCOL_VERSION}"
+                    ),
+                });
+                return;
+            }
+        },
+        _ => {
+            state.send(&ServerFrame::HelloReject {
+                message: "the first frame must be Hello".to_string(),
+            });
+            return;
+        }
+    }
+
+    // --- Serve the session (until clean disconnect, transport error or
+    // garbage stops the read loop). ---
+    //
+    // Submission workers (which can block on the live backend's admission
+    // window) are counted and capped separately from redemption workers:
+    // a client at the submission cap must still be able to Wait, because
+    // redeeming tickets is exactly how it frees the window and gets its
+    // submissions unstuck.  Capping waits cannot livelock in return — a
+    // blocked wait resolves when the pipeline answers, independent of any
+    // further client action.
+    let mut submit_workers: Vec<JoinHandle<()>> = Vec::new();
+    let mut wait_workers: Vec<JoinHandle<()>> = Vec::new();
+    while let Ok(Some(frame)) = read_client_frame(&mut stream) {
+        // Reap finished workers as we go so the vectors track only live
+        // threads.
+        submit_workers.retain(|worker| !worker.is_finished());
+        wait_workers.retain(|worker| !worker.is_finished());
+        match frame {
+            ClientFrame::Hello { .. } => {
+                state.send(&ServerFrame::HelloReject {
+                    message: "duplicate Hello".to_string(),
+                });
+                break;
+            }
+            // Submit may block on the live backend's admission window and
+            // wait blocks until the outcome is ready, so both run on worker
+            // threads: the session keeps reading frames meanwhile, which is
+            // what lets one connection keep many requests in flight.
+            ClientFrame::Submit { corr, query } => {
+                if submit_workers.len() >= MAX_SESSION_WORKERS {
+                    state.send(&session_overloaded(corr));
+                    continue;
+                }
+                let shared = shared.clone();
+                let state = state.clone();
+                submit_workers.push(std::thread::spawn(move || {
+                    handle_submit(&shared, &state, corr, &query)
+                }));
+            }
+            ClientFrame::SubmitBatch { corr, queries } => {
+                if submit_workers.len() >= MAX_SESSION_WORKERS {
+                    state.send(&session_overloaded(corr));
+                    continue;
+                }
+                let shared = shared.clone();
+                let state = state.clone();
+                submit_workers.push(std::thread::spawn(move || {
+                    handle_submit_batch(&shared, &state, corr, &queries)
+                }));
+            }
+            ClientFrame::Wait {
+                corr,
+                ticket,
+                deadline_ms,
+            } => {
+                // Unknown ids are answered inline — no thread for a frame
+                // that cannot block (and no thread-flood from bogus ids);
+                // the worker's own atomic claim still decides races.
+                if !state.tickets.lock().contains_key(&ticket) {
+                    state.send(&ServerFrame::Error {
+                        corr,
+                        error: AllocationError::UnknownTicket,
+                    });
+                    continue;
+                }
+                if wait_workers.len() >= MAX_SESSION_WORKERS {
+                    state.send(&session_overloaded(corr));
+                    continue;
+                }
+                let shared = shared.clone();
+                let state = state.clone();
+                wait_workers.push(std::thread::spawn(move || {
+                    handle_wait(&shared, &state, corr, ticket, deadline_ms)
+                }));
+            }
+            ClientFrame::Poll { corr, ticket } => {
+                let mut tickets = state.tickets.lock();
+                match tickets.get(&ticket).copied() {
+                    None => state.send(&ServerFrame::Error {
+                        corr,
+                        error: AllocationError::UnknownTicket,
+                    }),
+                    Some(backend_ticket) => match shared.manager.try_poll(backend_ticket) {
+                        None => {
+                            drop(tickets);
+                            state.send(&ServerFrame::Pending { corr });
+                        }
+                        Some(outcome) => {
+                            tickets.remove(&ticket);
+                            drop(tickets);
+                            state.deliver_outcome(corr, outcome);
+                        }
+                    },
+                }
+            }
+            ClientFrame::Release { corr, allocation } => {
+                match shared.manager.release(&allocation) {
+                    Ok(()) => {
+                        state.leases.lock().remove(&allocation.access_key.0);
+                        state.send(&ServerFrame::Released { corr });
+                    }
+                    Err(error) => state.send(&ServerFrame::Error { corr, error }),
+                }
+            }
+            ClientFrame::Stats { corr } => {
+                state.send(&ServerFrame::StatsReply {
+                    corr,
+                    stats: shared.manager.stats(),
+                });
+            }
+            ClientFrame::Shutdown { corr } => {
+                state.send(&ServerFrame::Ack { corr });
+                break;
+            }
+            ClientFrame::Halt { corr } => {
+                state.send(&ServerFrame::Ack { corr });
+                shared.begin_drain();
+                break;
+            }
+        }
+    }
+
+    // --- Graceful session teardown. ---
+    //
+    // Settling and joining must interleave: a submit worker can be blocked
+    // on the live backend's admission window, whose permits are held by
+    // the very tickets sitting abandoned in this session's table.  Joining
+    // first would deadlock; settling once would miss the tickets those
+    // unblocked workers issue afterwards.  So: settle (freeing permits),
+    // reap, repeat until every worker finished, then sweep one last time.
+    // A stuck backend cannot wedge the daemon forever — after a generous
+    // deadline the remaining workers are detached instead of joined.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        settle_abandoned_tickets(&shared, &state, deadline);
+        submit_workers.retain(|worker| !worker.is_finished());
+        wait_workers.retain(|worker| !worker.is_finished());
+        if submit_workers.is_empty() && wait_workers.is_empty() {
+            break;
+        }
+        if std::time::Instant::now() >= deadline {
+            // Leave the stragglers detached.  Settlement is best-effort
+            // past this point: only a backend wedged beyond the whole
+            // teardown budget can still strand a claim.
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Final sweep for tickets issued by workers that finished after the
+    // last in-loop settle, on a small fresh budget of its own.
+    settle_abandoned_tickets(
+        &shared,
+        &state,
+        std::time::Instant::now() + Duration::from_secs(5),
+    );
+    // Hand back every allocation lease the client still held — including
+    // outcomes whose delivery raced the disconnect (the lease is recorded
+    // before the reply is written, so nothing falls between the cracks).
+    let leaked: Vec<Allocation> = state.leases.lock().drain().map(|(_, a)| a).collect();
+    for allocation in &leaked {
+        let _ = shared.manager.release(allocation);
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Overload reply for a session that exceeded a blocking-worker cap.
+fn session_overloaded(corr: RequestId) -> ServerFrame {
+    ServerFrame::Error {
+        corr,
+        error: AllocationError::Internal(format!(
+            "session has {MAX_SESSION_WORKERS} blocking requests of this kind in \
+             flight; await replies before sending more"
+        )),
+    }
+}
+
+/// Settles every ticket currently abandoned in the session table: awaits
+/// the outcomes (bounded by `deadline`, so a wedged backend cannot hold
+/// the session thread hostage) and hands the allocations straight back, so
+/// no machine claim (or live-backend window permit) leaks past the session.
+/// A ticket whose wait times out goes *back* into the table — still
+/// redeemable inside the backend — so a later settling round can retry it
+/// instead of dropping the claim on the floor.
+fn settle_abandoned_tickets(
+    shared: &ServerShared,
+    state: &SessionState,
+    deadline: std::time::Instant,
+) {
+    let abandoned: Vec<(u64, Ticket)> = state.tickets.lock().drain().collect();
+    for (wire_id, ticket) in abandoned {
+        let budget = deadline.saturating_duration_since(std::time::Instant::now());
+        match shared.manager.wait_deadline(ticket, budget) {
+            Some(Ok(allocations)) => {
+                for allocation in &allocations {
+                    let _ = shared.manager.release(allocation);
+                }
+            }
+            Some(Err(_)) => {}
+            None => {
+                state.tickets.lock().insert(wire_id, ticket);
+            }
+        }
+    }
+}
+
+fn handle_submit(shared: &ServerShared, state: &SessionState, corr: RequestId, query: &str) {
+    // The trait's own text path: parse errors map exactly as they would for
+    // an in-process client.
+    match shared.manager.submit_text(query) {
+        Ok(ticket) => {
+            let wire_id = state.issue(ticket);
+            state.send(&ServerFrame::Submitted {
+                corr,
+                ticket: wire_id,
+            });
+        }
+        Err(error) => state.send(&ServerFrame::Error { corr, error }),
+    }
+}
+
+fn handle_submit_batch(
+    shared: &ServerShared,
+    state: &SessionState,
+    corr: RequestId,
+    queries: &[String],
+) {
+    let mut parsed = Vec::with_capacity(queries.len());
+    for query in queries {
+        match actyp_query::parse_query(query) {
+            Ok(q) => parsed.push(q),
+            Err(e) => {
+                state.send(&ServerFrame::Error {
+                    corr,
+                    error: AllocationError::Parse(e.to_string()),
+                });
+                return;
+            }
+        }
+    }
+    match shared.manager.submit_batch(parsed) {
+        Ok(tickets) => {
+            let wire_ids = tickets.into_iter().map(|t| state.issue(t)).collect();
+            state.send(&ServerFrame::BatchSubmitted {
+                corr,
+                tickets: wire_ids,
+            });
+        }
+        Err(error) => state.send(&ServerFrame::Error { corr, error }),
+    }
+}
+
+fn handle_wait(
+    shared: &ServerShared,
+    state: &SessionState,
+    corr: RequestId,
+    ticket: u64,
+    deadline_ms: Option<u64>,
+) {
+    let backend_ticket = match state.tickets.lock().remove(&ticket) {
+        Some(t) => t,
+        None => {
+            state.send(&ServerFrame::Error {
+                corr,
+                error: AllocationError::UnknownTicket,
+            });
+            return;
+        }
+    };
+    match deadline_ms {
+        None => {
+            let outcome = shared.manager.wait(backend_ticket);
+            state.deliver_outcome(corr, outcome);
+        }
+        Some(ms) => match shared
+            .manager
+            .wait_deadline(backend_ticket, Duration::from_millis(ms))
+        {
+            Some(outcome) => state.deliver_outcome(corr, outcome),
+            None => {
+                // The deadline elapsed; the ticket stays redeemable.
+                state.tickets.lock().insert(ticket, backend_ticket);
+                state.send(&ServerFrame::TimedOut { corr });
+            }
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// The correlation id a response frame answers, if any.
+fn corr_of(frame: &ServerFrame) -> Option<RequestId> {
+    match frame {
+        ServerFrame::HelloAck { .. } | ServerFrame::HelloReject { .. } => None,
+        ServerFrame::Submitted { corr, .. }
+        | ServerFrame::BatchSubmitted { corr, .. }
+        | ServerFrame::Outcome { corr, .. }
+        | ServerFrame::Pending { corr }
+        | ServerFrame::TimedOut { corr }
+        | ServerFrame::Released { corr }
+        | ServerFrame::StatsReply { corr, .. }
+        | ServerFrame::Ack { corr }
+        | ServerFrame::Error { corr, .. } => Some(*corr),
+    }
+}
+
+struct ClientShared {
+    /// Requests awaiting their response frame, by correlation id.  The
+    /// reader thread routes each incoming frame to its sender; dropping a
+    /// sender (during connection teardown) wakes the waiting request with
+    /// a receive error.
+    pending: Mutex<HashMap<u64, Sender<ServerFrame>>>,
+    /// Why the connection died, once it has.
+    dead: Mutex<Option<String>>,
+}
+
+impl ClientShared {
+    /// Records the death reason and wakes every in-flight request.
+    ///
+    /// The `dead` lock is held across the `pending` clear so no request can
+    /// slip between the two: [`RemoteBackend::request`] registers itself in
+    /// `pending` while holding `dead`, so it either registers before the
+    /// clear (and is woken by it) or observes the death reason and never
+    /// blocks.
+    fn poison(&self, reason: String) {
+        let mut dead = self.dead.lock();
+        dead.get_or_insert(reason);
+        self.pending.lock().clear();
+    }
+
+    fn death_error(&self) -> AllocationError {
+        AllocationError::Network(
+            self.dead
+                .lock()
+                .clone()
+                .unwrap_or_else(|| "connection closed".to_string()),
+        )
+    }
+}
+
+/// The [`ResourceManager`] surface served by a remote `ypd` daemon over one
+/// TCP connection.
+///
+/// All trait methods are safe to call from many threads at once; requests
+/// are correlated by [`RequestId`], so several tickets can be in flight on
+/// the single socket — the paper's pipelining across a network hop.
+/// Tickets are branded per connection: redeeming a remote ticket on a
+/// different backend (or vice versa) fails with
+/// [`AllocationError::UnknownTicket`].
+///
+/// [`RemoteBackend::stats`] degrades to an empty snapshot if the
+/// connection has died (the trait method is infallible); every other
+/// operation reports [`AllocationError::Network`] /
+/// [`AllocationError::Protocol`] faithfully.
+pub struct RemoteBackend {
+    writer: Mutex<TcpStream>,
+    shared: Arc<ClientShared>,
+    corr: RequestIdGenerator,
+    brand: u64,
+    version: u16,
+    closed: AtomicBool,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl RemoteBackend {
+    /// Connects to a `ypd` daemon and negotiates the protocol version.
+    pub fn connect(addr: &StageAddress) -> Result<Self, AllocationError> {
+        let mut stream = TcpStream::connect((addr.host.as_str(), addr.port))
+            .map_err(|e| AllocationError::Network(format!("connect {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+
+        write_frame(
+            &mut stream,
+            &ClientFrame::Hello {
+                min_version: MIN_SUPPORTED_VERSION,
+                max_version: PROTOCOL_VERSION,
+            },
+        )
+        .map_err(|e| AllocationError::Network(format!("hello: {e}")))?;
+        let version = match read_server_frame(&mut stream) {
+            Ok(Some(ServerFrame::HelloAck { version })) => version,
+            Ok(Some(ServerFrame::HelloReject { message })) => {
+                return Err(AllocationError::Protocol(format!(
+                    "server rejected the connection: {message}"
+                )))
+            }
+            Ok(Some(other)) => {
+                return Err(AllocationError::Protocol(format!(
+                    "expected HelloAck, got {other:?}"
+                )))
+            }
+            Ok(None) => {
+                return Err(AllocationError::Network(
+                    "server closed the connection during the handshake".to_string(),
+                ))
+            }
+            Err(e) => return Err(AllocationError::Network(format!("handshake: {e}"))),
+        };
+
+        let shared = Arc::new(ClientShared {
+            pending: Mutex::new(HashMap::new()),
+            dead: Mutex::new(None),
+        });
+        let mut read_stream = stream
+            .try_clone()
+            .map_err(|e| AllocationError::Network(format!("clone stream: {e}")))?;
+        let reader_shared = shared.clone();
+        let reader = std::thread::spawn(move || loop {
+            match read_server_frame(&mut read_stream) {
+                Ok(Some(frame)) => match corr_of(&frame) {
+                    Some(corr) => {
+                        let sender = reader_shared.pending.lock().remove(&corr.0);
+                        if let Some(sender) = sender {
+                            let _ = sender.send(frame);
+                        }
+                    }
+                    None => {
+                        reader_shared
+                            .poison("unexpected handshake frame after connect".to_string());
+                        break;
+                    }
+                },
+                Ok(None) => {
+                    reader_shared.poison("server closed the connection".to_string());
+                    break;
+                }
+                Err(e) => {
+                    reader_shared.poison(e.to_string());
+                    break;
+                }
+            }
+        });
+
+        Ok(RemoteBackend {
+            writer: Mutex::new(stream),
+            shared,
+            corr: RequestIdGenerator::new(),
+            brand: crate::api::next_backend_brand(),
+            version,
+            closed: AtomicBool::new(false),
+            reader: Mutex::new(Some(reader)),
+        })
+    }
+
+    /// The protocol version negotiated for this connection.
+    pub fn protocol_version(&self) -> u16 {
+        self.version
+    }
+
+    /// Sends one request frame and blocks for the response that carries the
+    /// same correlation id.  Other threads' requests interleave freely on
+    /// the connection meanwhile.
+    fn request(
+        &self,
+        build: impl FnOnce(RequestId) -> ClientFrame,
+    ) -> Result<ServerFrame, AllocationError> {
+        let corr = self.corr.next();
+        let (tx, rx): (Sender<ServerFrame>, Receiver<ServerFrame>) = unbounded();
+        {
+            // Check-and-register atomically with respect to `poison` (which
+            // holds `dead` while clearing `pending`): otherwise the reader
+            // thread could die between our check and our insert, leaving a
+            // registration nothing will ever answer — a permanent hang.
+            let dead = self.shared.dead.lock();
+            if dead.is_some() {
+                drop(dead);
+                return Err(self.shared.death_error());
+            }
+            self.shared.pending.lock().insert(corr.0, tx);
+        }
+        let frame = build(corr);
+        let write_result = {
+            let mut writer = self.writer.lock();
+            write_frame(&mut *writer, &frame)
+        };
+        if let Err(e) = write_result {
+            self.shared.pending.lock().remove(&corr.0);
+            // `write_frame` refuses an over-limit frame with InvalidData
+            // *before* sending anything, so the connection is still
+            // perfectly consistent: report it against this request only
+            // instead of poisoning every other in-flight one.
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                return Err(AllocationError::Protocol(e.to_string()));
+            }
+            self.shared.poison(e.to_string());
+            return Err(self.shared.death_error());
+        }
+        rx.recv().map_err(|_| self.shared.death_error())
+    }
+
+    fn check_brand(&self, ticket: Ticket) -> Result<u64, AllocationError> {
+        if ticket.brand() != self.brand {
+            return Err(AllocationError::UnknownTicket);
+        }
+        Ok(ticket.id())
+    }
+
+    fn unexpected(frame: ServerFrame) -> AllocationError {
+        AllocationError::Protocol(format!("unexpected response frame: {frame:?}"))
+    }
+
+    /// Refuses a query rendering the decoder on the far side would reject,
+    /// *before* it poisons the whole connection: the codec caps individual
+    /// strings at [`MAX_SEQUENCE_LEN`].
+    fn check_wire_text(text: &str) -> Result<(), AllocationError> {
+        if text.len() > MAX_SEQUENCE_LEN {
+            return Err(AllocationError::Protocol(format!(
+                "query text of {} bytes exceeds the wire limit of {MAX_SEQUENCE_LEN} bytes",
+                text.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Submits one query already rendered in the native text form — the
+    /// protocol's query encoding.
+    fn submit_rendered(&self, query: String) -> Result<Ticket, AllocationError> {
+        Self::check_wire_text(&query)?;
+        match self.request(|corr| ClientFrame::Submit { corr, query })? {
+            ServerFrame::Submitted { ticket, .. } => Ok(Ticket::from_parts(self.brand, ticket)),
+            ServerFrame::Error { error, .. } => Err(error),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon itself to drain and exit (administrative; not part
+    /// of the [`ResourceManager`] surface).  The daemon stops accepting
+    /// connections; this session should [`shutdown`](ResourceManager::shutdown)
+    /// afterwards so the drain can complete.
+    pub fn halt_daemon(&self) -> Result<(), AllocationError> {
+        match self.request(|corr| ClientFrame::Halt { corr })? {
+            ServerFrame::Ack { .. } => Ok(()),
+            ServerFrame::Error { error, .. } => Err(error),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Closes the transport and joins the reader thread.
+    fn close_transport(&self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        {
+            let writer = self.writer.lock();
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+        }
+        let reader = self.reader.lock().take();
+        if let Some(reader) = reader {
+            let _ = reader.join();
+        }
+    }
+}
+
+impl ResourceManager for RemoteBackend {
+    fn submit(&self, query: Query) -> Result<Ticket, AllocationError> {
+        // The native text rendering is the protocol's query encoding.
+        self.submit_rendered(query.to_string())
+    }
+
+    /// Ships the text as-is: it already *is* the wire encoding, so there is
+    /// nothing to parse client-side — the server's query manager parses it
+    /// once, exactly like an in-process submission, and parse errors come
+    /// back through the protocol's error taxonomy.
+    fn submit_text(&self, text: &str) -> Result<Ticket, AllocationError> {
+        self.submit_rendered(text.to_string())
+    }
+
+    fn submit_batch(&self, queries: Vec<Query>) -> Result<Vec<Ticket>, AllocationError> {
+        let rendered: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
+        for query in &rendered {
+            Self::check_wire_text(query)?;
+        }
+        match self.request(|corr| ClientFrame::SubmitBatch {
+            corr,
+            queries: rendered,
+        })? {
+            ServerFrame::BatchSubmitted { tickets, .. } => Ok(tickets
+                .into_iter()
+                .map(|id| Ticket::from_parts(self.brand, id))
+                .collect()),
+            ServerFrame::Error { error, .. } => Err(error),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    fn wait(&self, ticket: Ticket) -> QueryOutcome {
+        let wire_id = self.check_brand(ticket)?;
+        match self.request(|corr| ClientFrame::Wait {
+            corr,
+            ticket: wire_id,
+            deadline_ms: None,
+        })? {
+            ServerFrame::Outcome { outcome, .. } => outcome,
+            ServerFrame::Error { error, .. } => Err(error),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    fn wait_deadline(&self, ticket: Ticket, timeout: Duration) -> Option<QueryOutcome> {
+        let wire_id = match self.check_brand(ticket) {
+            Ok(id) => id,
+            Err(e) => return Some(Err(e)),
+        };
+        let deadline_ms = u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX);
+        match self.request(|corr| ClientFrame::Wait {
+            corr,
+            ticket: wire_id,
+            deadline_ms: Some(deadline_ms),
+        }) {
+            Ok(ServerFrame::Outcome { outcome, .. }) => Some(outcome),
+            Ok(ServerFrame::TimedOut { .. }) => None,
+            Ok(ServerFrame::Error { error, .. }) => Some(Err(error)),
+            Ok(other) => Some(Err(Self::unexpected(other))),
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    fn try_poll(&self, ticket: Ticket) -> Option<QueryOutcome> {
+        let wire_id = match self.check_brand(ticket) {
+            Ok(id) => id,
+            Err(e) => return Some(Err(e)),
+        };
+        match self.request(|corr| ClientFrame::Poll {
+            corr,
+            ticket: wire_id,
+        }) {
+            Ok(ServerFrame::Outcome { outcome, .. }) => Some(outcome),
+            Ok(ServerFrame::Pending { .. }) => None,
+            Ok(ServerFrame::Error { error, .. }) => Some(Err(error)),
+            Ok(other) => Some(Err(Self::unexpected(other))),
+            Err(e) => Some(Err(e)),
+        }
+    }
+
+    fn release(&self, allocation: &crate::allocation::Allocation) -> Result<(), AllocationError> {
+        match self.request(|corr| ClientFrame::Release {
+            corr,
+            allocation: allocation.clone(),
+        })? {
+            ServerFrame::Released { .. } => Ok(()),
+            ServerFrame::Error { error, .. } => Err(error),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        match self.request(|corr| ClientFrame::Stats { corr }) {
+            Ok(ServerFrame::StatsReply { stats, .. }) => stats,
+            _ => StatsSnapshot::default(),
+        }
+    }
+
+    fn shutdown(&self) -> Result<(), AllocationError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        // Tell the server so it can settle the session eagerly; a dead
+        // connection is already shut down as far as the client can tell.
+        let result = self.request(|corr| ClientFrame::Shutdown { corr });
+        self.close_transport();
+        match result {
+            Ok(ServerFrame::Ack { .. }) | Err(AllocationError::Network(_)) => Ok(()),
+            Ok(ServerFrame::Error { error, .. }) => Err(error),
+            Ok(other) => Err(Self::unexpected(other)),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for RemoteBackend {
+    fn drop(&mut self) {
+        // Closing the socket ends the server session, which settles any
+        // tickets this client abandoned.
+        self.close_transport();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{BackendKind, PipelineBuilder};
+    use actyp_grid::{FleetSpec, SyntheticFleet};
+    use std::io::Write;
+
+    fn fleet_db(n: usize, seed: u64) -> actyp_grid::SharedDatabase {
+        SyntheticFleet::new(FleetSpec::with_machines(n), seed)
+            .generate()
+            .into_shared()
+    }
+
+    fn loopback() -> StageAddress {
+        StageAddress::new("127.0.0.1", 0)
+    }
+
+    fn serve_kind(kind: BackendKind, machines: usize, seed: u64) -> ServerHandle {
+        PipelineBuilder::new()
+            .database(fleet_db(machines, seed))
+            .serve(&loopback(), kind)
+            .unwrap()
+    }
+
+    fn paper_text() -> String {
+        Query::paper_example().to_string()
+    }
+
+    #[test]
+    fn remote_round_trip_over_every_hosted_backend() {
+        for kind in BackendKind::ALL {
+            let server = serve_kind(kind, 300, 1);
+            let remote = RemoteBackend::connect(&server.local_addr()).unwrap();
+            assert_eq!(remote.protocol_version(), PROTOCOL_VERSION);
+            let ticket = remote.submit_text(&paper_text()).unwrap();
+            let allocations = remote.wait(ticket).unwrap();
+            assert_eq!(allocations.len(), 1, "{kind}");
+            assert!(allocations[0].machine_name.contains("sun"), "{kind}");
+            remote.release(&allocations[0]).unwrap();
+            let stats = remote.stats();
+            assert_eq!(stats.requests, 1, "{kind}");
+            assert_eq!(stats.releases, 1, "{kind}");
+            remote.halt_daemon().unwrap();
+            remote.shutdown().unwrap();
+            server.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn remote_tickets_pipeline_on_one_connection() {
+        let server = PipelineBuilder::new()
+            .database(fleet_db(400, 2))
+            .query_managers(2)
+            .serve(&loopback(), BackendKind::Live)
+            .unwrap();
+        let remote = RemoteBackend::connect(&server.local_addr()).unwrap();
+        let query = Query::paper_example();
+
+        // Several tickets in flight on the socket before the first wait.
+        let tickets: Vec<Ticket> = (0..5)
+            .map(|_| remote.submit(query.clone()).unwrap())
+            .collect();
+        assert!(
+            remote.stats().in_flight >= 2,
+            "server-side stats must show overlapping tickets"
+        );
+        for ticket in tickets {
+            let allocations = remote.wait(ticket).unwrap();
+            remote.release(&allocations[0]).unwrap();
+        }
+        assert_eq!(remote.stats().allocations, 5);
+        assert_eq!(remote.stats().in_flight, 0);
+
+        remote.halt_daemon().unwrap();
+        remote.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn wait_deadline_times_out_and_the_ticket_survives() {
+        let server = serve_kind(BackendKind::Live, 200, 3);
+        let remote = RemoteBackend::connect(&server.local_addr()).unwrap();
+        let ticket = remote.submit_text(&paper_text()).unwrap();
+        // A zero deadline may or may not catch the outcome; a generous one
+        // must.  Either way the ticket remains redeemable after a timeout.
+        if remote.wait_deadline(ticket, Duration::ZERO).is_none() {
+            let outcome = remote
+                .wait_deadline(ticket, Duration::from_secs(10))
+                .expect("resolves within the deadline");
+            let allocations = outcome.unwrap();
+            remote.release(&allocations[0]).unwrap();
+        }
+        remote.halt_daemon().unwrap();
+        remote.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn remote_errors_cross_the_wire_intact() {
+        let server = serve_kind(BackendKind::Embedded, 100, 4);
+        let remote = RemoteBackend::connect(&server.local_addr()).unwrap();
+        // Allocation failure.
+        let err = remote
+            .submit_text_wait("punch.rsrc.arch = cray\n")
+            .unwrap_err();
+        assert_eq!(err, AllocationError::NoSuchResources);
+        // Parse failure (parsed server side).
+        let ticket_err = remote.submit_text("garbage").unwrap_err();
+        assert!(matches!(ticket_err, AllocationError::Parse(_)));
+        // Unknown-ticket and double-release failures.
+        let ticket = remote.submit_text(&paper_text()).unwrap();
+        let allocations = remote.wait(ticket).unwrap();
+        assert_eq!(
+            remote.wait(ticket).unwrap_err(),
+            AllocationError::UnknownTicket
+        );
+        remote.release(&allocations[0]).unwrap();
+        assert_eq!(
+            remote.release(&allocations[0]).unwrap_err(),
+            AllocationError::UnknownAllocation
+        );
+        remote.halt_daemon().unwrap();
+        remote.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn remote_tickets_are_branded_per_connection() {
+        let server = serve_kind(BackendKind::Embedded, 200, 5);
+        let first = RemoteBackend::connect(&server.local_addr()).unwrap();
+        let second = RemoteBackend::connect(&server.local_addr()).unwrap();
+        let ticket = first.submit_text(&paper_text()).unwrap();
+        assert_eq!(
+            second.wait(ticket).unwrap_err(),
+            AllocationError::UnknownTicket
+        );
+        assert!(first.wait(ticket).is_ok());
+        first.halt_daemon().unwrap();
+        first.shutdown().unwrap();
+        second.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn server_side_ticket_tables_are_session_scoped() {
+        let server = serve_kind(BackendKind::Embedded, 200, 21);
+        let addr = server.local_addr();
+        let first = RemoteBackend::connect(&addr).unwrap();
+        let ticket = first.submit_text(&paper_text()).unwrap();
+
+        // A raw second session replays the FIRST session's wire ticket id,
+        // bypassing the client-side brand check entirely: the server must
+        // refuse it from its own (empty) session table.
+        let mut raw = TcpStream::connect((addr.host.as_str(), addr.port)).unwrap();
+        write_frame(
+            &mut raw,
+            &ClientFrame::Hello {
+                min_version: PROTOCOL_VERSION,
+                max_version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_server_frame(&mut raw).unwrap(),
+            Some(ServerFrame::HelloAck { .. })
+        ));
+        write_frame(
+            &mut raw,
+            &ClientFrame::Wait {
+                corr: RequestId(1),
+                ticket: ticket.id(),
+                deadline_ms: None,
+            },
+        )
+        .unwrap();
+        match read_server_frame(&mut raw).unwrap() {
+            Some(ServerFrame::Error { error, .. }) => {
+                assert_eq!(error, AllocationError::UnknownTicket);
+            }
+            other => panic!("expected UnknownTicket, got {other:?}"),
+        }
+        drop(raw);
+
+        // The issuing session still redeems it.
+        let allocations = first.wait(ticket).unwrap();
+        first.release(&allocations[0]).unwrap();
+        first.halt_daemon().unwrap();
+        first.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn abandoned_blocked_submissions_do_not_wedge_the_drain() {
+        // A raw client floods more submissions than the live backend's
+        // admission window and vanishes without redeeming anything.  The
+        // blocked submit workers' permits are held by the abandoned
+        // tickets; teardown must settle and join iteratively or the
+        // session (and the whole drain) wedges forever.
+        let db = fleet_db(300, 22);
+        let server = PipelineBuilder::new()
+            .database(db.clone())
+            .window(2)
+            .serve(&loopback(), BackendKind::Live)
+            .unwrap();
+        let addr = server.local_addr();
+        {
+            let mut raw = TcpStream::connect((addr.host.as_str(), addr.port)).unwrap();
+            write_frame(
+                &mut raw,
+                &ClientFrame::Hello {
+                    min_version: PROTOCOL_VERSION,
+                    max_version: PROTOCOL_VERSION,
+                },
+            )
+            .unwrap();
+            assert!(matches!(
+                read_server_frame(&mut raw).unwrap(),
+                Some(ServerFrame::HelloAck { .. })
+            ));
+            for i in 0..5 {
+                write_frame(
+                    &mut raw,
+                    &ClientFrame::Submit {
+                        corr: RequestId(i),
+                        query: paper_text(),
+                    },
+                )
+                .unwrap();
+            }
+            // Dropped without reading replies or redeeming a single ticket.
+        }
+        server.halt();
+        server.join().unwrap();
+        // Every allocation the abandoned submissions produced was settled.
+        let active: u32 = db.read().iter().map(|m| m.dynamic.active_jobs).sum();
+        assert_eq!(active, 0);
+    }
+
+    #[test]
+    fn abandoned_sessions_release_their_allocations() {
+        let db = fleet_db(200, 6);
+        let server = PipelineBuilder::new()
+            .database(db.clone())
+            .serve(&loopback(), BackendKind::Embedded)
+            .unwrap();
+        {
+            let remote = RemoteBackend::connect(&server.local_addr()).unwrap();
+            let _ticket = remote.submit_text(&paper_text()).unwrap();
+            // Dropped without wait/release: the client vanishes.
+        }
+        server.halt();
+        server.join().unwrap();
+        // The session settled the abandoned ticket: nothing stays claimed.
+        let active: u32 = db.read().iter().map(|m| m.dynamic.active_jobs).sum();
+        assert_eq!(active, 0);
+    }
+
+    #[test]
+    fn redeemed_but_unreleased_allocations_return_with_the_session() {
+        // The nastier variant: the client *redeems* the outcome (so the
+        // ticket has left the session table) and then vanishes without
+        // releasing.  The allocation is a session lease, so teardown hands
+        // it back — including when the Outcome delivery itself raced the
+        // disconnect.
+        let db = fleet_db(200, 7);
+        let server = PipelineBuilder::new()
+            .database(db.clone())
+            .serve(&loopback(), BackendKind::Embedded)
+            .unwrap();
+        {
+            let remote = RemoteBackend::connect(&server.local_addr()).unwrap();
+            let ticket = remote.submit_text(&paper_text()).unwrap();
+            let allocations = remote.wait(ticket).unwrap();
+            assert_eq!(allocations.len(), 1);
+            // Dropped holding the allocation.
+        }
+        server.halt();
+        server.join().unwrap();
+        let active: u32 = db.read().iter().map(|m| m.dynamic.active_jobs).sum();
+        assert_eq!(active, 0);
+    }
+
+    #[test]
+    fn disconnect_racing_an_in_flight_wait_leaks_nothing() {
+        // Raw client: submit, read Submitted, fire a Wait, and hang up
+        // without reading the Outcome.  The wait worker has already pulled
+        // the ticket out of the session table, so only the lease mechanism
+        // can return the allocation.
+        let db = fleet_db(200, 8);
+        let server = PipelineBuilder::new()
+            .database(db.clone())
+            .serve(&loopback(), BackendKind::Embedded)
+            .unwrap();
+        let addr = server.local_addr();
+        {
+            let mut raw = TcpStream::connect((addr.host.as_str(), addr.port)).unwrap();
+            write_frame(
+                &mut raw,
+                &ClientFrame::Hello {
+                    min_version: PROTOCOL_VERSION,
+                    max_version: PROTOCOL_VERSION,
+                },
+            )
+            .unwrap();
+            assert!(matches!(
+                read_server_frame(&mut raw).unwrap(),
+                Some(ServerFrame::HelloAck { .. })
+            ));
+            write_frame(
+                &mut raw,
+                &ClientFrame::Submit {
+                    corr: RequestId(0),
+                    query: paper_text(),
+                },
+            )
+            .unwrap();
+            let ticket = match read_server_frame(&mut raw).unwrap() {
+                Some(ServerFrame::Submitted { ticket, .. }) => ticket,
+                other => panic!("expected Submitted, got {other:?}"),
+            };
+            write_frame(
+                &mut raw,
+                &ClientFrame::Wait {
+                    corr: RequestId(1),
+                    ticket,
+                    deadline_ms: None,
+                },
+            )
+            .unwrap();
+            // Dropped without reading the Outcome.
+        }
+        server.halt();
+        server.join().unwrap();
+        let active: u32 = db.read().iter().map(|m| m.dynamic.active_jobs).sum();
+        assert_eq!(active, 0);
+    }
+
+    #[test]
+    fn version_negotiation_rejects_a_future_only_client() {
+        let server = serve_kind(BackendKind::Embedded, 50, 7);
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect((addr.host.as_str(), addr.port)).unwrap();
+        write_frame(
+            &mut stream,
+            &ClientFrame::Hello {
+                min_version: PROTOCOL_VERSION + 1,
+                max_version: PROTOCOL_VERSION + 9,
+            },
+        )
+        .unwrap();
+        match read_server_frame(&mut stream).unwrap() {
+            Some(ServerFrame::HelloReject { message }) => {
+                assert!(message.contains("no common protocol version"), "{message}");
+            }
+            other => panic!("expected HelloReject, got {other:?}"),
+        }
+        drop(stream);
+        server.halt();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn garbage_on_the_socket_does_not_kill_the_daemon() {
+        let server = serve_kind(BackendKind::Embedded, 50, 8);
+        let addr = server.local_addr();
+        {
+            let mut stream = TcpStream::connect((addr.host.as_str(), addr.port)).unwrap();
+            stream.write_all(&[0xFF; 64]).unwrap();
+        }
+        // The daemon survives and serves a well-behaved client afterwards.
+        let remote = RemoteBackend::connect(&addr).unwrap();
+        let allocations = remote.submit_text_wait(&paper_text()).unwrap();
+        remote.release(&allocations[0]).unwrap();
+        remote.halt_daemon().unwrap();
+        remote.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn halt_stops_the_daemon_and_new_connections_fail() {
+        let server = serve_kind(BackendKind::Embedded, 50, 9);
+        let addr = server.local_addr();
+        let remote = RemoteBackend::connect(&addr).unwrap();
+        remote.halt_daemon().unwrap();
+        remote.shutdown().unwrap();
+        server.join().unwrap();
+        // The listener is gone: connecting now fails (or is immediately
+        // closed before any HelloAck).
+        assert!(RemoteBackend::connect(&addr).is_err());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_poisons_later_calls() {
+        let server = serve_kind(BackendKind::Embedded, 100, 10);
+        let remote = RemoteBackend::connect(&server.local_addr()).unwrap();
+        remote.shutdown().unwrap();
+        remote.shutdown().unwrap();
+        let err = remote.submit_text(&paper_text()).unwrap_err();
+        assert!(matches!(err, AllocationError::Network(_)), "{err:?}");
+        server.halt();
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,654 @@
+//! Protocol frames: the request/response vocabulary of the `ypd` wire
+//! protocol, with length-prefixed framing and version negotiation.
+//!
+//! # Framing
+//!
+//! Every frame is `[u32 length (big endian)][body]`, where the body is one
+//! encoded [`ClientFrame`] or [`ServerFrame`] (a tag byte followed by the
+//! variant's payload).  The declared length must match the body exactly:
+//! decoders reject both truncated and over-long payloads, so a corrupted
+//! stream surfaces as a [`DecodeError`] instead of silent desynchronisation.
+//!
+//! # Version negotiation
+//!
+//! The first frame on a connection must be [`ClientFrame::Hello`], carrying
+//! the closed range of protocol versions the client speaks.  The server
+//! answers [`ServerFrame::HelloAck`] with the highest version both sides
+//! support (see [`negotiate`]) or [`ServerFrame::HelloReject`] and closes
+//! the connection.  All subsequent frames are interpreted under the agreed
+//! version.
+//!
+//! # Correlation and pipelining
+//!
+//! Every request after the hello carries a [`RequestId`]; the response that
+//! answers it echoes the same id.  Responses may arrive in any order, which
+//! is what lets a client keep many tickets in flight on one socket — the
+//! paper's pipelining, spanning a real network hop.
+
+use std::io::{self, Read, Write};
+
+use crate::types::{Allocation, AllocationError, RequestId, StatsSnapshot};
+use crate::wire::{DecodeError, Reader, WireDecode, WireEncode};
+
+/// Current (and highest supported) protocol version.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Oldest protocol version this build still speaks.
+pub const MIN_SUPPORTED_VERSION: u16 = 1;
+
+/// Hard upper bound on one frame's body length (16 MiB).  A peer declaring
+/// more is protocol-violating; the connection should be dropped.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Picks the protocol version for a connection: the highest version inside
+/// both the client's offered range and this build's supported range, or
+/// `None` when the ranges do not overlap.
+pub fn negotiate(client_min: u16, client_max: u16) -> Option<u16> {
+    let high = client_max.min(PROTOCOL_VERSION);
+    (high >= client_min && high >= MIN_SUPPORTED_VERSION).then_some(high)
+}
+
+/// The outcome payload of a redeemed ticket, as carried on the wire.
+pub type WireOutcome = Result<Vec<Allocation>, AllocationError>;
+
+/// Frames a client sends to a `ypd` daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Mandatory first frame: the closed range of protocol versions the
+    /// client can speak.
+    Hello {
+        /// Oldest version the client accepts.
+        min_version: u16,
+        /// Newest version the client accepts.
+        max_version: u16,
+    },
+    /// Submit one query (in the native key/value text form) for a ticket.
+    Submit {
+        /// Correlation id echoed by the response.
+        corr: RequestId,
+        /// The query, rendered in the native text format.
+        query: String,
+    },
+    /// Submit a batch of queries, all-or-nothing, for one ticket each.
+    SubmitBatch {
+        /// Correlation id echoed by the response.
+        corr: RequestId,
+        /// The queries, each rendered in the native text format.
+        queries: Vec<String>,
+    },
+    /// Redeem a ticket, blocking server-side until it resolves or the
+    /// optional deadline elapses.
+    Wait {
+        /// Correlation id echoed by the response.
+        corr: RequestId,
+        /// The server-issued ticket id to redeem.
+        ticket: u64,
+        /// Give up after this many milliseconds (the ticket stays live);
+        /// `None` blocks until the outcome is ready.
+        deadline_ms: Option<u64>,
+    },
+    /// Non-blocking redemption probe.
+    Poll {
+        /// Correlation id echoed by the response.
+        corr: RequestId,
+        /// The server-issued ticket id to probe.
+        ticket: u64,
+    },
+    /// Hand an allocation back to the resource manager.
+    Release {
+        /// Correlation id echoed by the response.
+        corr: RequestId,
+        /// The allocation being returned (self-describing).
+        allocation: Allocation,
+    },
+    /// Request a snapshot of the backend's lifetime counters.
+    Stats {
+        /// Correlation id echoed by the response.
+        corr: RequestId,
+    },
+    /// End this session gracefully: the server settles any tickets the
+    /// session still holds and closes the connection after acknowledging.
+    Shutdown {
+        /// Correlation id echoed by the response.
+        corr: RequestId,
+    },
+    /// Ask the daemon itself to drain: stop accepting connections, let the
+    /// open sessions finish, then exit.  Used by operators and CI.
+    Halt {
+        /// Correlation id echoed by the response.
+        corr: RequestId,
+    },
+}
+
+/// Frames a `ypd` daemon sends back to a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// Version negotiation succeeded; all further frames use `version`.
+    HelloAck {
+        /// The agreed protocol version.
+        version: u16,
+    },
+    /// Version negotiation failed; the server closes the connection.
+    HelloReject {
+        /// Human-readable explanation (supported range, etc.).
+        message: String,
+    },
+    /// A `Submit` was accepted; the query is now in flight.
+    Submitted {
+        /// Correlation id of the `Submit` this answers.
+        corr: RequestId,
+        /// Server-issued ticket id redeemable with `Wait` / `Poll`.
+        ticket: u64,
+    },
+    /// A `SubmitBatch` was accepted in full.
+    BatchSubmitted {
+        /// Correlation id of the `SubmitBatch` this answers.
+        corr: RequestId,
+        /// One server-issued ticket id per query, in submission order.
+        tickets: Vec<u64>,
+    },
+    /// A ticket resolved (answers `Wait`, or `Poll` when ready).  The
+    /// ticket is now spent.
+    Outcome {
+        /// Correlation id of the request this answers.
+        corr: RequestId,
+        /// The query's outcome.
+        outcome: WireOutcome,
+    },
+    /// Answers `Poll` while the ticket is still in flight (ticket stays
+    /// live).
+    Pending {
+        /// Correlation id of the `Poll` this answers.
+        corr: RequestId,
+    },
+    /// Answers `Wait` whose deadline elapsed first (ticket stays live).
+    TimedOut {
+        /// Correlation id of the `Wait` this answers.
+        corr: RequestId,
+    },
+    /// A `Release` succeeded.
+    Released {
+        /// Correlation id of the `Release` this answers.
+        corr: RequestId,
+    },
+    /// Answers `Stats`.
+    StatsReply {
+        /// Correlation id of the `Stats` this answers.
+        corr: RequestId,
+        /// The backend's lifetime counters.
+        stats: StatsSnapshot,
+    },
+    /// Generic success acknowledgement (`Shutdown`, `Halt`).
+    Ack {
+        /// Correlation id of the request this answers.
+        corr: RequestId,
+    },
+    /// The request failed; carries the full error taxonomy.
+    Error {
+        /// Correlation id of the request this answers.
+        corr: RequestId,
+        /// Why it failed.
+        error: AllocationError,
+    },
+}
+
+impl WireEncode for ClientFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientFrame::Hello {
+                min_version,
+                max_version,
+            } => {
+                out.push(0);
+                min_version.encode(out);
+                max_version.encode(out);
+            }
+            ClientFrame::Submit { corr, query } => {
+                out.push(1);
+                corr.encode(out);
+                query.encode(out);
+            }
+            ClientFrame::SubmitBatch { corr, queries } => {
+                out.push(2);
+                corr.encode(out);
+                queries.encode(out);
+            }
+            ClientFrame::Wait {
+                corr,
+                ticket,
+                deadline_ms,
+            } => {
+                out.push(3);
+                corr.encode(out);
+                ticket.encode(out);
+                deadline_ms.encode(out);
+            }
+            ClientFrame::Poll { corr, ticket } => {
+                out.push(4);
+                corr.encode(out);
+                ticket.encode(out);
+            }
+            ClientFrame::Release { corr, allocation } => {
+                out.push(5);
+                corr.encode(out);
+                allocation.encode(out);
+            }
+            ClientFrame::Stats { corr } => {
+                out.push(6);
+                corr.encode(out);
+            }
+            ClientFrame::Shutdown { corr } => {
+                out.push(7);
+                corr.encode(out);
+            }
+            ClientFrame::Halt { corr } => {
+                out.push(8);
+                corr.encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for ClientFrame {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => ClientFrame::Hello {
+                min_version: u16::decode(r)?,
+                max_version: u16::decode(r)?,
+            },
+            1 => ClientFrame::Submit {
+                corr: RequestId::decode(r)?,
+                query: String::decode(r)?,
+            },
+            2 => ClientFrame::SubmitBatch {
+                corr: RequestId::decode(r)?,
+                queries: Vec::<String>::decode(r)?,
+            },
+            3 => ClientFrame::Wait {
+                corr: RequestId::decode(r)?,
+                ticket: u64::decode(r)?,
+                deadline_ms: Option::<u64>::decode(r)?,
+            },
+            4 => ClientFrame::Poll {
+                corr: RequestId::decode(r)?,
+                ticket: u64::decode(r)?,
+            },
+            5 => ClientFrame::Release {
+                corr: RequestId::decode(r)?,
+                allocation: Allocation::decode(r)?,
+            },
+            6 => ClientFrame::Stats {
+                corr: RequestId::decode(r)?,
+            },
+            7 => ClientFrame::Shutdown {
+                corr: RequestId::decode(r)?,
+            },
+            8 => ClientFrame::Halt {
+                corr: RequestId::decode(r)?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    context: "ClientFrame",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl WireEncode for ServerFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ServerFrame::HelloAck { version } => {
+                out.push(0);
+                version.encode(out);
+            }
+            ServerFrame::HelloReject { message } => {
+                out.push(1);
+                message.encode(out);
+            }
+            ServerFrame::Submitted { corr, ticket } => {
+                out.push(2);
+                corr.encode(out);
+                ticket.encode(out);
+            }
+            ServerFrame::BatchSubmitted { corr, tickets } => {
+                out.push(3);
+                corr.encode(out);
+                tickets.encode(out);
+            }
+            ServerFrame::Outcome { corr, outcome } => {
+                out.push(4);
+                corr.encode(out);
+                outcome.encode(out);
+            }
+            ServerFrame::Pending { corr } => {
+                out.push(5);
+                corr.encode(out);
+            }
+            ServerFrame::TimedOut { corr } => {
+                out.push(6);
+                corr.encode(out);
+            }
+            ServerFrame::Released { corr } => {
+                out.push(7);
+                corr.encode(out);
+            }
+            ServerFrame::StatsReply { corr, stats } => {
+                out.push(8);
+                corr.encode(out);
+                stats.encode(out);
+            }
+            ServerFrame::Ack { corr } => {
+                out.push(9);
+                corr.encode(out);
+            }
+            ServerFrame::Error { corr, error } => {
+                out.push(10);
+                corr.encode(out);
+                error.encode(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for ServerFrame {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(r)? {
+            0 => ServerFrame::HelloAck {
+                version: u16::decode(r)?,
+            },
+            1 => ServerFrame::HelloReject {
+                message: String::decode(r)?,
+            },
+            2 => ServerFrame::Submitted {
+                corr: RequestId::decode(r)?,
+                ticket: u64::decode(r)?,
+            },
+            3 => ServerFrame::BatchSubmitted {
+                corr: RequestId::decode(r)?,
+                tickets: Vec::<u64>::decode(r)?,
+            },
+            4 => ServerFrame::Outcome {
+                corr: RequestId::decode(r)?,
+                outcome: WireOutcome::decode(r)?,
+            },
+            5 => ServerFrame::Pending {
+                corr: RequestId::decode(r)?,
+            },
+            6 => ServerFrame::TimedOut {
+                corr: RequestId::decode(r)?,
+            },
+            7 => ServerFrame::Released {
+                corr: RequestId::decode(r)?,
+            },
+            8 => ServerFrame::StatsReply {
+                corr: RequestId::decode(r)?,
+                stats: StatsSnapshot::decode(r)?,
+            },
+            9 => ServerFrame::Ack {
+                corr: RequestId::decode(r)?,
+            },
+            10 => ServerFrame::Error {
+                corr: RequestId::decode(r)?,
+                error: AllocationError::decode(r)?,
+            },
+            tag => {
+                return Err(DecodeError::BadTag {
+                    context: "ServerFrame",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// Transport-level failure while reading or writing frames.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket / stream failed.
+    Io(io::Error),
+    /// The bytes arrived but do not form a valid frame.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Decode(e) => write!(f, "frame decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<DecodeError> for FrameError {
+    fn from(e: DecodeError) -> Self {
+        FrameError::Decode(e)
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// A frame whose body would exceed [`MAX_FRAME_LEN`] is refused with
+/// `InvalidData` *before* any byte hits the stream: sending it would make
+/// the peer drop the whole connection (taking every other in-flight
+/// request with it), and a body over `u32::MAX` would silently corrupt the
+/// length prefix and desynchronise the stream.
+pub fn write_frame<W: Write, F: WireEncode>(w: &mut W, frame: &F) -> io::Result<()> {
+    let body = frame.to_wire_bytes();
+    if body.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "outgoing frame body of {} bytes exceeds the protocol limit of {MAX_FRAME_LEN}",
+                body.len()
+            ),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame body.  Returns `Ok(None)` on a clean end
+/// of stream (the peer closed the connection between frames).
+pub fn read_frame_body<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before any length byte means the peer hung up politely.
+    match r.read(&mut len_bytes) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_bytes[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut len_bytes)?;
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Decode(DecodeError::TooLarge {
+            declared: len,
+            limit: MAX_FRAME_LEN,
+        }));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Reads one [`ClientFrame`]; `Ok(None)` on clean end of stream.
+pub fn read_client_frame<R: Read>(r: &mut R) -> Result<Option<ClientFrame>, FrameError> {
+    match read_frame_body(r)? {
+        None => Ok(None),
+        Some(body) => Ok(Some(ClientFrame::from_wire_bytes(&body)?)),
+    }
+}
+
+/// Reads one [`ServerFrame`]; `Ok(None)` on clean end of stream.
+pub fn read_server_frame<R: Read>(r: &mut R) -> Result<Option<ServerFrame>, FrameError> {
+    match read_frame_body(r)? {
+        None => Ok(None),
+        Some(body) => Ok(Some(ServerFrame::from_wire_bytes(&body)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SessionKey;
+    use crate::wire::MAX_SEQUENCE_LEN;
+    use actyp_grid::MachineId;
+
+    fn allocation() -> Allocation {
+        Allocation {
+            request: RequestId(9),
+            machine: MachineId(4),
+            machine_name: "hp-00004.upc.es".to_string(),
+            execution_port: 7070,
+            mount_port: 7071,
+            shadow_uid: None,
+            access_key: SessionKey::derive(RequestId(9), 0, 77),
+            pool: "arch,==/hp".to_string(),
+            pool_instance: 0,
+            examined: 12,
+        }
+    }
+
+    #[test]
+    fn negotiation_picks_the_highest_common_version() {
+        assert_eq!(negotiate(1, 1), Some(1));
+        assert_eq!(negotiate(1, 99), Some(PROTOCOL_VERSION));
+        assert_eq!(
+            negotiate(MIN_SUPPORTED_VERSION, PROTOCOL_VERSION),
+            Some(PROTOCOL_VERSION)
+        );
+        // A client that only speaks future versions is rejected.
+        assert_eq!(negotiate(PROTOCOL_VERSION + 1, PROTOCOL_VERSION + 5), None);
+        // An inverted range is rejected.
+        assert_eq!(negotiate(2, 1), None);
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let frames = vec![
+            ClientFrame::Hello {
+                min_version: 1,
+                max_version: 1,
+            },
+            ClientFrame::Submit {
+                corr: RequestId(1),
+                query: "punch.rsrc.arch = sun\n".to_string(),
+            },
+            ClientFrame::Wait {
+                corr: RequestId(2),
+                ticket: 0,
+                deadline_ms: Some(250),
+            },
+            ClientFrame::Release {
+                corr: RequestId(3),
+                allocation: allocation(),
+            },
+            ClientFrame::Halt { corr: RequestId(4) },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f).unwrap();
+        }
+        let mut cursor = &stream[..];
+        for f in &frames {
+            assert_eq!(read_client_frame(&mut cursor).unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(read_client_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn server_frames_round_trip_through_a_stream() {
+        let frames = vec![
+            ServerFrame::HelloAck { version: 1 },
+            ServerFrame::Submitted {
+                corr: RequestId(1),
+                ticket: 3,
+            },
+            ServerFrame::Outcome {
+                corr: RequestId(2),
+                outcome: Ok(vec![allocation()]),
+            },
+            ServerFrame::Outcome {
+                corr: RequestId(3),
+                outcome: Err(AllocationError::NoSuchResources),
+            },
+            ServerFrame::TimedOut { corr: RequestId(4) },
+            ServerFrame::Error {
+                corr: RequestId(5),
+                error: AllocationError::Protocol("x".into()),
+            },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f).unwrap();
+        }
+        let mut cursor = &stream[..];
+        for f in &frames {
+            assert_eq!(read_server_frame(&mut cursor).unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(read_server_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_outgoing_frames_are_refused_before_any_byte_is_sent() {
+        // A batch whose rendered queries together exceed MAX_FRAME_LEN.
+        let frame = ClientFrame::SubmitBatch {
+            corr: RequestId(1),
+            queries: vec!["q".repeat(MAX_SEQUENCE_LEN - 1); 17],
+        };
+        let mut stream = Vec::new();
+        let err = write_frame(&mut stream, &frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(stream.is_empty(), "nothing reached the stream");
+    }
+
+    #[test]
+    fn oversized_frame_lengths_are_rejected_before_allocation() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_be_bytes());
+        let mut cursor = &stream[..];
+        assert!(matches!(
+            read_client_frame(&mut cursor),
+            Err(FrameError::Decode(DecodeError::TooLarge { .. }))
+        ));
+    }
+
+    #[test]
+    fn a_frame_cut_mid_body_is_an_io_error() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &ClientFrame::Stats { corr: RequestId(0) }).unwrap();
+        stream.truncate(stream.len() - 1);
+        let mut cursor = &stream[..];
+        assert!(matches!(
+            read_client_frame(&mut cursor),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn frame_length_must_match_payload_exactly() {
+        // A valid body with a spare byte appended inside the frame.
+        let mut body = ClientFrame::Stats { corr: RequestId(7) }.to_wire_bytes();
+        body.push(0xAB);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        stream.extend_from_slice(&body);
+        let mut cursor = &stream[..];
+        assert!(matches!(
+            read_client_frame(&mut cursor),
+            Err(FrameError::Decode(DecodeError::TrailingBytes { .. }))
+        ));
+    }
+}

@@ -1,0 +1,48 @@
+//! # actyp-proto — the ActYP resource-management wire protocol
+//!
+//! The paper's stages are *network* services: "queries propagate from one
+//! stage to the next via TCP or UDP", and clients talk to the resource
+//! manager over a socket.  This crate is the contract that makes the
+//! repository's unified `ResourceManager` API a protocol rather than a
+//! trait object:
+//!
+//! * [`wire`] — a hand-rolled, length-prefixed binary codec (no external
+//!   serialisation dependency): [`wire::WireEncode`] / [`wire::WireDecode`]
+//!   over big-endian integers, UTF-8 strings, options and sequences, with
+//!   total (never-panicking) decoding.
+//! * [`types`] — the client-visible data model shared by every deployment:
+//!   [`RequestId`], [`StageAddress`] (with a `host:port` `FromStr` /
+//!   `Display` round trip), [`SessionKey`], [`Allocation`], the
+//!   [`AllocationError`] taxonomy (extended with [`AllocationError::Network`]
+//!   and [`AllocationError::Protocol`] for the wire deployment) and
+//!   [`StatsSnapshot`].
+//! * [`frames`] — the protocol itself: [`ClientFrame`] / [`ServerFrame`]
+//!   covering the full `ResourceManager` surface (submit, batch submit,
+//!   wait-with-deadline, poll, release, stats, session shutdown, daemon
+//!   halt), framed as `[u32 length][body]` with explicit version
+//!   negotiation ([`ClientFrame::Hello`] → [`ServerFrame::HelloAck`]) and
+//!   response correlation by [`RequestId`] so requests pipeline on one
+//!   connection.
+//!
+//! The protocol deliberately carries queries in the native key/value *text*
+//! form: the query language is the paper's client-facing interface, its
+//! rendering round-trips through the parser, and it keeps the wire format
+//! independent of the query crate's internal AST.
+//!
+//! Consumers: `actyp_pipeline::api::RemoteBackend` (client side),
+//! `actyp_pipeline::remote::YpServer` and the `ypd` daemon binary (server
+//! side).
+
+pub mod frames;
+pub mod types;
+pub mod wire;
+
+pub use frames::{
+    negotiate, read_client_frame, read_frame_body, read_server_frame, write_frame, ClientFrame,
+    FrameError, ServerFrame, WireOutcome, MAX_FRAME_LEN, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+};
+pub use types::{
+    AddressParseError, Allocation, AllocationError, RequestId, RequestIdGenerator, SessionKey,
+    StageAddress, StatsSnapshot,
+};
+pub use wire::{DecodeError, Reader, WireDecode, WireEncode, MAX_SEQUENCE_LEN};

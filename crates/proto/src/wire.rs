@@ -1,0 +1,368 @@
+//! The hand-rolled binary codec every protocol type builds on.
+//!
+//! The build environment has no access to crates.io, so there is no serde
+//! here: each wire type implements [`WireEncode`] / [`WireDecode`] by hand
+//! over a small set of primitives — big-endian fixed-width integers,
+//! length-prefixed UTF-8 strings, tagged options and counted sequences.
+//! Decoding is *total*: any byte string either decodes to a value that
+//! re-encodes to the same bytes, or returns a [`DecodeError`] — it never
+//! panics, which is what lets a daemon read frames from untrusted sockets.
+
+use std::fmt;
+
+/// Why a byte string could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// A tag byte does not name any variant of the expected type.
+    BadTag {
+        /// The type whose tag was invalid.
+        context: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    BadUtf8,
+    /// A declared frame or sequence length exceeds the protocol limit.
+    TooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The limit it exceeds.
+        limit: usize,
+    },
+    /// The value decoded cleanly but bytes were left over — the frame
+    /// length and the payload disagree.
+    TrailingBytes {
+        /// How many bytes remained unconsumed.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { context } => {
+                write!(f, "input truncated while decoding {context}")
+            }
+            DecodeError::BadTag { context, tag } => {
+                write!(f, "invalid tag {tag:#04x} for {context}")
+            }
+            DecodeError::BadUtf8 => write!(f, "string payload is not valid UTF-8"),
+            DecodeError::TooLarge { declared, limit } => {
+                write!(f, "declared length {declared} exceeds the limit {limit}")
+            }
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after a complete value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Longest string / sequence a peer may declare (guards a malicious or
+/// corrupt length prefix from forcing a giant allocation).
+pub const MAX_SEQUENCE_LEN: usize = 1 << 20;
+
+/// A cursor over the bytes of one frame body.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes off the front.
+    pub fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { context });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Errors with [`DecodeError::TrailingBytes`] unless every byte was
+    /// consumed.  Call after decoding a frame body: the frame length and
+    /// its payload must agree exactly.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        match self.remaining() {
+            0 => Ok(()),
+            remaining => Err(DecodeError::TrailingBytes { remaining }),
+        }
+    }
+}
+
+/// Serialises a value into the wire representation.
+pub trait WireEncode {
+    /// Appends this value's wire bytes to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// This value's wire bytes as a fresh buffer.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Reconstructs a value from the wire representation.
+pub trait WireDecode: Sized {
+    /// Reads one value off the front of `r`.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Decodes a value that must span the whole buffer exactly.
+    fn from_wire_bytes(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let value = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(value)
+    }
+}
+
+macro_rules! int_wire {
+    ($($t:ty),+) => {$(
+        impl WireEncode for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_be_bytes());
+            }
+        }
+
+        impl WireDecode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                let bytes = r.take(std::mem::size_of::<$t>(), stringify!($t))?;
+                Ok(<$t>::from_be_bytes(bytes.try_into().expect("exact slice")))
+            }
+        }
+    )+};
+}
+
+int_wire!(u8, u16, u32, u64);
+
+impl WireEncode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl WireDecode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(DecodeError::BadTag {
+                context: "bool",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl WireDecode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = u32::decode(r)? as usize;
+        if len > MAX_SEQUENCE_LEN {
+            return Err(DecodeError::TooLarge {
+                declared: len,
+                limit: MAX_SEQUENCE_LEN,
+            });
+        }
+        let bytes = r.take(len, "string payload")?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+}
+
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(value) => {
+                out.push(1);
+                value.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                context: "Option",
+                tag,
+            }),
+        }
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = u32::decode(r)? as usize;
+        if len > MAX_SEQUENCE_LEN {
+            return Err(DecodeError::TooLarge {
+                declared: len,
+                limit: MAX_SEQUENCE_LEN,
+            });
+        }
+        // Cap the pre-allocation by what the input could possibly hold so a
+        // lying length prefix cannot force a huge reservation.
+        let mut items = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: WireEncode, E: WireEncode> WireEncode for Result<T, E> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Ok(value) => {
+                out.push(0);
+                value.encode(out);
+            }
+            Err(error) => {
+                out.push(1);
+                error.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: WireDecode, E: WireDecode> WireDecode for Result<T, E> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Ok(T::decode(r)?)),
+            1 => Ok(Err(E::decode(r)?)),
+            tag => Err(DecodeError::BadTag {
+                context: "Result",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_wire_bytes();
+        assert_eq!(T::from_wire_bytes(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u8::MAX);
+        round_trip(0xBEEFu16);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(String::new());
+        round_trip("actyp über alles — ünïcødé".to_string());
+        round_trip(Option::<u64>::None);
+        round_trip(Some("x".to_string()));
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Result::<u32, String>::Ok(7));
+        round_trip(Result::<u32, String>::Err("nope".to_string()));
+    }
+
+    #[test]
+    fn integers_are_big_endian() {
+        assert_eq!(0x0102u16.to_wire_bytes(), vec![0x01, 0x02]);
+        assert_eq!(0x01020304u32.to_wire_bytes(), vec![0x01, 0x02, 0x03, 0x04]);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let bytes = 0xDEAD_BEEF_u64.to_wire_bytes();
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                u64::from_wire_bytes(&bytes[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 7u32.to_wire_bytes();
+        bytes.push(0);
+        assert_eq!(
+            u32::from_wire_bytes(&bytes),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert!(matches!(
+            bool::from_wire_bytes(&[2]),
+            Err(DecodeError::BadTag { .. })
+        ));
+        assert!(matches!(
+            Option::<u8>::from_wire_bytes(&[9, 0]),
+            Err(DecodeError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut bytes = Vec::new();
+        2u32.encode(&mut bytes);
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert_eq!(String::from_wire_bytes(&bytes), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn lying_length_prefixes_do_not_overallocate() {
+        // Declares 2^20 - 1 elements but provides none: must error, fast.
+        let mut bytes = Vec::new();
+        ((MAX_SEQUENCE_LEN - 1) as u32).encode(&mut bytes);
+        assert!(matches!(
+            Vec::<u64>::from_wire_bytes(&bytes),
+            Err(DecodeError::Truncated { .. })
+        ));
+        // Over the cap: rejected outright.
+        let mut bytes = Vec::new();
+        ((MAX_SEQUENCE_LEN + 1) as u32).encode(&mut bytes);
+        assert!(matches!(
+            String::from_wire_bytes(&bytes),
+            Err(DecodeError::TooLarge { .. })
+        ));
+    }
+}

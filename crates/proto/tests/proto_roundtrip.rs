@@ -1,0 +1,251 @@
+//! Property tests for the wire protocol: every frame round-trips through
+//! the codec (`decode(encode(msg)) == msg`), encodings are canonical, and
+//! truncated or corrupted byte strings produce decode *errors* — never
+//! panics — which is what a daemon reading from untrusted sockets relies
+//! on.
+
+use proptest::prelude::*;
+
+use actyp_grid::MachineId;
+use actyp_proto::{
+    Allocation, AllocationError, ClientFrame, RequestId, ServerFrame, SessionKey, StatsSnapshot,
+    WireDecode, WireEncode,
+};
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            'a', 'z', 'A', '0', '9', ' ', '\n', ':', '=', '|', '.', '-', 'ü', '→',
+        ]),
+        0..16,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn allocation_strategy() -> impl Strategy<Value = Allocation> {
+    (
+        (0u64..1 << 48, 0u64..10_000, text_strategy(), 1u16..65535),
+        (
+            prop::option::of(1000u32..9000),
+            text_strategy(),
+            text_strategy(),
+            0u32..64,
+            0usize..100_000,
+        ),
+    )
+        .prop_map(
+            |((request, machine, name, port), (shadow, key, pool, instance, examined))| {
+                Allocation {
+                    request: RequestId(request),
+                    machine: MachineId(machine),
+                    machine_name: name,
+                    execution_port: port,
+                    mount_port: port.wrapping_add(1),
+                    shadow_uid: shadow,
+                    access_key: SessionKey(key),
+                    pool,
+                    pool_instance: instance,
+                    examined,
+                }
+            },
+        )
+}
+
+fn error_strategy() -> impl Strategy<Value = AllocationError> {
+    (0usize..12, text_strategy()).prop_map(|(variant, text)| match variant {
+        0 => AllocationError::Parse(text),
+        1 => AllocationError::Schema(text),
+        2 => AllocationError::NoSuchResources,
+        3 => AllocationError::NoneAvailable,
+        4 => AllocationError::PolicyDenied,
+        5 => AllocationError::ShadowAccountsExhausted,
+        6 => AllocationError::TtlExpired,
+        7 => AllocationError::UnknownAllocation,
+        8 => AllocationError::UnknownTicket,
+        9 => AllocationError::Internal(text),
+        10 => AllocationError::Network(text),
+        _ => AllocationError::Protocol(text),
+    })
+}
+
+fn stats_strategy() -> impl Strategy<Value = StatsSnapshot> {
+    (0u64..1 << 40).prop_map(|seed| StatsSnapshot {
+        requests: seed,
+        fragments: seed.wrapping_mul(3),
+        allocations: seed / 2,
+        failures: seed % 7,
+        delegations: seed % 11,
+        forwards: seed % 13,
+        releases: seed / 3,
+        records_examined: seed.wrapping_mul(17),
+        in_flight: (seed % 1024) as usize,
+    })
+}
+
+/// Every [`ClientFrame`] variant, driven by a variant selector so each of
+/// the nine shapes is generated.
+fn client_frame_strategy() -> impl Strategy<Value = ClientFrame> {
+    (
+        (0u8..9, 0u64..1 << 32, text_strategy()),
+        (
+            prop::collection::vec(text_strategy(), 0..5),
+            0u64..1 << 20,
+            prop::option::of(0u64..100_000),
+            allocation_strategy(),
+        ),
+    )
+        .prop_map(
+            |((variant, corr, query), (queries, ticket, deadline, allocation))| {
+                let corr = RequestId(corr);
+                match variant {
+                    0 => ClientFrame::Hello {
+                        min_version: (corr.0 % 4) as u16,
+                        max_version: (corr.0 % 4) as u16 + (ticket % 4) as u16,
+                    },
+                    1 => ClientFrame::Submit { corr, query },
+                    2 => ClientFrame::SubmitBatch { corr, queries },
+                    3 => ClientFrame::Wait {
+                        corr,
+                        ticket,
+                        deadline_ms: deadline,
+                    },
+                    4 => ClientFrame::Poll { corr, ticket },
+                    5 => ClientFrame::Release { corr, allocation },
+                    6 => ClientFrame::Stats { corr },
+                    7 => ClientFrame::Shutdown { corr },
+                    _ => ClientFrame::Halt { corr },
+                }
+            },
+        )
+}
+
+/// Every [`ServerFrame`] variant.
+fn server_frame_strategy() -> impl Strategy<Value = ServerFrame> {
+    (
+        (0u8..11, 0u64..1 << 32, text_strategy()),
+        (
+            0u64..1 << 20,
+            prop::collection::vec(0u64..1 << 20, 0..6),
+            prop::collection::vec(allocation_strategy(), 0..3),
+            error_strategy(),
+            stats_strategy(),
+        ),
+        prop::bool::ANY,
+    )
+        .prop_map(
+            |((variant, corr, message), (ticket, tickets, allocations, error, stats), ok)| {
+                let corr = RequestId(corr);
+                match variant {
+                    0 => ServerFrame::HelloAck {
+                        version: (ticket % 8) as u16,
+                    },
+                    1 => ServerFrame::HelloReject { message },
+                    2 => ServerFrame::Submitted { corr, ticket },
+                    3 => ServerFrame::BatchSubmitted { corr, tickets },
+                    4 => ServerFrame::Outcome {
+                        corr,
+                        outcome: if ok { Ok(allocations) } else { Err(error) },
+                    },
+                    5 => ServerFrame::Pending { corr },
+                    6 => ServerFrame::TimedOut { corr },
+                    7 => ServerFrame::Released { corr },
+                    8 => ServerFrame::StatsReply { corr, stats },
+                    9 => ServerFrame::Ack { corr },
+                    _ => ServerFrame::Error { corr, error },
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// decode(encode(frame)) == frame, for every client frame.
+    #[test]
+    fn client_frames_round_trip(frame in client_frame_strategy()) {
+        let bytes = frame.to_wire_bytes();
+        prop_assert_eq!(ClientFrame::from_wire_bytes(&bytes).unwrap(), frame);
+    }
+
+    /// decode(encode(frame)) == frame, for every server frame.
+    #[test]
+    fn server_frames_round_trip(frame in server_frame_strategy()) {
+        let bytes = frame.to_wire_bytes();
+        prop_assert_eq!(ServerFrame::from_wire_bytes(&bytes).unwrap(), frame);
+    }
+
+    /// Framed stream round trip: write_frame → read_*_frame is lossless.
+    #[test]
+    fn framed_stream_round_trip(
+        client in client_frame_strategy(),
+        server in server_frame_strategy(),
+    ) {
+        let mut stream = Vec::new();
+        actyp_proto::write_frame(&mut stream, &client).unwrap();
+        let mut cursor = &stream[..];
+        prop_assert_eq!(
+            actyp_proto::read_client_frame(&mut cursor).unwrap(),
+            Some(client)
+        );
+
+        let mut stream = Vec::new();
+        actyp_proto::write_frame(&mut stream, &server).unwrap();
+        let mut cursor = &stream[..];
+        prop_assert_eq!(
+            actyp_proto::read_server_frame(&mut cursor).unwrap(),
+            Some(server)
+        );
+    }
+
+    /// Every strict prefix of a valid encoding fails to decode (no panic,
+    /// no silent acceptance).
+    #[test]
+    fn truncated_client_frames_error_cleanly(
+        frame in client_frame_strategy(),
+        cut_seed in 0usize..10_000,
+    ) {
+        let bytes = frame.to_wire_bytes();
+        let cut = cut_seed % bytes.len();
+        prop_assert!(ClientFrame::from_wire_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Same for server frames.
+    #[test]
+    fn truncated_server_frames_error_cleanly(
+        frame in server_frame_strategy(),
+        cut_seed in 0usize..10_000,
+    ) {
+        let bytes = frame.to_wire_bytes();
+        let cut = cut_seed % bytes.len();
+        prop_assert!(ServerFrame::from_wire_bytes(&bytes[..cut]).is_err());
+    }
+
+    /// Garbage bytes never panic the decoder, and anything it *does*
+    /// accept re-encodes to exactly the input (the encoding is canonical).
+    #[test]
+    fn garbage_never_panics_and_accepts_are_canonical(
+        bytes in prop::collection::vec(0u16..256, 0..64)
+    ) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        if let Ok(frame) = ClientFrame::from_wire_bytes(&bytes) {
+            prop_assert_eq!(frame.to_wire_bytes(), bytes.clone());
+        }
+        if let Ok(frame) = ServerFrame::from_wire_bytes(&bytes) {
+            prop_assert_eq!(frame.to_wire_bytes(), bytes);
+        }
+    }
+
+    /// Single-byte corruption anywhere in a frame never panics the decoder:
+    /// it either still decodes (the flip hit a payload byte) or errors.
+    #[test]
+    fn corrupted_frames_never_panic(
+        frame in client_frame_strategy(),
+        position_seed in 0usize..10_000,
+        flip in 1u16..256,
+    ) {
+        let mut bytes = frame.to_wire_bytes();
+        let position = position_seed % bytes.len();
+        bytes[position] ^= flip as u8;
+        let _ = ClientFrame::from_wire_bytes(&bytes);
+    }
+}

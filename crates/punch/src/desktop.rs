@@ -12,7 +12,10 @@ use std::collections::HashMap;
 
 use actyp_appmgmt::{compose_query, HardwareRequirements, KnowledgeBase, PerformanceModel};
 use actyp_grid::SharedDatabase;
-use actyp_pipeline::{Allocation, AllocationError, Engine, PipelineConfig};
+use actyp_pipeline::api::EmbeddedBackend;
+use actyp_pipeline::{
+    Allocation, AllocationError, PipelineBuilder, PipelineConfig, ResourceManager,
+};
 use actyp_simnet::{SimDuration, SimTime};
 
 use crate::execution::{ExecutionUnit, SessionState};
@@ -76,7 +79,7 @@ pub struct NetworkDesktop {
     users: UserRegistry,
     knowledge: KnowledgeBase,
     model: PerformanceModel,
-    engine: Engine,
+    manager: EmbeddedBackend,
     vfs: MountManager,
     execution_units: HashMap<actyp_grid::MachineId, ExecutionUnit>,
     runs: HashMap<RunHandle, ActiveRun>,
@@ -97,7 +100,11 @@ impl NetworkDesktop {
             users,
             knowledge: KnowledgeBase::punch_defaults(),
             model: PerformanceModel::new(),
-            engine: Engine::new(pipeline, db),
+            manager: PipelineBuilder::new()
+                .database(db)
+                .config(pipeline)
+                .build_embedded()
+                .expect("a database was provided"),
             vfs: MountManager::new(),
             execution_units: HashMap::new(),
             runs: HashMap::new(),
@@ -106,9 +113,11 @@ impl NetworkDesktop {
         }
     }
 
-    /// Access to the underlying pipeline engine (inspection).
-    pub fn engine(&self) -> &Engine {
-        &self.engine
+    /// Access to the underlying resource manager (inspection).  The
+    /// desktop drives it through the unified [`ResourceManager`] trait —
+    /// the same surface a remote deployment would offer.
+    pub fn manager(&self) -> &EmbeddedBackend {
+        &self.manager
     }
 
     /// Access to the mount manager (inspection).
@@ -151,12 +160,15 @@ impl NetworkDesktop {
         let query = compose_query(&requirements, &estimate, &user.login, &user.access_group);
 
         // Event 3–6: ActYP allocation.
-        let mut allocations = self.engine.submit(&query).map_err(RunError::Allocation)?;
+        let mut allocations = self
+            .manager
+            .submit_wait(&query)
+            .map_err(RunError::Allocation)?;
         let allocation = allocations.remove(0);
         // A composite query may return more than one match under the All
         // policy; the desktop needs a single machine, so surplus goes back.
         for extra in allocations {
-            let _ = self.engine.release(&extra);
+            let _ = self.manager.release(&extra);
         }
 
         // Mount application and data disks.
@@ -222,7 +234,7 @@ impl NetworkDesktop {
             actual_cpu_seconds,
             run.predicted_memory,
         );
-        self.engine
+        self.manager
             .release(&run.allocation)
             .map_err(RunError::Allocation)?;
         Ok(RunOutcome {
@@ -241,7 +253,7 @@ impl NetworkDesktop {
             unit.abort(run.execution_index);
         }
         self.vfs.unmount_session(&run.allocation.access_key.0);
-        self.engine
+        self.manager
             .release(&run.allocation)
             .map_err(RunError::Allocation)?;
         Ok(())
@@ -295,7 +307,7 @@ mod tests {
         assert!(outcome.machine_name.contains("sun"));
         assert_eq!(desk.active_runs(), 0);
         assert_eq!(desk.mounts().active(), 0);
-        assert_eq!(desk.engine().stats().releases, 1);
+        assert_eq!(desk.manager().stats().releases, 1);
     }
 
     #[test]

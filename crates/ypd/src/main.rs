@@ -1,0 +1,264 @@
+//! `ypd` — the Active Yellow Pages daemon.
+//!
+//! Hosts any `ResourceManager` backend (embedded engine, threaded live
+//! pipeline, or a centralized baseline) behind the versioned `actyp-proto`
+//! wire protocol, over a synthetic white-pages fleet.  Clients connect with
+//! `actyp_pipeline::api::PipelineBuilder::remote` (or any implementation of
+//! the protocol) and drive the exact same API the in-process backends
+//! serve.
+//!
+//! ```text
+//! ypd --listen 127.0.0.1:7411 --backend live --machines 500 --seed 42
+//! ```
+//!
+//! The listen address may also come from the `ACTYP_YPD_LISTEN` environment
+//! variable; an explicit `--listen` wins.  The daemon runs until a client
+//! sends the protocol's `Halt` frame (see the `remote_quickstart` example's
+//! `--halt` flag), then drains gracefully: the listener stops accepting,
+//! open sessions finish and are settled, and the hosted backend is torn
+//! down.  Exit status is 0 after a clean drain, non-zero on any failure.
+
+use std::process::ExitCode;
+
+use actyp_grid::{FleetSpec, SyntheticFleet};
+use actyp_pipeline::{BackendKind, PipelineBuilder, StageAddress};
+
+const USAGE: &str = "\
+usage: ypd [--listen HOST:PORT] [--backend KIND] [--machines N] [--seed N]
+           [--query-managers N] [--pool-managers N] [--window N]
+
+  --listen HOST:PORT   address to bind (default: $ACTYP_YPD_LISTEN or 127.0.0.1:7411)
+  --backend KIND       embedded | live | central-queue | matchmaker (default: live)
+  --machines N         synthetic fleet size (default: 500)
+  --seed N             synthetic fleet / pipeline RNG seed (default: 42)
+  --query-managers N   query-manager stages (default: 1)
+  --pool-managers N    pool-manager stages (default: 1)
+  --window N           live-backend in-flight window (default: 32)";
+
+#[derive(Debug, PartialEq)]
+struct Config {
+    listen: StageAddress,
+    backend: BackendKind,
+    machines: usize,
+    seed: u64,
+    query_managers: usize,
+    pool_managers: usize,
+    window: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            listen: StageAddress::new("127.0.0.1", 7411),
+            backend: BackendKind::Live,
+            machines: 500,
+            seed: 42,
+            query_managers: 1,
+            pool_managers: 1,
+            window: 32,
+        }
+    }
+}
+
+fn parse_backend(raw: &str) -> Result<BackendKind, String> {
+    BackendKind::ALL
+        .into_iter()
+        .find(|kind| kind.to_string() == raw)
+        .ok_or_else(|| {
+            format!(
+                "unknown backend `{raw}` (expected one of: {})",
+                BackendKind::ALL.map(|k| k.to_string()).join(", ")
+            )
+        })
+}
+
+fn parse_args(
+    args: impl IntoIterator<Item = String>,
+    env_listen: Option<&str>,
+) -> Result<Config, String> {
+    let mut config = Config::default();
+    if let Some(listen) = env_listen {
+        config.listen = listen
+            .parse()
+            .map_err(|e| format!("ACTYP_YPD_LISTEN: {e}"))?;
+    }
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--listen" => {
+                let raw = value("--listen")?;
+                config.listen = raw.parse().map_err(|e| format!("--listen: {e}"))?;
+            }
+            "--backend" => config.backend = parse_backend(&value("--backend")?)?,
+            "--machines" => {
+                let raw = value("--machines")?;
+                config.machines = raw
+                    .parse()
+                    .map_err(|_| format!("--machines: invalid count `{raw}`"))?;
+            }
+            "--seed" => {
+                let raw = value("--seed")?;
+                config.seed = raw
+                    .parse()
+                    .map_err(|_| format!("--seed: invalid seed `{raw}`"))?;
+            }
+            "--query-managers" => {
+                let raw = value("--query-managers")?;
+                config.query_managers = raw
+                    .parse()
+                    .map_err(|_| format!("--query-managers: invalid count `{raw}`"))?;
+            }
+            "--pool-managers" => {
+                let raw = value("--pool-managers")?;
+                config.pool_managers = raw
+                    .parse()
+                    .map_err(|_| format!("--pool-managers: invalid count `{raw}`"))?;
+            }
+            "--window" => {
+                let raw = value("--window")?;
+                config.window = raw
+                    .parse()
+                    .map_err(|_| format!("--window: invalid size `{raw}`"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let env_listen = std::env::var("ACTYP_YPD_LISTEN").ok();
+    let config = match parse_args(std::env::args().skip(1), env_listen.as_deref()) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("ypd: {message}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let db = SyntheticFleet::new(FleetSpec::with_machines(config.machines), config.seed)
+        .generate()
+        .into_shared();
+    let server = PipelineBuilder::new()
+        .database(db)
+        .seed(config.seed)
+        .query_managers(config.query_managers)
+        .pool_managers(config.pool_managers)
+        .window(config.window)
+        .serve(&config.listen, config.backend);
+    let server = match server {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("ypd: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "ypd: listening on {} ({} backend, {} machines, seed {})",
+        server.local_addr(),
+        config.backend,
+        config.machines,
+        config.seed
+    );
+
+    match server.join() {
+        Ok(()) => {
+            println!("ypd: drained cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ypd: drain failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply_without_flags() {
+        let config = parse_args(args(&[]), None).unwrap();
+        assert_eq!(config, Config::default());
+    }
+
+    #[test]
+    fn flags_override_every_default() {
+        let config = parse_args(
+            args(&[
+                "--listen",
+                "0.0.0.0:9000",
+                "--backend",
+                "embedded",
+                "--machines",
+                "64",
+                "--seed",
+                "7",
+                "--query-managers",
+                "2",
+                "--pool-managers",
+                "3",
+                "--window",
+                "16",
+            ]),
+            None,
+        )
+        .unwrap();
+        assert_eq!(config.listen, StageAddress::new("0.0.0.0", 9000));
+        assert_eq!(config.backend, BackendKind::Embedded);
+        assert_eq!(config.machines, 64);
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.query_managers, 2);
+        assert_eq!(config.pool_managers, 3);
+        assert_eq!(config.window, 16);
+    }
+
+    #[test]
+    fn env_listen_is_used_and_cli_wins_over_it() {
+        let from_env = parse_args(args(&[]), Some("10.0.0.1:7500")).unwrap();
+        assert_eq!(from_env.listen, StageAddress::new("10.0.0.1", 7500));
+        let overridden =
+            parse_args(args(&["--listen", "127.0.0.1:0"]), Some("10.0.0.1:7500")).unwrap();
+        assert_eq!(overridden.listen, StageAddress::new("127.0.0.1", 0));
+    }
+
+    #[test]
+    fn bad_addresses_and_backends_are_reported() {
+        assert!(parse_args(args(&["--listen", "noport"]), None)
+            .unwrap_err()
+            .contains("host:port"));
+        assert!(parse_args(args(&["--backend", "quantum"]), None)
+            .unwrap_err()
+            .contains("unknown backend"));
+        assert!(parse_args(args(&["--machines", "many"]), None)
+            .unwrap_err()
+            .contains("invalid count"));
+        assert!(parse_args(args(&["--listen"]), None)
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse_args(args(&["--frobnicate"]), None)
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse_args(args(&[]), Some("bogus"))
+            .unwrap_err()
+            .contains("ACTYP_YPD_LISTEN"));
+    }
+
+    #[test]
+    fn every_backend_name_parses() {
+        for kind in BackendKind::ALL {
+            assert_eq!(parse_backend(&kind.to_string()).unwrap(), kind);
+        }
+    }
+}

@@ -67,7 +67,7 @@ fn main() {
     );
     println!(
         "pool instances created for the whole burst: {} (identical specs map to one pool name)",
-        desktop.engine().pool_instances()
+        desktop.manager().engine().pool_instances()
     );
     println!(
         "distinct mounts active (application + data per run): {}",

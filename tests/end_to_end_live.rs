@@ -41,8 +41,8 @@ fn desktop_runs_complete_through_the_whole_stack() {
     assert_eq!(desktop.mounts().active(), 0);
     // Every allocation was released back to the pipeline.
     assert_eq!(
-        desktop.engine().stats().allocations,
-        desktop.engine().stats().releases
+        desktop.manager().stats().allocations,
+        desktop.manager().stats().releases
     );
 }
 
@@ -53,7 +53,7 @@ fn authorization_is_enforced_before_any_resources_are_touched() {
         .start_run("guest", "minimos devicesize=1")
         .unwrap_err();
     assert!(matches!(err, RunError::Authorization(_)));
-    assert_eq!(desktop.engine().stats().requests, 0);
+    assert_eq!(desktop.manager().stats().requests, 0);
     assert_eq!(desktop.mounts().active(), 0);
 }
 
