@@ -6,7 +6,9 @@
 //! numbers isolate the architectural cost of each deployment (for the
 //! remote backend: the wire hop, framing and correlation); pipelined
 //! variants show what ticket-based pipelining buys over blocking round
-//! trips, in-process and across the socket.
+//! trips, in-process and across the socket.  The federated pair measures
+//! the wide-area topology: a query delegated between two peered daemons
+//! versus one the entry domain satisfies itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -138,6 +140,73 @@ fn bench_remote_round_trip(c: &mut Criterion) {
     server.join().unwrap();
 }
 
+/// Wide-area delegation cost: two federated loopback daemons, a query the
+/// entry domain cannot satisfy, so every iteration crosses client → entry
+/// daemon → peer daemon and back — the paper's WAN hop, measured right
+/// next to the single-daemon remote numbers.  A locally satisfiable query
+/// on the same topology isolates the federation layer's bookkeeping
+/// overhead from the extra hop.
+fn bench_federated_delegation(c: &mut Criterion) {
+    use actyp_pipeline::FederationConfig;
+
+    fn homogeneous(arch: &str, seed: u64) -> actyp_grid::SharedDatabase {
+        SyntheticFleet::new(FleetSpec::homogeneous(200, arch, 512), seed)
+            .generate()
+            .into_shared()
+    }
+    let federated = |domain: &str, arch: &str, seed: u64, peers: Vec<StageAddress>| {
+        PipelineBuilder::new()
+            .database(homogeneous(arch, seed))
+            .ttl(8)
+            .serve_federated(
+                &StageAddress::new("127.0.0.1", 0),
+                BackendKind::Embedded,
+                FederationConfig {
+                    domain: domain.to_string(),
+                    ttl: 8,
+                    peers,
+                },
+            )
+            .expect("federated loopback ypd starts")
+    };
+    let (peer, _) = federated("upc", "hp", 11, Vec::new());
+    let (entry, _) = federated("purdue", "sun", 10, vec![peer.local_addr()]);
+    let remote = PipelineBuilder::remote(&entry.local_addr()).expect("connect to entry daemon");
+
+    let local = actyp_query::parse_query("punch.rsrc.arch = sun\n").unwrap();
+    let delegated = actyp_query::parse_query("punch.rsrc.arch = hp\n").unwrap();
+    for query in [&local, &delegated] {
+        let warm = remote.submit_wait(query).unwrap();
+        for a in &warm {
+            remote.release(a).unwrap();
+        }
+    }
+
+    c.bench_function("backend_submit/federated_local", |b| {
+        b.iter(|| {
+            let allocations = remote.submit_wait(black_box(&local)).unwrap();
+            for a in &allocations {
+                remote.release(a).unwrap();
+            }
+        })
+    });
+
+    c.bench_function("backend_submit/federated_delegated", |b| {
+        b.iter(|| {
+            let allocations = remote.submit_wait(black_box(&delegated)).unwrap();
+            for a in &allocations {
+                remote.release(a).unwrap();
+            }
+        })
+    });
+
+    remote.halt_daemon().unwrap();
+    remote.shutdown().unwrap();
+    entry.join().unwrap();
+    peer.halt();
+    peer.join().unwrap();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -148,6 +217,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = backend_submit;
     config = config();
-    targets = bench_backend_round_trip, bench_live_pipelining, bench_remote_round_trip
+    targets = bench_backend_round_trip, bench_live_pipelining, bench_remote_round_trip,
+        bench_federated_delegation
 }
 criterion_main!(backend_submit);

@@ -168,6 +168,11 @@ fn snapshot_from_engine(
         failures: stats.failures,
         delegations: stats.delegations,
         forwards: stats.forwards,
+        // WAN federation counters belong to the federated daemon wrapper
+        // (`crate::federation::FederatedBackend`), not to an in-process
+        // engine.
+        delegations_out: 0,
+        delegations_in: 0,
         releases: stats.releases,
         records_examined,
         in_flight,
@@ -255,6 +260,48 @@ pub trait ResourceManager: Send + Sync {
     fn submit_text_wait(&self, text: &str) -> QueryOutcome {
         let ticket = self.submit_text(text)?;
         self.wait(ticket)
+    }
+}
+
+/// A shared manager is a manager: every method (including the provided
+/// ones, so backend overrides like the remote batch submission are
+/// preserved) forwards to the pointee.  This is what lets one backend
+/// instance be hosted behind a server *and* kept by the caller — e.g. a
+/// federated daemon, which is simultaneously the served manager and the
+/// target of incoming peer delegations.
+impl<T: ResourceManager + ?Sized> ResourceManager for std::sync::Arc<T> {
+    fn submit(&self, query: Query) -> Result<Ticket, AllocationError> {
+        (**self).submit(query)
+    }
+    fn wait(&self, ticket: Ticket) -> QueryOutcome {
+        (**self).wait(ticket)
+    }
+    fn try_poll(&self, ticket: Ticket) -> Option<QueryOutcome> {
+        (**self).try_poll(ticket)
+    }
+    fn wait_deadline(&self, ticket: Ticket, timeout: Duration) -> Option<QueryOutcome> {
+        (**self).wait_deadline(ticket, timeout)
+    }
+    fn release(&self, allocation: &Allocation) -> Result<(), AllocationError> {
+        (**self).release(allocation)
+    }
+    fn stats(&self) -> StatsSnapshot {
+        (**self).stats()
+    }
+    fn shutdown(&self) -> Result<(), AllocationError> {
+        (**self).shutdown()
+    }
+    fn submit_text(&self, text: &str) -> Result<Ticket, AllocationError> {
+        (**self).submit_text(text)
+    }
+    fn submit_batch(&self, queries: Vec<Query>) -> Result<Vec<Ticket>, AllocationError> {
+        (**self).submit_batch(queries)
+    }
+    fn submit_wait(&self, query: &Query) -> QueryOutcome {
+        (**self).submit_wait(query)
+    }
+    fn submit_text_wait(&self, text: &str) -> QueryOutcome {
+        (**self).submit_text_wait(text)
     }
 }
 
@@ -804,6 +851,8 @@ impl<D: BaselineDispatcher> ResourceManager for BaselineBackend<D> {
             failures: self.failures.load(Ordering::Relaxed),
             delegations: 0,
             forwards: 0,
+            delegations_out: 0,
+            delegations_in: 0,
             releases: self.releases.load(Ordering::Relaxed),
             records_examined: self.dispatcher.lock().records_examined(),
             in_flight: self.tickets.len(),
@@ -1035,6 +1084,57 @@ impl PipelineBuilder {
         kind: BackendKind,
     ) -> Result<ServerHandle, AllocationError> {
         crate::remote::serve(self.build(kind)?, addr)
+    }
+
+    /// Builds the configured backend wrapped in the wide-area federation
+    /// layer: queries the local backend cannot satisfy are delegated to
+    /// the peer daemons in `federation` with a TTL and visited-domain
+    /// list.  The pipeline backends advertise their intra-domain pool
+    /// names to peers; the centralized baselines have no directory and
+    /// advertise nothing.
+    pub fn build_federated(
+        self,
+        kind: BackendKind,
+        federation: crate::federation::FederationConfig,
+    ) -> Result<std::sync::Arc<crate::federation::FederatedBackend>, AllocationError> {
+        let (inner, directory): (Box<dyn ResourceManager>, Option<crate::SharedDirectory>) =
+            match kind {
+                BackendKind::Embedded => {
+                    let backend = self.build_embedded()?;
+                    let directory = backend.engine().directory().clone();
+                    (Box::new(backend), Some(directory))
+                }
+                BackendKind::Live => {
+                    let backend = self.build_live()?;
+                    let directory = backend.pipeline().directory().clone();
+                    (Box::new(backend), Some(directory))
+                }
+                BackendKind::CentralQueue | BackendKind::Matchmaker => (self.build(kind)?, None),
+            };
+        Ok(std::sync::Arc::new(
+            crate::federation::FederatedBackend::new(inner, federation, directory),
+        ))
+    }
+
+    /// [`PipelineBuilder::serve`] for a federated daemon: hosts the
+    /// backend behind the wire protocol *and* answers the inter-daemon
+    /// `Delegate` / `SyncPools` frames peers send.  Returns the shared
+    /// backend alongside the server handle for inspection.
+    pub fn serve_federated(
+        self,
+        addr: &StageAddress,
+        kind: BackendKind,
+        federation: crate::federation::FederationConfig,
+    ) -> Result<
+        (
+            ServerHandle,
+            std::sync::Arc<crate::federation::FederatedBackend>,
+        ),
+        AllocationError,
+    > {
+        let backend = self.build_federated(kind, federation)?;
+        let handle = crate::remote::serve_federated(backend.clone(), addr)?;
+        Ok((handle, backend))
     }
 
     /// Connects to a `ypd` daemon at `addr` — a fifth deployment behind the

@@ -57,6 +57,22 @@ impl LocalDirectoryService {
         }
     }
 
+    /// Removes a pool manager *and every pool-instance record it hosted*
+    /// (the manager failed, or a federation peer's connection died).
+    /// Without this, a dead manager's name and its instance records stayed
+    /// routable forever — queries kept being forwarded at a ghost.
+    /// Returns `true` when the manager was registered.
+    pub fn unregister_pool_manager(&mut self, name: &str) -> bool {
+        let before = self.pool_managers.len();
+        self.pool_managers.retain(|m| m != name);
+        let removed = self.pool_managers.len() != before;
+        self.pools.retain(|_, entries| {
+            entries.retain(|r| r.manager != name);
+            !entries.is_empty()
+        });
+        removed
+    }
+
     /// The pool managers known in this domain.
     pub fn pool_managers(&self) -> &[String] {
         &self.pool_managers
@@ -105,13 +121,19 @@ impl LocalDirectoryService {
         self.pools.values().map(Vec::len).sum()
     }
 
-    /// The next unused instance number for a pool name.
-    pub fn next_instance_number(&self, pool: &str) -> u32 {
-        self.pools
+    /// The next unused instance number for a pool name, or `None` when the
+    /// numbering space is exhausted.  The old `m + 1` here panicked in
+    /// debug builds (and wrapped to a *colliding* instance 0 in release)
+    /// once an instance reached `u32::MAX`.
+    pub fn next_instance_number(&self, pool: &str) -> Option<u32> {
+        match self
+            .pools
             .get(pool)
             .and_then(|entries| entries.iter().map(|r| r.instance).max())
-            .map(|m| m + 1)
-            .unwrap_or(0)
+        {
+            None => Some(0),
+            Some(max) => max.checked_add(1),
+        }
     }
 
     /// Iterates over every registered pool name.
@@ -175,10 +197,48 @@ mod tests {
     #[test]
     fn next_instance_number_is_one_past_the_maximum() {
         let mut dir = LocalDirectoryService::new();
-        assert_eq!(dir.next_instance_number("p"), 0);
+        assert_eq!(dir.next_instance_number("p"), Some(0));
         dir.register_pool(record("p", 0, "pm-a"));
         dir.register_pool(record("p", 3, "pm-b"));
-        assert_eq!(dir.next_instance_number("p"), 4);
+        assert_eq!(dir.next_instance_number("p"), Some(4));
+    }
+
+    #[test]
+    fn instance_number_exhaustion_is_surfaced_not_wrapped() {
+        // Regression: `u32::MAX + 1` used to panic in debug builds and
+        // wrap to a colliding instance 0 in release builds.
+        let mut dir = LocalDirectoryService::new();
+        dir.register_pool(PoolInstanceRecord {
+            pool: "p".to_string(),
+            instance: u32::MAX,
+            manager: "pm-a".to_string(),
+            address: StageAddress::new("pm-a.purdue.edu", 7300),
+        });
+        assert_eq!(dir.next_instance_number("p"), None);
+        // Other pool names are unaffected.
+        assert_eq!(dir.next_instance_number("q"), Some(0));
+    }
+
+    #[test]
+    fn unregister_pool_manager_drops_its_instance_records() {
+        let mut dir = LocalDirectoryService::new();
+        dir.register_pool_manager("pm-a");
+        dir.register_pool_manager("pm-b");
+        dir.register_pool(record("p", 0, "pm-a"));
+        dir.register_pool(record("p", 1, "pm-b"));
+        dir.register_pool(record("q", 0, "pm-a"));
+
+        assert!(dir.unregister_pool_manager("pm-a"));
+        assert_eq!(dir.pool_managers(), &["pm-b".to_string()]);
+        // pm-a's records are gone; pm-b's survive; the now-empty pool name
+        // `q` is removed entirely.
+        assert_eq!(dir.instances("p").len(), 1);
+        assert_eq!(dir.instances("p")[0].manager, "pm-b");
+        assert!(dir.instances("q").is_empty());
+        assert_eq!(dir.pool_count(), 1);
+        // Unregistering an unknown manager reports false and is harmless.
+        assert!(!dir.unregister_pool_manager("pm-zz"));
+        assert_eq!(dir.instance_count(), 1);
     }
 
     #[test]

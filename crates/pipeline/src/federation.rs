@@ -1,0 +1,1033 @@
+//! Wide-area federation: delegation of queries *between* `ypd` daemons.
+//!
+//! The paper's servers cooperate across administrative domains: "when a
+//! pool manager cannot satisfy a query, it delegates the query to a peer
+//! in another domain", carrying a time-to-live and the list of domains
+//! already visited with the query itself (Sections 5.2.2, 6).  Inside one
+//! process that control flow already exists ([`RoutingState`] threading
+//! through [`crate::engine::Engine`]); this module takes the same
+//! delegation over the wire, so a fleet of peered daemons forms the
+//! paper's WAN topology:
+//!
+//! ```text
+//!   clients ──► ypd (domain A) ──Delegate──► ypd (domain B)
+//!                     │                            │
+//!                     └───────Delegate─────────────┴──► ypd (domain C)
+//! ```
+//!
+//! [`FederatedBackend`] wraps any [`ResourceManager`] backend.  When the
+//! local backend cannot satisfy a query (no matching pool can be created,
+//! or capacity is exhausted — see [`is_delegable`]), the query is
+//! forwarded to peer daemons over pooled connections speaking the
+//! protocol's [`ClientFrame::Delegate`] frame: the TTL is decremented at
+//! every hop, no domain is ever revisited, and the originating ticket
+//! settles with the remote allocation or the proper
+//! [`AllocationError::TtlExpired`].  Peers learn each other's domain
+//! names and pool names through a [`ClientFrame::SyncPools`] /
+//! `PoolsSynced` exchange performed once per connection; the
+//! advertisements land in a [`LocalDirectoryService`] of peer records,
+//! and a peer whose connection dies is pruned from it with
+//! [`LocalDirectoryService::unregister_pool_manager`].
+//!
+//! The chain logic itself — [`run_chain`] over a [`PeerDelegator`] — is
+//! deliberately transport-agnostic: the production implementation speaks
+//! TCP, while the property tests drive whole in-memory topologies through
+//! the same function to check the paper's routing invariants (TTL
+//! strictly decreases across hops, no domain is revisited, every chain
+//! terminates within TTL hops).
+
+use std::collections::HashMap;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use actyp_proto::{
+    read_server_frame, write_frame, ClientFrame, RequestId, ServerFrame, MIN_SUPPORTED_VERSION,
+    PROTOCOL_VERSION,
+};
+
+use crate::allocation::{Allocation, AllocationError};
+use crate::api::{QueryOutcome, ResourceManager, StatsSnapshot, Ticket};
+use crate::directory::{LocalDirectoryService, PoolInstanceRecord, SharedDirectory};
+use crate::message::{RoutingState, StageAddress};
+
+/// How long to wait for a peer daemon to accept a TCP connection.
+const PEER_CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How long to wait for a peer's reply to one frame before declaring the
+/// link dead.  Generous because a `Delegate` reply includes the peer's
+/// whole downstream chain.
+const PEER_REPLY_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// How long after a failed connect a link waits before dialing the peer
+/// again, so a dead peer costs one connect timeout per backoff window
+/// instead of one per query.
+const PEER_REDIAL_BACKOFF: Duration = Duration::from_secs(5);
+
+/// Whether a failure may be cured by another administrative domain: the
+/// pool cannot be aggregated here (no matching machine exists in this
+/// domain's white pages) or every matching resource is exhausted.  Parse,
+/// schema, policy and protocol failures travel with the query — another
+/// domain would fail them identically — so they are final.
+pub fn is_delegable(error: &AllocationError) -> bool {
+    matches!(
+        error,
+        AllocationError::NoSuchResources
+            | AllocationError::NoneAvailable
+            | AllocationError::ShadowAccountsExhausted
+            | AllocationError::TtlExpired
+    )
+}
+
+/// Why a delegation attempt yielded no outcome at all (as opposed to an
+/// [`AllocationError`], which *is* an outcome).
+#[derive(Debug)]
+pub struct PeerUnavailable {
+    /// `true` when the transport itself failed — the peer should be
+    /// disconnected and pruned.  `false` when the peer answered but
+    /// refused the delegation (e.g. it is not federated, or overloaded):
+    /// the connection is healthy and must be kept, because it may hold
+    /// session leases for allocations clients still use.
+    pub transport: bool,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// The peer-facing half of a delegation chain, implemented over TCP by
+/// [`FederatedBackend`] and over in-memory topologies by the property
+/// tests.
+pub trait PeerDelegator {
+    /// Domains this node could forward to, in preference order (peers
+    /// advertising a pool matching the query first).  Implementations may
+    /// do work (e.g. connect to a peer for the first time to learn its
+    /// domain name); [`run_chain`] calls this once per chain and filters
+    /// out visited and failed domains itself.
+    fn candidates(&self, query: &str, state: &RoutingState) -> Vec<String>;
+
+    /// Sends one `Delegate` to `domain` and returns the outcome together
+    /// with the routing state after the peer's whole chain finished.
+    fn delegate(
+        &self,
+        domain: &str,
+        query: &str,
+        state: &RoutingState,
+    ) -> Result<(QueryOutcome, RoutingState), PeerUnavailable>;
+
+    /// Notification that `domain` proved unreachable at the transport
+    /// level, so the implementation can prune directory records and drop
+    /// the connection.  Not called for mere refusals.
+    fn peer_failed(&self, domain: &str) {
+        let _ = domain;
+    }
+}
+
+/// Folds the routing state a peer returned into the local one,
+/// defensively: a (buggy or malicious) peer can only ever *shrink* the
+/// TTL — by at least the one hop it consumed — and *grow* the visited
+/// list, so no reply can re-arm the chain into a routing loop.
+fn merge_states(
+    mut state: RoutingState,
+    downstream: RoutingState,
+    delegatee: &str,
+) -> RoutingState {
+    state.ttl = downstream.ttl.min(state.ttl.saturating_sub(1));
+    for domain in downstream.visited {
+        if !state.has_visited(&domain) {
+            state.visited.push(domain);
+        }
+    }
+    if !state.has_visited(delegatee) {
+        state.visited.push(delegatee.to_string());
+    }
+    state
+}
+
+/// Runs one node's step of a delegation chain: visit this domain (spending
+/// one TTL hop), try the local backend, and while the failure is
+/// [delegable](is_delegable) forward to unvisited peers — never revisiting
+/// a domain, never exceeding the TTL, and always terminating.
+///
+/// Returns the outcome together with the routing state after the whole
+/// (possibly multi-hop) chain, which the caller ships back to *its*
+/// delegator so the invariants hold end to end.
+pub fn run_chain(
+    domain: &str,
+    query: &str,
+    mut state: RoutingState,
+    local: impl FnOnce(&str) -> QueryOutcome,
+    peers: &dyn PeerDelegator,
+) -> (QueryOutcome, RoutingState) {
+    if !state.visit(domain) {
+        return (Err(AllocationError::TtlExpired), state);
+    }
+    let mut last_error = match local(query) {
+        Ok(allocations) => return (Ok(allocations), state),
+        Err(error) if !is_delegable(&error) => return (Err(error), state),
+        Err(error) => error,
+    };
+    if !state.alive() {
+        // Exhausted by the local visit: don't pay for a candidate sweep
+        // (which may dial peers) only to discard it.
+        return (Err(AllocationError::TtlExpired), state);
+    }
+    // The candidate set is computed once per chain: the peer topology
+    // does not change mid-chain, and re-asking would re-dial every dead
+    // peer (a connect timeout each) on every iteration of the loop.
+    let available = peers.candidates(query, &state);
+    // Domains that failed during *this* chain (transport failures and
+    // refusals): excluded so the loop always makes progress through a
+    // finite candidate set.
+    let mut failed: Vec<String> = Vec::new();
+    loop {
+        if !state.alive() {
+            return (Err(AllocationError::TtlExpired), state);
+        }
+        let next = available
+            .iter()
+            .find(|d| *d != domain && !state.has_visited(d) && !failed.iter().any(|u| u == *d));
+        let Some(next) = next else {
+            // Every reachable domain has been tried: the local failure
+            // stands (the paper fails the request when all managers have
+            // seen it).
+            return (Err(last_error), state);
+        };
+        let next = next.clone();
+        match peers.delegate(&next, query, &state) {
+            Err(unavailable) => {
+                failed.push(next.clone());
+                // Only a transport failure tears the peer down; a refusal
+                // came over a healthy connection that may hold leases.
+                if unavailable.transport {
+                    peers.peer_failed(&next);
+                }
+            }
+            Ok((outcome, downstream)) => {
+                state = merge_states(state, downstream, &next);
+                match outcome {
+                    Ok(allocations) => return (Ok(allocations), state),
+                    Err(error) if !is_delegable(&error) => return (Err(error), state),
+                    Err(error) => last_error = error,
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Peer links (the TCP implementation)
+// ---------------------------------------------------------------------------
+
+/// One live connection to a peer daemon, after the hello and pool-sync
+/// handshakes.
+struct PeerConn {
+    stream: TcpStream,
+    /// The peer's domain name, learned from its `PoolsSynced` reply.
+    domain: String,
+    corr: u64,
+}
+
+impl PeerConn {
+    /// One request/response exchange.  Any failure poisons the connection
+    /// (the caller drops it).
+    fn request(
+        &mut self,
+        build: impl FnOnce(RequestId) -> ClientFrame,
+    ) -> Result<ServerFrame, String> {
+        let corr = RequestId(self.corr);
+        self.corr += 1;
+        write_frame(&mut self.stream, &build(corr)).map_err(|e| format!("send: {e}"))?;
+        // Requests on a link are strictly serial (the caller holds the
+        // link mutex) and any failure drops the connection, so the next
+        // frame must answer this request — anything else means the stream
+        // can no longer be trusted.
+        match read_server_frame(&mut self.stream) {
+            Ok(Some(frame)) if crate::remote::corr_of(&frame) == Some(corr) => Ok(frame),
+            Ok(Some(frame)) => Err(format!("reply out of correlation: {frame:?}")),
+            Ok(None) => Err("peer closed the connection".to_string()),
+            Err(e) => Err(e.to_string()),
+        }
+    }
+}
+
+/// A pooled connection to one peer daemon: lazily established, reused
+/// across delegations, re-established after failures.
+struct PeerLink {
+    addr: StageAddress,
+    /// Stable index of this link, used as the instance number for the
+    /// peer's advertised pool records (unique per manager in the peer
+    /// directory).
+    index: u32,
+    conn: Mutex<Option<PeerConn>>,
+    /// Last domain name this link handshook as (kept after the connection
+    /// dies).  Read instead of locking `conn` wherever only the identity
+    /// is needed — in particular by `candidates()`, which must never block
+    /// on a link that is busy delegating (two mutually peered daemons
+    /// delegating to each other at once would otherwise deadlock until
+    /// both reply timeouts fire).
+    last_domain: Mutex<Option<String>>,
+    /// When the last connect attempt failed (for redial backoff).
+    last_connect_failure: Mutex<Option<std::time::Instant>>,
+}
+
+/// A freshly learned peer advertisement (domain name and pool names).
+struct PeerAdvertisement {
+    domain: String,
+    pools: Vec<String>,
+}
+
+impl PeerLink {
+    fn new(addr: StageAddress, index: u32) -> Self {
+        PeerLink {
+            addr,
+            index,
+            conn: Mutex::new(None),
+            last_domain: Mutex::new(None),
+            last_connect_failure: Mutex::new(None),
+        }
+    }
+
+    fn connect(
+        &self,
+        my_domain: &str,
+        my_pools: Vec<String>,
+    ) -> Result<(PeerConn, Vec<String>), String> {
+        let mut addrs = (self.addr.host.as_str(), self.addr.port)
+            .to_socket_addrs()
+            .map_err(|e| format!("resolve {}: {e}", self.addr))?;
+        let sock = addrs
+            .next()
+            .ok_or_else(|| format!("resolve {}: no addresses", self.addr))?;
+        let mut stream = TcpStream::connect_timeout(&sock, PEER_CONNECT_TIMEOUT)
+            .map_err(|e| format!("connect {}: {e}", self.addr))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(PEER_REPLY_TIMEOUT));
+        // Same version floor as every other client of this build; the
+        // federation vocabulary exists since v2, which MIN_SUPPORTED_VERSION
+        // already guarantees.
+        write_frame(
+            &mut stream,
+            &ClientFrame::Hello {
+                min_version: MIN_SUPPORTED_VERSION,
+                max_version: PROTOCOL_VERSION,
+            },
+        )
+        .map_err(|e| format!("hello: {e}"))?;
+        match read_server_frame(&mut stream) {
+            Ok(Some(ServerFrame::HelloAck { version })) if version >= MIN_SUPPORTED_VERSION => {}
+            Ok(Some(ServerFrame::HelloAck { version })) => {
+                return Err(format!("peer only speaks protocol v{version}"))
+            }
+            Ok(Some(ServerFrame::HelloReject { message })) => {
+                return Err(format!("peer rejected the connection: {message}"))
+            }
+            other => return Err(format!("handshake failed: {other:?}")),
+        }
+        let mut conn = PeerConn {
+            stream,
+            domain: String::new(),
+            corr: 0,
+        };
+        let reply = conn.request(|corr| ClientFrame::SyncPools {
+            corr,
+            domain: my_domain.to_string(),
+            pools: my_pools,
+        })?;
+        match reply {
+            ServerFrame::PoolsSynced { domain, pools, .. } => {
+                conn.domain = domain;
+                Ok((conn, pools))
+            }
+            ServerFrame::Error { error, .. } => Err(format!("pool sync refused: {error}")),
+            other => Err(format!("expected PoolsSynced, got {other:?}")),
+        }
+    }
+
+    /// Runs `f` over a live connection (establishing one first if
+    /// necessary).  Returns the freshly learned advertisement when a new
+    /// connection was made, so the caller can refresh its peer directory.
+    /// Any failure drops the connection.
+    fn with_conn<R>(
+        &self,
+        my_domain: &str,
+        my_pools: impl FnOnce() -> Vec<String>,
+        f: impl FnOnce(&mut PeerConn) -> Result<R, String>,
+    ) -> Result<(R, Option<PeerAdvertisement>), String> {
+        let mut slot = self.conn.lock();
+        let mut fresh = None;
+        if slot.is_none() {
+            // Redial backoff: a recently failed connect is not repeated,
+            // so every query against a dead peer does not pay the full
+            // connect timeout.
+            if let Some(failed_at) = *self.last_connect_failure.lock() {
+                if failed_at.elapsed() < PEER_REDIAL_BACKOFF {
+                    return Err(format!(
+                        "peer {} is in redial backoff after a failed connect",
+                        self.addr
+                    ));
+                }
+            }
+            let (conn, pools) = match self.connect(my_domain, my_pools()) {
+                Ok(established) => established,
+                Err(e) => {
+                    *self.last_connect_failure.lock() = Some(std::time::Instant::now());
+                    return Err(e);
+                }
+            };
+            *self.last_connect_failure.lock() = None;
+            *self.last_domain.lock() = Some(conn.domain.clone());
+            fresh = Some(PeerAdvertisement {
+                domain: conn.domain.clone(),
+                pools,
+            });
+            *slot = Some(conn);
+        }
+        let conn = slot.as_mut().expect("connection just ensured");
+        match f(conn) {
+            Ok(value) => Ok((value, fresh)),
+            Err(e) => {
+                *slot = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drops the connection (peer declared dead or backend shutting down).
+    fn disconnect(&self) {
+        if let Some(conn) = self.conn.lock().take() {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The federated backend
+// ---------------------------------------------------------------------------
+
+/// Configuration of one federated daemon.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// This daemon's administrative-domain name (must be unique across the
+    /// federation; it is what the visited lists carry).
+    pub domain: String,
+    /// Delegation time-to-live granted to queries originating here.
+    pub ttl: u32,
+    /// Addresses of the peer daemons queries may be delegated to.
+    pub peers: Vec<StageAddress>,
+}
+
+/// A ticket issued by the federated wrapper: the inner backend's ticket
+/// plus the rendered query text, kept so a local failure can be delegated.
+struct PendingTicket {
+    inner: Ticket,
+    query: String,
+}
+
+/// Any [`ResourceManager`] backend extended with wide-area delegation.
+///
+/// Wraps the domain's local backend; queries are always submitted locally
+/// first, and a ticket whose local outcome is a [delegable](is_delegable)
+/// failure is settled by forwarding the query to peer daemons with a TTL
+/// and visited-domain list — the paper's inter-domain cooperation, over
+/// the wire.  Allocations obtained from a peer are tracked so
+/// [`ResourceManager::release`] routes them back to the domain that made
+/// them (hop by hop, for multi-hop chains).
+///
+/// Hosted behind [`crate::remote::serve_federated`], the wrapper also
+/// answers *incoming* [`ClientFrame::Delegate`] requests from peers via
+/// [`FederatedBackend::handle_delegate`], continuing chains that started
+/// elsewhere.
+pub struct FederatedBackend {
+    inner: Box<dyn ResourceManager>,
+    config: FederationConfig,
+    brand: u64,
+    next: AtomicU64,
+    tickets: Mutex<HashMap<u64, PendingTicket>>,
+    links: Vec<PeerLink>,
+    /// Directory of the WAN neighbourhood: every peer domain is registered
+    /// as a pool manager, its advertised pools as instance records.  A
+    /// peer whose connection dies is pruned with
+    /// [`LocalDirectoryService::unregister_pool_manager`].
+    peer_directory: SharedDirectory,
+    /// The intra-domain directory of the wrapped backend, when it has one
+    /// (pipeline backends); the source of this daemon's own pool
+    /// advertisements.
+    local_directory: Option<SharedDirectory>,
+    /// Allocations obtained from peers, keyed by access key, mapped to
+    /// the peer domain they must be released through.
+    remote_leases: Mutex<HashMap<String, String>>,
+    /// Stable instance numbers for *inbound* advertisements (domains that
+    /// connected to us), allocated from `u32::MAX` downwards so they can
+    /// never collide with outbound link indices — or each other, which
+    /// would let one inbound peer's records overwrite another's.
+    inbound_instances: Mutex<HashMap<String, u32>>,
+    delegations_out: AtomicU64,
+    delegations_in: AtomicU64,
+    /// Routing state after the most recent delegation chain (tests and
+    /// diagnostics).
+    last_chain: Mutex<Option<RoutingState>>,
+    closed: AtomicBool,
+}
+
+impl FederatedBackend {
+    /// Wraps `inner` for the given federation topology.  `local_directory`
+    /// (the wrapped backend's intra-domain directory, when it has one)
+    /// feeds this daemon's pool advertisements to peers.
+    pub fn new(
+        inner: Box<dyn ResourceManager>,
+        config: FederationConfig,
+        local_directory: Option<SharedDirectory>,
+    ) -> Self {
+        let links = config
+            .peers
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| PeerLink::new(addr.clone(), i as u32))
+            .collect();
+        FederatedBackend {
+            inner,
+            config,
+            brand: crate::api::next_backend_brand(),
+            next: AtomicU64::new(0),
+            tickets: Mutex::new(HashMap::new()),
+            links,
+            peer_directory: LocalDirectoryService::new().into_shared(),
+            local_directory,
+            remote_leases: Mutex::new(HashMap::new()),
+            inbound_instances: Mutex::new(HashMap::new()),
+            delegations_out: AtomicU64::new(0),
+            delegations_in: AtomicU64::new(0),
+            last_chain: Mutex::new(None),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// This daemon's domain name.
+    pub fn domain(&self) -> &str {
+        &self.config.domain
+    }
+
+    /// The directory of peer domains and their advertised pools.
+    pub fn peer_directory(&self) -> &SharedDirectory {
+        &self.peer_directory
+    }
+
+    /// The wrapped backend (inspection).
+    pub fn inner(&self) -> &dyn ResourceManager {
+        self.inner.as_ref()
+    }
+
+    /// Routing state after the most recent delegation chain this daemon
+    /// originated or continued (`None` before the first delegation).
+    pub fn last_chain(&self) -> Option<RoutingState> {
+        self.last_chain.lock().clone()
+    }
+
+    /// Pool names this daemon advertises to peers.
+    pub fn local_pools(&self) -> Vec<String> {
+        match &self.local_directory {
+            Some(dir) => dir.read().pool_names().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records the advertisement of a peer that connected *to us* (its
+    /// listen address is unknown, so the record is observability only,
+    /// never a delegation candidate).  Each inbound domain gets a stable
+    /// instance number of its own, so two inbound peers advertising the
+    /// same pool name never overwrite each other's records.
+    pub fn record_inbound_advertisement(&self, domain: &str, pools: &[String]) {
+        let instance = {
+            let mut instances = self.inbound_instances.lock();
+            let next = u32::MAX - instances.len() as u32;
+            *instances.entry(domain.to_string()).or_insert(next)
+        };
+        self.record_peer_advertisement(
+            domain,
+            pools,
+            StageAddress::new(domain.to_string(), 0),
+            instance,
+        );
+    }
+
+    /// Records a peer's advertisement in the peer directory (stale records
+    /// for the same domain are replaced).
+    pub fn record_peer_advertisement(
+        &self,
+        domain: &str,
+        pools: &[String],
+        address: StageAddress,
+        instance: u32,
+    ) {
+        let mut dir = self.peer_directory.write();
+        dir.unregister_pool_manager(domain);
+        dir.register_pool_manager(domain);
+        for pool in pools {
+            dir.register_pool(PoolInstanceRecord {
+                pool: pool.clone(),
+                instance,
+                manager: domain.to_string(),
+                address: address.clone(),
+            });
+        }
+    }
+
+    /// Serves an incoming `Delegate` request from a peer daemon: spends a
+    /// hop visiting this domain, tries the local backend, forwards further
+    /// when possible.  Returns the outcome plus the routing state after
+    /// the whole chain, for the `Delegated` reply.
+    pub fn handle_delegate(
+        &self,
+        query: &str,
+        ttl: u32,
+        visited: Vec<String>,
+    ) -> (QueryOutcome, RoutingState) {
+        self.delegations_in.fetch_add(1, Ordering::Relaxed);
+        // The incoming TTL is honoured as-is: it was bounded by the
+        // *originator's* policy, and clamping it to this daemon's own
+        // (possibly lower) TTL would collapse the originator's remaining
+        // budget when the clamped value flows back through the reply.
+        // The work a hostile peer can demand stays bounded regardless:
+        // every chain visits each domain at most once.
+        let state = RoutingState { ttl, visited };
+        if state.has_visited(&self.config.domain) {
+            // A conforming peer never revisits: refuse instead of looping.
+            return (
+                Err(AllocationError::Protocol(format!(
+                    "domain `{}` already visited by this query",
+                    self.config.domain
+                ))),
+                state,
+            );
+        }
+        let (outcome, state) = run_chain(
+            &self.config.domain,
+            query,
+            state,
+            |q| self.inner.submit_text_wait(q),
+            self,
+        );
+        *self.last_chain.lock() = Some(state.clone());
+        (outcome, state)
+    }
+
+    /// Settles a locally failed outcome by delegating the query to peers.
+    fn federate_after_local_failure(
+        &self,
+        query: &str,
+        local_error: AllocationError,
+    ) -> QueryOutcome {
+        let state = RoutingState::new(self.config.ttl);
+        let (outcome, state) = run_chain(
+            &self.config.domain,
+            query,
+            state,
+            |_| Err(local_error),
+            self,
+        );
+        *self.last_chain.lock() = Some(state);
+        outcome
+    }
+
+    /// Resolves an inner outcome: delegable failures go to the federation
+    /// (when this daemon has peers at all).
+    fn settle(&self, query: &str, outcome: QueryOutcome) -> QueryOutcome {
+        match outcome {
+            Err(error) if is_delegable(&error) && !self.links.is_empty() => {
+                self.federate_after_local_failure(query, error)
+            }
+            other => other,
+        }
+    }
+
+    fn link_for(&self, domain: &str) -> Option<&PeerLink> {
+        self.links
+            .iter()
+            .find(|link| link.last_domain.lock().as_deref() == Some(domain))
+    }
+
+    /// The pool names the query would map to (preference signal for
+    /// candidate ordering; empty if the text does not parse).
+    fn wanted_pools(&self, query: &str) -> Vec<String> {
+        match actyp_query::parse_query(query) {
+            Ok(parsed) => parsed
+                .decompose(16)
+                .iter()
+                .map(|basic| actyp_query::PoolName::from_query(basic).full())
+                .collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn take_ticket(&self, ticket: Ticket) -> Result<PendingTicket, AllocationError> {
+        if ticket.brand() != self.brand {
+            return Err(AllocationError::UnknownTicket);
+        }
+        self.tickets
+            .lock()
+            .remove(&ticket.id())
+            .ok_or(AllocationError::UnknownTicket)
+    }
+}
+
+impl FederatedBackend {
+    /// Folds a freshly learned advertisement (new connection on `link`)
+    /// into the peer directory.
+    fn note_fresh_advertisement(&self, link: &PeerLink, fresh: Option<PeerAdvertisement>) {
+        if let Some(adv) = fresh {
+            self.record_peer_advertisement(&adv.domain, &adv.pools, link.addr.clone(), link.index);
+        }
+    }
+}
+
+impl PeerDelegator for FederatedBackend {
+    /// Peer domains, peers advertising a pool the query maps to first.
+    ///
+    /// A link whose domain is already known is offered from its cached
+    /// identity WITHOUT touching the connection mutex: the link may be
+    /// busy carrying another chain's `Delegate` right now, and blocking
+    /// on it here would distributed-deadlock two mutually peered daemons
+    /// that delegate to each other at the same time.  Only a
+    /// never-yet-contacted link is dialed (that is how its domain name
+    /// becomes known at all); whether an offered link is *currently*
+    /// reachable is discovered by `delegate` itself.
+    fn candidates(&self, query: &str, _state: &RoutingState) -> Vec<String> {
+        let wanted = self.wanted_pools(query);
+        let mut preferred = Vec::new();
+        let mut rest = Vec::new();
+        for link in &self.links {
+            let known = link.last_domain.lock().clone();
+            let domain = match known {
+                Some(domain) => domain,
+                None => {
+                    let ensured = link.with_conn(
+                        &self.config.domain,
+                        || self.local_pools(),
+                        |conn| Ok(conn.domain.clone()),
+                    );
+                    match ensured {
+                        Ok((domain, fresh)) => {
+                            self.note_fresh_advertisement(link, fresh);
+                            domain
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            };
+            let advertises_wanted = {
+                let dir = self.peer_directory.read();
+                wanted
+                    .iter()
+                    .any(|pool| dir.instances(pool).iter().any(|r| r.manager == domain))
+            };
+            if advertises_wanted {
+                preferred.push(domain);
+            } else {
+                rest.push(domain);
+            }
+        }
+        preferred.extend(rest);
+        preferred
+    }
+
+    fn delegate(
+        &self,
+        domain: &str,
+        query: &str,
+        state: &RoutingState,
+    ) -> Result<(QueryOutcome, RoutingState), PeerUnavailable> {
+        let link = self.link_for(domain).ok_or_else(|| PeerUnavailable {
+            transport: true,
+            reason: format!("no link to domain `{domain}`"),
+        })?;
+        let ttl = state.ttl;
+        let visited = state.visited.clone();
+        let sent = link.with_conn(
+            &self.config.domain,
+            || self.local_pools(),
+            |conn| {
+                conn.request(|corr| ClientFrame::Delegate {
+                    corr,
+                    query: query.to_string(),
+                    ttl,
+                    visited: visited.clone(),
+                })
+            },
+        );
+        let (reply, fresh) = sent.map_err(|reason| PeerUnavailable {
+            transport: true,
+            reason,
+        })?;
+        // A reconnect mid-delegation re-learns the peer's advertisement.
+        self.note_fresh_advertisement(link, fresh);
+        match reply {
+            ServerFrame::Delegated {
+                outcome,
+                ttl,
+                visited,
+                ..
+            } => {
+                // Counted only for delegations a peer actually served, so
+                // the stat measures real WAN traffic, not dial attempts.
+                self.delegations_out.fetch_add(1, Ordering::Relaxed);
+                if let Ok(allocations) = &outcome {
+                    // Remember which domain every remote allocation must be
+                    // released through.
+                    let mut leases = self.remote_leases.lock();
+                    for allocation in allocations {
+                        leases.insert(allocation.access_key.0.clone(), domain.to_string());
+                    }
+                }
+                Ok((outcome, RoutingState { ttl, visited }))
+            }
+            ServerFrame::Error { error, .. } => {
+                // The peer answered but refused (not federated, or
+                // overloaded): skip it for this chain WITHOUT dropping
+                // the connection — tearing a healthy link down would end
+                // its session on the peer and release any allocation
+                // leases our clients still hold through it.
+                Err(PeerUnavailable {
+                    transport: false,
+                    reason: format!("peer refused delegation: {error}"),
+                })
+            }
+            // A reply that violates the protocol means the stream can no
+            // longer be trusted: drop the connection.
+            other => Err(PeerUnavailable {
+                transport: true,
+                reason: format!("expected Delegated, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Drops the link and prunes the dead peer's pools from the peer
+    /// directory, so its stale records stop being routable.
+    fn peer_failed(&self, domain: &str) {
+        if let Some(link) = self.link_for(domain) {
+            link.disconnect();
+        }
+        self.peer_directory.write().unregister_pool_manager(domain);
+    }
+}
+
+impl ResourceManager for FederatedBackend {
+    fn submit(&self, query: actyp_query::Query) -> Result<Ticket, AllocationError> {
+        let rendered = query.to_string();
+        let inner = self.inner.submit(query)?;
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.tickets.lock().insert(
+            id,
+            PendingTicket {
+                inner,
+                query: rendered,
+            },
+        );
+        Ok(Ticket::from_parts(self.brand, id))
+    }
+
+    fn wait(&self, ticket: Ticket) -> QueryOutcome {
+        let pending = self.take_ticket(ticket)?;
+        let outcome = self.inner.wait(pending.inner);
+        self.settle(&pending.query, outcome)
+    }
+
+    /// Bounded on the *local* wait only: once the local outcome is known,
+    /// a delegable failure still triggers the (network-bound) federation
+    /// chain, which may run past the deadline — the alternative would be
+    /// to fail a query a peer could have satisfied.
+    fn wait_deadline(&self, ticket: Ticket, timeout: Duration) -> Option<QueryOutcome> {
+        if ticket.brand() != self.brand {
+            return Some(Err(AllocationError::UnknownTicket));
+        }
+        let pending = match self.tickets.lock().remove(&ticket.id()) {
+            Some(pending) => pending,
+            None => return Some(Err(AllocationError::UnknownTicket)),
+        };
+        match self.inner.wait_deadline(pending.inner, timeout) {
+            Some(outcome) => Some(self.settle(&pending.query, outcome)),
+            None => {
+                // Local deadline elapsed: the ticket stays redeemable.
+                self.tickets.lock().insert(ticket.id(), pending);
+                None
+            }
+        }
+    }
+
+    /// Non-blocking on the local backend; a delegable local failure is
+    /// settled through the federation inline (see
+    /// [`wait_deadline`](Self::wait_deadline) on why).
+    fn try_poll(&self, ticket: Ticket) -> Option<QueryOutcome> {
+        if ticket.brand() != self.brand {
+            return Some(Err(AllocationError::UnknownTicket));
+        }
+        let mut tickets = self.tickets.lock();
+        // A spent or forged ticket id is an *answer*, not a pending query.
+        let Some(pending) = tickets.get(&ticket.id()) else {
+            return Some(Err(AllocationError::UnknownTicket));
+        };
+        let outcome = self.inner.try_poll(pending.inner)?;
+        let pending = tickets.remove(&ticket.id()).expect("entry just read");
+        drop(tickets);
+        Some(self.settle(&pending.query, outcome))
+    }
+
+    fn release(&self, allocation: &Allocation) -> Result<(), AllocationError> {
+        // The lease mapping is only consumed once the release is truly
+        // settled: dropping it up front would orphan the allocation's
+        // routing if the peer answers with a transient error, leaving the
+        // client no way to retry.
+        let peer = self
+            .remote_leases
+            .lock()
+            .get(&allocation.access_key.0)
+            .cloned();
+        let Some(domain) = peer else {
+            return self.inner.release(allocation);
+        };
+        let Some(link) = self.link_for(&domain) else {
+            // The link is gone entirely; the peer's session teardown has
+            // already reclaimed the allocation on its side.
+            self.remote_leases.lock().remove(&allocation.access_key.0);
+            return Ok(());
+        };
+        let sent = link.with_conn(
+            &self.config.domain,
+            || self.local_pools(),
+            |conn| {
+                conn.request(|corr| ClientFrame::Release {
+                    corr,
+                    allocation: allocation.clone(),
+                })
+            },
+        );
+        match sent {
+            Ok((ServerFrame::Released { .. }, _)) => {
+                self.remote_leases.lock().remove(&allocation.access_key.0);
+                Ok(())
+            }
+            Ok((ServerFrame::Error { error, .. }, _)) => {
+                // A double release is settled (drop the mapping); any
+                // other failure keeps it so a retry still routes to the
+                // owning domain.
+                if error == AllocationError::UnknownAllocation {
+                    self.remote_leases.lock().remove(&allocation.access_key.0);
+                }
+                Err(error)
+            }
+            Ok((other, _)) => Err(AllocationError::Protocol(format!(
+                "expected Released, got {other:?}"
+            ))),
+            // The peer died holding the lease: its session teardown hands
+            // the allocation back on that side, so the release is done as
+            // far as this daemon can tell.
+            Err(_) => {
+                self.remote_leases.lock().remove(&allocation.access_key.0);
+                self.peer_failed(&domain);
+                Ok(())
+            }
+        }
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        let mut stats = self.inner.stats();
+        stats.delegations_out = self.delegations_out.load(Ordering::Relaxed);
+        stats.delegations_in = self.delegations_in.load(Ordering::Relaxed);
+        stats.in_flight = self.tickets.lock().len();
+        stats
+    }
+
+    fn shutdown(&self) -> Result<(), AllocationError> {
+        if !self.closed.swap(true, Ordering::SeqCst) {
+            for link in &self.links {
+                link.disconnect();
+            }
+        }
+        self.inner.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NoPeers;
+    impl PeerDelegator for NoPeers {
+        fn candidates(&self, _query: &str, _state: &RoutingState) -> Vec<String> {
+            Vec::new()
+        }
+        fn delegate(
+            &self,
+            _domain: &str,
+            _query: &str,
+            _state: &RoutingState,
+        ) -> Result<(QueryOutcome, RoutingState), PeerUnavailable> {
+            unreachable!("no peers to delegate to")
+        }
+    }
+
+    #[test]
+    fn chain_with_no_peers_returns_the_local_failure() {
+        let (outcome, state) = run_chain(
+            "a",
+            "q",
+            RoutingState::new(4),
+            |_| Err(AllocationError::NoSuchResources),
+            &NoPeers,
+        );
+        assert_eq!(outcome.unwrap_err(), AllocationError::NoSuchResources);
+        assert_eq!(state.ttl, 3);
+        assert_eq!(state.visited, vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn chain_with_zero_ttl_expires_without_local_work() {
+        let (outcome, _) = run_chain(
+            "a",
+            "q",
+            RoutingState::new(0),
+            |_| panic!("local backend must not run"),
+            &NoPeers,
+        );
+        assert_eq!(outcome.unwrap_err(), AllocationError::TtlExpired);
+    }
+
+    #[test]
+    fn non_delegable_failures_stop_the_chain() {
+        let (outcome, _) = run_chain(
+            "a",
+            "q",
+            RoutingState::new(8),
+            |_| Err(AllocationError::Parse("bad".into())),
+            &NoPeers,
+        );
+        assert!(matches!(outcome, Err(AllocationError::Parse(_))));
+    }
+
+    #[test]
+    fn merge_clamps_a_peer_that_tries_to_raise_the_ttl() {
+        let state = RoutingState {
+            ttl: 5,
+            visited: vec!["a".to_string()],
+        };
+        let hostile = RoutingState {
+            ttl: 99,
+            visited: Vec::new(),
+        };
+        let merged = merge_states(state, hostile, "b");
+        assert_eq!(merged.ttl, 4, "TTL can only shrink across a hop");
+        assert!(merged.has_visited("a") && merged.has_visited("b"));
+    }
+
+    #[test]
+    fn delegable_errors_are_exactly_the_curable_ones() {
+        assert!(is_delegable(&AllocationError::NoSuchResources));
+        assert!(is_delegable(&AllocationError::NoneAvailable));
+        assert!(is_delegable(&AllocationError::ShadowAccountsExhausted));
+        assert!(is_delegable(&AllocationError::TtlExpired));
+        assert!(!is_delegable(&AllocationError::PolicyDenied));
+        assert!(!is_delegable(&AllocationError::Parse("x".into())));
+        assert!(!is_delegable(&AllocationError::UnknownTicket));
+        assert!(!is_delegable(&AllocationError::Network("x".into())));
+    }
+}

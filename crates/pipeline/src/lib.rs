@@ -32,7 +32,10 @@
 //! * [`remote`] — the wire deployment: a `ypd` daemon hosts any backend
 //!   behind the versioned [`actyp_proto`] protocol, and
 //!   [`remote::RemoteBackend`] serves the same client surface across a TCP
-//!   hop, with tickets pipelined on one connection.
+//!   hop, with tickets pipelined on one connection.  [`federation`] peers
+//!   daemons across administrative domains: a query the local backend
+//!   cannot satisfy is delegated over the wire with a TTL and
+//!   visited-domain list, the paper's WAN topology.
 //! * [`sim`] — the discrete-event simulated deployment used to reproduce the
 //!   paper's controlled experiments (Figures 4–8), where stage service times
 //!   and LAN/WAN link latencies are modelled explicitly.
@@ -47,6 +50,7 @@ pub mod allocation;
 pub mod api;
 pub mod directory;
 pub mod engine;
+pub mod federation;
 pub mod live;
 pub mod message;
 pub mod pool_manager;
@@ -60,12 +64,15 @@ pub use allocation::{Allocation, AllocationError, SessionKey};
 pub use api::{BackendKind, PipelineBuilder, ResourceManager, StatsSnapshot, Ticket};
 pub use directory::{LocalDirectoryService, PoolInstanceRecord, SharedDirectory};
 pub use engine::{Engine, EngineStats, PipelineConfig};
+pub use federation::{
+    is_delegable, run_chain, FederatedBackend, FederationConfig, PeerDelegator, PeerUnavailable,
+};
 pub use live::LivePipeline;
 pub use message::{
     AddressParseError, FragmentTag, RequestId, RequestIdGenerator, RoutingState, StageAddress,
 };
 pub use pool_manager::{HandleOutcome, InstanceSelection, PoolManager, PoolManagerConfig};
 pub use query_manager::{PoolManagerSelection, QueryManager, ReintegrationPolicy};
-pub use remote::{serve, RemoteBackend, ServerHandle};
+pub use remote::{serve, serve_federated, RemoteBackend, ServerHandle};
 pub use resource_pool::ResourcePool;
 pub use scheduler::{ReplicaBias, ScheduleOutcome, Scheduler, SchedulingObjective};

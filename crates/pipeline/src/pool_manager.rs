@@ -170,7 +170,16 @@ impl PoolManager {
     }
 
     fn create_pool(&mut self, name: &PoolName) -> Result<u32, AllocationError> {
-        let instance = self.directory.read().next_instance_number(&name.full());
+        let instance = self
+            .directory
+            .read()
+            .next_instance_number(&name.full())
+            .ok_or_else(|| {
+                AllocationError::Internal(format!(
+                    "instance numbers for pool `{}` are exhausted",
+                    name.full()
+                ))
+            })?;
         let pool = ResourcePool::create(
             name.clone(),
             instance,

@@ -66,8 +66,24 @@ use crate::message::{RequestId, RequestIdGenerator, StageAddress};
 /// connection cannot exhaust the daemon's threads.
 const MAX_SESSION_WORKERS: usize = 256;
 
+/// How often an idle session checks the daemon's drain flag.  Sessions
+/// block on the socket between frames; without this bound a drain would
+/// wait forever on idle-but-connected clients — in particular the pooled
+/// peer links other federated daemons hold open indefinitely.
+const SESSION_POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Per-read deadline while a started frame is being received.  A client
+/// that begins a frame and then stalls completely would otherwise hold
+/// the session thread (and a drain) hostage with an unbounded read.
+const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
 struct ServerShared {
     manager: Box<dyn ResourceManager>,
+    /// Present when this daemon is federated: the same backend the
+    /// sessions serve, kept concretely typed so incoming
+    /// [`ClientFrame::Delegate`] / [`ClientFrame::SyncPools`] frames from
+    /// peer daemons reach the federation surface the trait does not carry.
+    federation: Option<Arc<crate::federation::FederatedBackend>>,
     draining: AtomicBool,
     wake_addr: SocketAddr,
     sessions: Mutex<Vec<JoinHandle<()>>>,
@@ -110,9 +126,12 @@ impl ServerHandle {
 
     /// Blocks until the daemon has fully drained (accept loop stopped and
     /// every session finished — sessions end when their client disconnects
-    /// or shuts its session down), then tears the hosted backend down and
-    /// surfaces any stage worker panics.  Call [`ServerHandle::halt`] first,
-    /// or this blocks until a client halts the daemon.
+    /// or shuts its session down; during a drain, sessions idle between
+    /// frames are ended and settled too, so a daemon with pooled peer
+    /// links or forgotten clients still stops), then tears the hosted
+    /// backend down and surfaces any stage worker panics.  Call
+    /// [`ServerHandle::halt`] first, or this blocks until a client halts
+    /// the daemon.
     ///
     /// Every teardown step runs even when an earlier one failed — the
     /// hosted backend is always shut down — and all problems are reported
@@ -155,6 +174,26 @@ pub fn serve(
     manager: Box<dyn ResourceManager>,
     addr: &StageAddress,
 ) -> Result<ServerHandle, AllocationError> {
+    serve_inner(manager, None, addr)
+}
+
+/// Binds `addr` and serves a *federated* backend: the full client protocol
+/// plus the inter-daemon [`ClientFrame::Delegate`] /
+/// [`ClientFrame::SyncPools`] vocabulary peer daemons speak.  The backend
+/// is shared — the caller keeps its `Arc` for inspection (an `Arc` of a
+/// manager is itself a manager).
+pub fn serve_federated(
+    backend: Arc<crate::federation::FederatedBackend>,
+    addr: &StageAddress,
+) -> Result<ServerHandle, AllocationError> {
+    serve_inner(Box::new(backend.clone()), Some(backend), addr)
+}
+
+fn serve_inner(
+    manager: Box<dyn ResourceManager>,
+    federation: Option<Arc<crate::federation::FederatedBackend>>,
+    addr: &StageAddress,
+) -> Result<ServerHandle, AllocationError> {
     let listener = TcpListener::bind((addr.host.as_str(), addr.port))
         .map_err(|e| AllocationError::Network(format!("bind {addr}: {e}")))?;
     let local = listener
@@ -175,6 +214,7 @@ pub fn serve(
     };
     let shared = Arc::new(ServerShared {
         manager,
+        federation,
         draining: AtomicBool::new(false),
         wake_addr,
         sessions: Mutex::new(Vec::new()),
@@ -259,6 +299,29 @@ impl SessionState {
         }
         self.send(&ServerFrame::Outcome { corr, outcome });
     }
+
+    /// Same lease-before-reply discipline for a delegated outcome: the
+    /// allocations are leased to the *peer daemon's* session, so a peer
+    /// that vanishes holding them strands nothing here.
+    fn deliver_delegated(
+        &self,
+        corr: RequestId,
+        outcome: crate::api::QueryOutcome,
+        state: crate::message::RoutingState,
+    ) {
+        if let Ok(allocations) = &outcome {
+            let mut leases = self.leases.lock();
+            for allocation in allocations {
+                leases.insert(allocation.access_key.0.clone(), allocation.clone());
+            }
+        }
+        self.send(&ServerFrame::Delegated {
+            corr,
+            outcome,
+            ttl: state.ttl,
+            visited: state.visited,
+        });
+    }
 }
 
 fn run_session(shared: Arc<ServerShared>, mut stream: TcpStream) {
@@ -315,7 +378,39 @@ fn run_session(shared: Arc<ServerShared>, mut stream: TcpStream) {
     // further client action.
     let mut submit_workers: Vec<JoinHandle<()>> = Vec::new();
     let mut wait_workers: Vec<JoinHandle<()>> = Vec::new();
-    while let Ok(Some(frame)) = read_client_frame(&mut stream) {
+    let _ = stream.set_read_timeout(Some(SESSION_POLL_INTERVAL));
+    loop {
+        // Wait (bounded) for the next frame to *start*, so even an idle
+        // session observes the drain flag and ends: a draining daemon
+        // settles idle sessions' tickets and leases instead of waiting
+        // forever for clients — or peer daemons holding pooled links —
+        // to hang up.  Once the first byte is visible, the frame is read
+        // whole (under a generous per-read deadline, so a sender that
+        // stalls mid-frame ends the session instead of wedging it), which
+        // keeps a frame arriving in pieces from desynchronising the
+        // stream.
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+        let _ = stream.set_read_timeout(Some(FRAME_READ_TIMEOUT));
+        let next = read_client_frame(&mut stream);
+        let _ = stream.set_read_timeout(Some(SESSION_POLL_INTERVAL));
+        let Ok(Some(frame)) = next else { break };
         // Reap finished workers as we go so the vectors track only live
         // threads.
         submit_workers.retain(|worker| !worker.is_finished());
@@ -379,32 +474,68 @@ fn run_session(shared: Arc<ServerShared>, mut stream: TcpStream) {
                 }));
             }
             ClientFrame::Poll { corr, ticket } => {
-                let mut tickets = state.tickets.lock();
-                match tickets.get(&ticket).copied() {
-                    None => state.send(&ServerFrame::Error {
-                        corr,
-                        error: AllocationError::UnknownTicket,
-                    }),
-                    Some(backend_ticket) => match shared.manager.try_poll(backend_ticket) {
-                        None => {
-                            drop(tickets);
-                            state.send(&ServerFrame::Pending { corr });
-                        }
+                // The ticket is read, not claimed: concurrent polls of the
+                // same ticket race inside the backend, where the loser
+                // sees UnknownTicket — the same contract as concurrent
+                // in-process redemption.  The session table lock is NOT
+                // held across try_poll, which on a federated backend can
+                // settle a failure through the WAN.
+                let backend_ticket = match state.tickets.lock().get(&ticket).copied() {
+                    None => {
+                        state.send(&ServerFrame::Error {
+                            corr,
+                            error: AllocationError::UnknownTicket,
+                        });
+                        continue;
+                    }
+                    Some(backend_ticket) => backend_ticket,
+                };
+                let poll = {
+                    let shared = shared.clone();
+                    let state = state.clone();
+                    move || match shared.manager.try_poll(backend_ticket) {
+                        None => state.send(&ServerFrame::Pending { corr }),
                         Some(outcome) => {
-                            tickets.remove(&ticket);
-                            drop(tickets);
+                            state.tickets.lock().remove(&ticket);
                             state.deliver_outcome(corr, outcome);
                         }
-                    },
+                    }
+                };
+                // On a federated daemon a poll can block on peer I/O, so
+                // it runs on a worker like Wait does; in-process backends
+                // answer inline.
+                if shared.federation.is_some() {
+                    if wait_workers.len() >= MAX_SESSION_WORKERS {
+                        state.send(&session_overloaded(corr));
+                        continue;
+                    }
+                    wait_workers.push(std::thread::spawn(poll));
+                } else {
+                    poll();
                 }
             }
             ClientFrame::Release { corr, allocation } => {
-                match shared.manager.release(&allocation) {
-                    Ok(()) => {
-                        state.leases.lock().remove(&allocation.access_key.0);
-                        state.send(&ServerFrame::Released { corr });
+                let release = {
+                    let shared = shared.clone();
+                    let state = state.clone();
+                    move || match shared.manager.release(&allocation) {
+                        Ok(()) => {
+                            state.leases.lock().remove(&allocation.access_key.0);
+                            state.send(&ServerFrame::Released { corr });
+                        }
+                        Err(error) => state.send(&ServerFrame::Error { corr, error }),
                     }
-                    Err(error) => state.send(&ServerFrame::Error { corr, error }),
+                };
+                // Releasing a delegated allocation crosses the wire to the
+                // owning domain: a worker keeps the frame loop responsive.
+                if shared.federation.is_some() {
+                    if submit_workers.len() >= MAX_SESSION_WORKERS {
+                        state.send(&session_overloaded(corr));
+                        continue;
+                    }
+                    submit_workers.push(std::thread::spawn(release));
+                } else {
+                    release();
                 }
             }
             ClientFrame::Stats { corr } => {
@@ -422,6 +553,60 @@ fn run_session(shared: Arc<ServerShared>, mut stream: TcpStream) {
                 shared.begin_drain();
                 break;
             }
+            // A peer daemon delegating a query here.  Runs on a submit
+            // worker: resolving it blocks on the local backend and may hop
+            // onward to further peers.
+            ClientFrame::Delegate {
+                corr,
+                query,
+                ttl,
+                visited,
+            } => {
+                let Some(federation) = shared.federation.clone() else {
+                    state.send(&ServerFrame::Error {
+                        corr,
+                        error: AllocationError::Protocol(
+                            "this daemon is not federated (no --domain/--peer)".to_string(),
+                        ),
+                    });
+                    continue;
+                };
+                if submit_workers.len() >= MAX_SESSION_WORKERS {
+                    state.send(&session_overloaded(corr));
+                    continue;
+                }
+                let state = state.clone();
+                submit_workers.push(std::thread::spawn(move || {
+                    let (outcome, routing) = federation.handle_delegate(&query, ttl, visited);
+                    state.deliver_delegated(corr, outcome, routing);
+                }));
+            }
+            // A peer daemon advertising its domain and pool names; answer
+            // with ours.  Inline: no blocking work.
+            ClientFrame::SyncPools {
+                corr,
+                domain,
+                pools,
+            } => match &shared.federation {
+                None => state.send(&ServerFrame::Error {
+                    corr,
+                    error: AllocationError::Protocol(
+                        "this daemon is not federated (no --domain/--peer)".to_string(),
+                    ),
+                }),
+                Some(federation) => {
+                    // Record the inbound advertisement for observability;
+                    // the address is unknown on an inbound connection, so
+                    // delegation candidates still come from outbound links
+                    // only.
+                    federation.record_inbound_advertisement(&domain, &pools);
+                    state.send(&ServerFrame::PoolsSynced {
+                        corr,
+                        domain: federation.domain().to_string(),
+                        pools: federation.local_pools(),
+                    });
+                }
+            },
         }
     }
 
@@ -594,8 +779,10 @@ fn handle_wait(
 // Client
 // ---------------------------------------------------------------------------
 
-/// The correlation id a response frame answers, if any.
-fn corr_of(frame: &ServerFrame) -> Option<RequestId> {
+/// The correlation id a response frame answers, if any.  Also used by the
+/// federation peer links, whose request/response exchanges ride the same
+/// protocol.
+pub(crate) fn corr_of(frame: &ServerFrame) -> Option<RequestId> {
     match frame {
         ServerFrame::HelloAck { .. } | ServerFrame::HelloReject { .. } => None,
         ServerFrame::Submitted { corr, .. }
@@ -606,7 +793,9 @@ fn corr_of(frame: &ServerFrame) -> Option<RequestId> {
         | ServerFrame::Released { corr }
         | ServerFrame::StatsReply { corr, .. }
         | ServerFrame::Ack { corr }
-        | ServerFrame::Error { corr, .. } => Some(*corr),
+        | ServerFrame::Error { corr, .. }
+        | ServerFrame::Delegated { corr, .. }
+        | ServerFrame::PoolsSynced { corr, .. } => Some(*corr),
     }
 }
 

@@ -28,13 +28,23 @@
 use std::io::{self, Read, Write};
 
 use crate::types::{Allocation, AllocationError, RequestId, StatsSnapshot};
-use crate::wire::{DecodeError, Reader, WireDecode, WireEncode};
+use crate::wire::{DecodeError, EncodeError, Reader, WireDecode, WireEncode};
 
 /// Current (and highest supported) protocol version.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version 2 added the wide-area federation vocabulary —
+/// [`ClientFrame::Delegate`] / [`ServerFrame::Delegated`] for inter-daemon
+/// query delegation, and [`ClientFrame::SyncPools`] /
+/// [`ServerFrame::PoolsSynced`] for pool-advertisement exchange between
+/// peered daemons — and extended the [`StatsSnapshot`] wire layout with
+/// the federation counters.
+pub const PROTOCOL_VERSION: u16 = 2;
 
-/// Oldest protocol version this build still speaks.
-pub const MIN_SUPPORTED_VERSION: u16 = 1;
+/// Oldest protocol version this build still speaks.  Version 2 changed
+/// the layout of [`StatsSnapshot`] (not only added frames), so a v1 peer
+/// would mis-decode every `StatsReply`; honest negotiation refuses it at
+/// the hello instead of desynchronising mid-session.
+pub const MIN_SUPPORTED_VERSION: u16 = 2;
 
 /// Hard upper bound on one frame's body length (16 MiB).  A peer declaring
 /// more is protocol-violating; the connection should be dropped.
@@ -118,6 +128,35 @@ pub enum ClientFrame {
         /// Correlation id echoed by the response.
         corr: RequestId,
     },
+    /// Peer-to-peer (daemon-to-daemon) delegation of a query another
+    /// domain could not satisfy, carrying the paper's routing state with
+    /// it — "all state information is carried with the query itself".
+    /// Answered by [`ServerFrame::Delegated`].  Protocol version 2.
+    Delegate {
+        /// Correlation id echoed by the response.
+        corr: RequestId,
+        /// The query, rendered in the native text format.
+        query: String,
+        /// Remaining delegation time-to-live (hops still allowed).  The
+        /// receiving daemon spends one visiting itself.
+        ttl: u32,
+        /// Domains that have already handled this query; the receiver must
+        /// never forward the query back to any of them.
+        visited: Vec<String>,
+    },
+    /// Pool-advertisement exchange between peered daemons: the sender
+    /// announces its domain name and the pool names it currently hosts;
+    /// the receiver records them and answers [`ServerFrame::PoolsSynced`]
+    /// with its own.  Sent once per peer connection, after the hello.
+    /// Protocol version 2.
+    SyncPools {
+        /// Correlation id echoed by the response.
+        corr: RequestId,
+        /// The advertising daemon's domain name.
+        domain: String,
+        /// Full pool names the advertising daemon currently hosts.
+        pools: Vec<String>,
+    },
 }
 
 /// Frames a `ypd` daemon sends back to a client.
@@ -190,28 +229,54 @@ pub enum ServerFrame {
         /// Why it failed.
         error: AllocationError,
     },
+    /// Answers [`ClientFrame::Delegate`]: the outcome of the delegated
+    /// query together with the routing state after the receiver's whole
+    /// delegation chain finished, so the requester continues its own
+    /// search without revisiting any domain or resetting the TTL.
+    /// Protocol version 2.
+    Delegated {
+        /// Correlation id of the `Delegate` this answers.
+        corr: RequestId,
+        /// The delegated query's outcome.
+        outcome: WireOutcome,
+        /// Remaining TTL after the receiver's chain.
+        ttl: u32,
+        /// Every domain visited once the receiver's chain finished
+        /// (superset of the request's list).
+        visited: Vec<String>,
+    },
+    /// Answers [`ClientFrame::SyncPools`] with the receiving daemon's own
+    /// advertisement.  Protocol version 2.
+    PoolsSynced {
+        /// Correlation id of the `SyncPools` this answers.
+        corr: RequestId,
+        /// The receiving daemon's domain name.
+        domain: String,
+        /// Full pool names the receiving daemon currently hosts.
+        pools: Vec<String>,
+    },
 }
 
 impl WireEncode for ClientFrame {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
         match self {
             ClientFrame::Hello {
                 min_version,
                 max_version,
             } => {
                 out.push(0);
-                min_version.encode(out);
-                max_version.encode(out);
+                min_version.encode(out)?;
+                max_version.encode(out)?;
             }
             ClientFrame::Submit { corr, query } => {
                 out.push(1);
-                corr.encode(out);
-                query.encode(out);
+                corr.encode(out)?;
+                query.encode(out)?;
             }
             ClientFrame::SubmitBatch { corr, queries } => {
                 out.push(2);
-                corr.encode(out);
-                queries.encode(out);
+                corr.encode(out)?;
+                queries.encode(out)?;
             }
             ClientFrame::Wait {
                 corr,
@@ -219,33 +284,56 @@ impl WireEncode for ClientFrame {
                 deadline_ms,
             } => {
                 out.push(3);
-                corr.encode(out);
-                ticket.encode(out);
-                deadline_ms.encode(out);
+                corr.encode(out)?;
+                ticket.encode(out)?;
+                deadline_ms.encode(out)?;
             }
             ClientFrame::Poll { corr, ticket } => {
                 out.push(4);
-                corr.encode(out);
-                ticket.encode(out);
+                corr.encode(out)?;
+                ticket.encode(out)?;
             }
             ClientFrame::Release { corr, allocation } => {
                 out.push(5);
-                corr.encode(out);
-                allocation.encode(out);
+                corr.encode(out)?;
+                allocation.encode(out)?;
             }
             ClientFrame::Stats { corr } => {
                 out.push(6);
-                corr.encode(out);
+                corr.encode(out)?;
             }
             ClientFrame::Shutdown { corr } => {
                 out.push(7);
-                corr.encode(out);
+                corr.encode(out)?;
             }
             ClientFrame::Halt { corr } => {
                 out.push(8);
-                corr.encode(out);
+                corr.encode(out)?;
+            }
+            ClientFrame::Delegate {
+                corr,
+                query,
+                ttl,
+                visited,
+            } => {
+                out.push(9);
+                corr.encode(out)?;
+                query.encode(out)?;
+                ttl.encode(out)?;
+                visited.encode(out)?;
+            }
+            ClientFrame::SyncPools {
+                corr,
+                domain,
+                pools,
+            } => {
+                out.push(10);
+                corr.encode(out)?;
+                domain.encode(out)?;
+                pools.encode(out)?;
             }
         }
+        Ok(())
     }
 }
 
@@ -286,6 +374,17 @@ impl WireDecode for ClientFrame {
             8 => ClientFrame::Halt {
                 corr: RequestId::decode(r)?,
             },
+            9 => ClientFrame::Delegate {
+                corr: RequestId::decode(r)?,
+                query: String::decode(r)?,
+                ttl: u32::decode(r)?,
+                visited: Vec::<String>::decode(r)?,
+            },
+            10 => ClientFrame::SyncPools {
+                corr: RequestId::decode(r)?,
+                domain: String::decode(r)?,
+                pools: Vec::<String>::decode(r)?,
+            },
             tag => {
                 return Err(DecodeError::BadTag {
                     context: "ClientFrame",
@@ -297,58 +396,81 @@ impl WireDecode for ClientFrame {
 }
 
 impl WireEncode for ServerFrame {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
         match self {
             ServerFrame::HelloAck { version } => {
                 out.push(0);
-                version.encode(out);
+                version.encode(out)?;
             }
             ServerFrame::HelloReject { message } => {
                 out.push(1);
-                message.encode(out);
+                message.encode(out)?;
             }
             ServerFrame::Submitted { corr, ticket } => {
                 out.push(2);
-                corr.encode(out);
-                ticket.encode(out);
+                corr.encode(out)?;
+                ticket.encode(out)?;
             }
             ServerFrame::BatchSubmitted { corr, tickets } => {
                 out.push(3);
-                corr.encode(out);
-                tickets.encode(out);
+                corr.encode(out)?;
+                tickets.encode(out)?;
             }
             ServerFrame::Outcome { corr, outcome } => {
                 out.push(4);
-                corr.encode(out);
-                outcome.encode(out);
+                corr.encode(out)?;
+                outcome.encode(out)?;
             }
             ServerFrame::Pending { corr } => {
                 out.push(5);
-                corr.encode(out);
+                corr.encode(out)?;
             }
             ServerFrame::TimedOut { corr } => {
                 out.push(6);
-                corr.encode(out);
+                corr.encode(out)?;
             }
             ServerFrame::Released { corr } => {
                 out.push(7);
-                corr.encode(out);
+                corr.encode(out)?;
             }
             ServerFrame::StatsReply { corr, stats } => {
                 out.push(8);
-                corr.encode(out);
-                stats.encode(out);
+                corr.encode(out)?;
+                stats.encode(out)?;
             }
             ServerFrame::Ack { corr } => {
                 out.push(9);
-                corr.encode(out);
+                corr.encode(out)?;
             }
             ServerFrame::Error { corr, error } => {
                 out.push(10);
-                corr.encode(out);
-                error.encode(out);
+                corr.encode(out)?;
+                error.encode(out)?;
+            }
+            ServerFrame::Delegated {
+                corr,
+                outcome,
+                ttl,
+                visited,
+            } => {
+                out.push(11);
+                corr.encode(out)?;
+                outcome.encode(out)?;
+                ttl.encode(out)?;
+                visited.encode(out)?;
+            }
+            ServerFrame::PoolsSynced {
+                corr,
+                domain,
+                pools,
+            } => {
+                out.push(12);
+                corr.encode(out)?;
+                domain.encode(out)?;
+                pools.encode(out)?;
             }
         }
+        Ok(())
     }
 }
 
@@ -392,6 +514,17 @@ impl WireDecode for ServerFrame {
             10 => ServerFrame::Error {
                 corr: RequestId::decode(r)?,
                 error: AllocationError::decode(r)?,
+            },
+            11 => ServerFrame::Delegated {
+                corr: RequestId::decode(r)?,
+                outcome: WireOutcome::decode(r)?,
+                ttl: u32::decode(r)?,
+                visited: Vec::<String>::decode(r)?,
+            },
+            12 => ServerFrame::PoolsSynced {
+                corr: RequestId::decode(r)?,
+                domain: String::decode(r)?,
+                pools: Vec::<String>::decode(r)?,
             },
             tag => {
                 return Err(DecodeError::BadTag {
@@ -437,13 +570,17 @@ impl From<DecodeError> for FrameError {
 
 /// Writes one length-prefixed frame.
 ///
-/// A frame whose body would exceed [`MAX_FRAME_LEN`] is refused with
-/// `InvalidData` *before* any byte hits the stream: sending it would make
-/// the peer drop the whole connection (taking every other in-flight
-/// request with it), and a body over `u32::MAX` would silently corrupt the
-/// length prefix and desynchronise the stream.
+/// A frame whose body would exceed [`MAX_FRAME_LEN`] — or that contains a
+/// string or sequence over the codec's cap, which the encoder now refuses
+/// ([`EncodeError`]) — is rejected with `InvalidData` *before* any byte
+/// hits the stream: sending it would make the peer drop the whole
+/// connection (taking every other in-flight request with it), and a body
+/// over `u32::MAX` would silently corrupt the length prefix and
+/// desynchronise the stream.
 pub fn write_frame<W: Write, F: WireEncode>(w: &mut W, frame: &F) -> io::Result<()> {
-    let body = frame.to_wire_bytes();
+    let body = frame
+        .to_wire_bytes()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     if body.len() > MAX_FRAME_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -523,7 +660,7 @@ mod tests {
 
     #[test]
     fn negotiation_picks_the_highest_common_version() {
-        assert_eq!(negotiate(1, 1), Some(1));
+        assert_eq!(negotiate(2, 2), Some(2));
         assert_eq!(negotiate(1, 99), Some(PROTOCOL_VERSION));
         assert_eq!(
             negotiate(MIN_SUPPORTED_VERSION, PROTOCOL_VERSION),
@@ -531,8 +668,12 @@ mod tests {
         );
         // A client that only speaks future versions is rejected.
         assert_eq!(negotiate(PROTOCOL_VERSION + 1, PROTOCOL_VERSION + 5), None);
+        // A client that only speaks retired versions is rejected: v2
+        // changed the StatsSnapshot layout, so serving a v1 client would
+        // desynchronise its decoder mid-session.
+        assert_eq!(negotiate(1, 1), None);
         // An inverted range is rejected.
-        assert_eq!(negotiate(2, 1), None);
+        assert_eq!(negotiate(3, 2), None);
     }
 
     #[test]
@@ -556,6 +697,17 @@ mod tests {
                 allocation: allocation(),
             },
             ClientFrame::Halt { corr: RequestId(4) },
+            ClientFrame::Delegate {
+                corr: RequestId(5),
+                query: "punch.rsrc.arch = hp\n".to_string(),
+                ttl: 3,
+                visited: vec!["purdue".to_string(), "upc".to_string()],
+            },
+            ClientFrame::SyncPools {
+                corr: RequestId(6),
+                domain: "purdue".to_string(),
+                pools: vec!["arch,==/sun".to_string()],
+            },
         ];
         let mut stream = Vec::new();
         for f in &frames {
@@ -588,6 +740,23 @@ mod tests {
             ServerFrame::Error {
                 corr: RequestId(5),
                 error: AllocationError::Protocol("x".into()),
+            },
+            ServerFrame::Delegated {
+                corr: RequestId(6),
+                outcome: Ok(vec![allocation()]),
+                ttl: 2,
+                visited: vec!["purdue".to_string(), "upc".to_string()],
+            },
+            ServerFrame::Delegated {
+                corr: RequestId(7),
+                outcome: Err(AllocationError::TtlExpired),
+                ttl: 0,
+                visited: vec!["purdue".to_string()],
+            },
+            ServerFrame::PoolsSynced {
+                corr: RequestId(8),
+                domain: "upc".to_string(),
+                pools: vec!["arch,==/hp".to_string(), "arch,==/sun".to_string()],
             },
         ];
         let mut stream = Vec::new();
@@ -638,9 +807,32 @@ mod tests {
     }
 
     #[test]
+    fn over_cap_values_are_refused_at_the_frame_writer() {
+        // A single over-cap string inside a frame is an *encode* failure,
+        // caught before any byte is written.  On the pre-fix codec this
+        // frame encoded fine and only the peer's decoder rejected it.
+        let frame = ClientFrame::Delegate {
+            corr: RequestId(1),
+            query: "q".repeat(MAX_SEQUENCE_LEN + 1),
+            ttl: 4,
+            visited: Vec::new(),
+        };
+        let mut stream = Vec::new();
+        let err = write_frame(&mut stream, &frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(stream.is_empty(), "nothing reached the stream");
+        assert!(matches!(
+            frame.to_wire_bytes(),
+            Err(EncodeError::TooLong { .. })
+        ));
+    }
+
+    #[test]
     fn frame_length_must_match_payload_exactly() {
         // A valid body with a spare byte appended inside the frame.
-        let mut body = ClientFrame::Stats { corr: RequestId(7) }.to_wire_bytes();
+        let mut body = ClientFrame::Stats { corr: RequestId(7) }
+            .to_wire_bytes()
+            .unwrap();
         body.push(0xAB);
         let mut stream = Vec::new();
         stream.extend_from_slice(&(body.len() as u32).to_be_bytes());

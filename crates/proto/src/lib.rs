@@ -9,7 +9,9 @@
 //! * [`wire`] — a hand-rolled, length-prefixed binary codec (no external
 //!   serialisation dependency): [`wire::WireEncode`] / [`wire::WireDecode`]
 //!   over big-endian integers, UTF-8 strings, options and sequences, with
-//!   total (never-panicking) decoding.
+//!   total (never-panicking) decoding and *symmetric* limits — every cap
+//!   the decoder enforces is enforced at encode time too, so a value no
+//!   peer could decode fails at the sender ([`wire::EncodeError`]).
 //! * [`types`] — the client-visible data model shared by every deployment:
 //!   [`RequestId`], [`StageAddress`] (with a `host:port` `FromStr` /
 //!   `Display` round trip), [`SessionKey`], [`Allocation`], the
@@ -22,7 +24,11 @@
 //!   halt), framed as `[u32 length][body]` with explicit version
 //!   negotiation ([`ClientFrame::Hello`] → [`ServerFrame::HelloAck`]) and
 //!   response correlation by [`RequestId`] so requests pipeline on one
-//!   connection.
+//!   connection.  Version 2 adds the wide-area federation vocabulary:
+//!   [`ClientFrame::Delegate`] / [`ServerFrame::Delegated`] carry a query,
+//!   its remaining TTL and the visited-domain list between peered daemons,
+//!   and [`ClientFrame::SyncPools`] / [`ServerFrame::PoolsSynced`]
+//!   exchange pool advertisements so peers learn each other's pool names.
 //!
 //! The protocol deliberately carries queries in the native key/value *text*
 //! form: the query language is the paper's client-facing interface, its
@@ -45,4 +51,4 @@ pub use types::{
     AddressParseError, Allocation, AllocationError, RequestId, RequestIdGenerator, SessionKey,
     StageAddress, StatsSnapshot,
 };
-pub use wire::{DecodeError, Reader, WireDecode, WireEncode, MAX_SEQUENCE_LEN};
+pub use wire::{DecodeError, EncodeError, Reader, WireDecode, WireEncode, MAX_SEQUENCE_LEN};

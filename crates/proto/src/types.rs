@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use actyp_grid::MachineId;
 
-use crate::wire::{DecodeError, Reader, WireDecode, WireEncode};
+use crate::wire::{DecodeError, EncodeError, Reader, WireDecode, WireEncode};
 
 /// Globally unique identifier of a client request.
 ///
@@ -30,8 +30,8 @@ impl fmt::Display for RequestId {
 }
 
 impl WireEncode for RequestId {
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.0.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        self.0.encode(out)
     }
 }
 
@@ -141,9 +141,9 @@ impl FromStr for StageAddress {
 }
 
 impl WireEncode for StageAddress {
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.host.encode(out);
-        self.port.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        self.host.encode(out)?;
+        self.port.encode(out)
     }
 }
 
@@ -180,8 +180,8 @@ impl fmt::Display for SessionKey {
 }
 
 impl WireEncode for SessionKey {
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.0.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        self.0.encode(out)
     }
 }
 
@@ -192,8 +192,8 @@ impl WireDecode for SessionKey {
 }
 
 impl WireEncode for MachineId {
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.0.encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        self.0.encode(out)
     }
 }
 
@@ -240,17 +240,17 @@ pub struct Allocation {
 }
 
 impl WireEncode for Allocation {
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.request.encode(out);
-        self.machine.encode(out);
-        self.machine_name.encode(out);
-        self.execution_port.encode(out);
-        self.mount_port.encode(out);
-        self.shadow_uid.encode(out);
-        self.access_key.encode(out);
-        self.pool.encode(out);
-        self.pool_instance.encode(out);
-        (self.examined as u64).encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        self.request.encode(out)?;
+        self.machine.encode(out)?;
+        self.machine_name.encode(out)?;
+        self.execution_port.encode(out)?;
+        self.mount_port.encode(out)?;
+        self.shadow_uid.encode(out)?;
+        self.access_key.encode(out)?;
+        self.pool.encode(out)?;
+        self.pool_instance.encode(out)?;
+        (self.examined as u64).encode(out)
     }
 }
 
@@ -342,15 +342,15 @@ impl fmt::Display for AllocationError {
 impl std::error::Error for AllocationError {}
 
 impl WireEncode for AllocationError {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
         match self {
             AllocationError::Parse(m) => {
                 out.push(0);
-                m.encode(out);
+                m.encode(out)?;
             }
             AllocationError::Schema(m) => {
                 out.push(1);
-                m.encode(out);
+                m.encode(out)?;
             }
             AllocationError::NoSuchResources => out.push(2),
             AllocationError::NoneAvailable => out.push(3),
@@ -361,17 +361,18 @@ impl WireEncode for AllocationError {
             AllocationError::UnknownTicket => out.push(8),
             AllocationError::Internal(m) => {
                 out.push(9);
-                m.encode(out);
+                m.encode(out)?;
             }
             AllocationError::Network(m) => {
                 out.push(10);
-                m.encode(out);
+                m.encode(out)?;
             }
             AllocationError::Protocol(m) => {
                 out.push(11);
-                m.encode(out);
+                m.encode(out)?;
             }
         }
+        Ok(())
     }
 }
 
@@ -420,6 +421,12 @@ pub struct StatsSnapshot {
     pub delegations: u64,
     /// Forwards to pool instances hosted elsewhere (pipeline backends only).
     pub forwards: u64,
+    /// Queries this daemon delegated to peer domains over the wire after
+    /// the local backend could not satisfy them (federated daemons only).
+    pub delegations_out: u64,
+    /// Peer delegation requests this daemon served, whether it satisfied
+    /// them locally or forwarded them further (federated daemons only).
+    pub delegations_in: u64,
     /// Allocations released by clients.
     pub releases: u64,
     /// Machine records examined — the quantity the paper's comparison
@@ -436,16 +443,18 @@ pub struct StatsSnapshot {
 }
 
 impl WireEncode for StatsSnapshot {
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.requests.encode(out);
-        self.fragments.encode(out);
-        self.allocations.encode(out);
-        self.failures.encode(out);
-        self.delegations.encode(out);
-        self.forwards.encode(out);
-        self.releases.encode(out);
-        self.records_examined.encode(out);
-        (self.in_flight as u64).encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        self.requests.encode(out)?;
+        self.fragments.encode(out)?;
+        self.allocations.encode(out)?;
+        self.failures.encode(out)?;
+        self.delegations.encode(out)?;
+        self.forwards.encode(out)?;
+        self.delegations_out.encode(out)?;
+        self.delegations_in.encode(out)?;
+        self.releases.encode(out)?;
+        self.records_examined.encode(out)?;
+        (self.in_flight as u64).encode(out)
     }
 }
 
@@ -458,6 +467,8 @@ impl WireDecode for StatsSnapshot {
             failures: u64::decode(r)?,
             delegations: u64::decode(r)?,
             forwards: u64::decode(r)?,
+            delegations_out: u64::decode(r)?,
+            delegations_in: u64::decode(r)?,
             releases: u64::decode(r)?,
             records_examined: u64::decode(r)?,
             in_flight: u64::decode(r)? as usize,
@@ -541,12 +552,15 @@ mod tests {
     #[test]
     fn allocation_round_trips_on_the_wire() {
         let a = sample_allocation();
-        let bytes = a.to_wire_bytes();
+        let bytes = a.to_wire_bytes().unwrap();
         assert_eq!(Allocation::from_wire_bytes(&bytes).unwrap(), a);
         // Without a shadow uid too (different Option arm).
         let mut b = sample_allocation();
         b.shadow_uid = None;
-        assert_eq!(Allocation::from_wire_bytes(&b.to_wire_bytes()).unwrap(), b);
+        assert_eq!(
+            Allocation::from_wire_bytes(&b.to_wire_bytes().unwrap()).unwrap(),
+            b
+        );
     }
 
     #[test]
@@ -566,7 +580,7 @@ mod tests {
             AllocationError::Protocol("bad frame".into()),
         ];
         for e in variants {
-            let bytes = e.to_wire_bytes();
+            let bytes = e.to_wire_bytes().unwrap();
             assert_eq!(AllocationError::from_wire_bytes(&bytes).unwrap(), e);
         }
     }
@@ -580,12 +594,14 @@ mod tests {
             failures: 4,
             delegations: 5,
             forwards: 6,
+            delegations_out: 10,
+            delegations_in: 11,
             releases: 7,
             records_examined: 8,
             in_flight: 9,
         };
         assert_eq!(
-            StatsSnapshot::from_wire_bytes(&s.to_wire_bytes()).unwrap(),
+            StatsSnapshot::from_wire_bytes(&s.to_wire_bytes().unwrap()).unwrap(),
             s
         );
     }

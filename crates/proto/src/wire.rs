@@ -7,6 +7,15 @@
 //! Decoding is *total*: any byte string either decodes to a value that
 //! re-encodes to the same bytes, or returns a [`DecodeError`] — it never
 //! panics, which is what lets a daemon read frames from untrusted sockets.
+//!
+//! Encoding is *symmetric* with decoding: every limit the decoder enforces
+//! is enforced at encode time too, as an [`EncodeError`].  The codec used
+//! to check [`MAX_SEQUENCE_LEN`] only on the way in, so an over-cap string
+//! or sequence would encode locally into bytes that *no* conforming peer
+//! could ever decode (and a length beyond `u32::MAX` would silently
+//! truncate its prefix, desynchronising the stream).  A value that cannot
+//! be represented on the wire now fails at the sender, against the request
+//! that carried it, instead of poisoning the connection at the receiver.
 
 use std::fmt;
 
@@ -64,8 +73,43 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Why a value could not be encoded: it exceeds a limit every conforming
+/// decoder rejects, so the bytes would be useless to any peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A string or sequence is longer than [`MAX_SEQUENCE_LEN`].
+    TooLong {
+        /// What was being encoded.
+        context: &'static str,
+        /// The actual length.
+        actual: usize,
+        /// The limit it exceeds.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::TooLong {
+                context,
+                actual,
+                limit,
+            } => write!(
+                f,
+                "{context} of length {actual} exceeds the wire limit {limit}; \
+                 no peer could decode it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 /// Longest string / sequence a peer may declare (guards a malicious or
-/// corrupt length prefix from forcing a giant allocation).
+/// corrupt length prefix from forcing a giant allocation).  Enforced on
+/// both sides of the codec: decoders reject a longer declared length, and
+/// encoders refuse to produce one.
 pub const MAX_SEQUENCE_LEN: usize = 1 << 20;
 
 /// A cursor over the bytes of one frame body.
@@ -108,15 +152,23 @@ impl<'a> Reader<'a> {
 }
 
 /// Serialises a value into the wire representation.
+///
+/// Encoding is fallible for the same reason decoding is: the protocol caps
+/// string and sequence lengths, and a value over the cap must fail *here*,
+/// at the sender, rather than encode into bytes every peer will reject.
 pub trait WireEncode {
     /// Appends this value's wire bytes to `out`.
-    fn encode(&self, out: &mut Vec<u8>);
+    ///
+    /// On error, `out` may hold a partial encoding — callers that reuse
+    /// buffers must truncate back to the pre-call length (the frame writer
+    /// does; it never sends a failed body).
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError>;
 
     /// This value's wire bytes as a fresh buffer.
-    fn to_wire_bytes(&self) -> Vec<u8> {
+    fn to_wire_bytes(&self) -> Result<Vec<u8>, EncodeError> {
         let mut out = Vec::new();
-        self.encode(&mut out);
-        out
+        self.encode(&mut out)?;
+        Ok(out)
     }
 }
 
@@ -134,11 +186,26 @@ pub trait WireDecode: Sized {
     }
 }
 
+/// Checks a length against [`MAX_SEQUENCE_LEN`] before it becomes a `u32`
+/// prefix, so an over-cap (or prefix-truncating) length never reaches the
+/// wire.
+fn check_len(len: usize, context: &'static str) -> Result<u32, EncodeError> {
+    if len > MAX_SEQUENCE_LEN {
+        return Err(EncodeError::TooLong {
+            context,
+            actual: len,
+            limit: MAX_SEQUENCE_LEN,
+        });
+    }
+    Ok(len as u32)
+}
+
 macro_rules! int_wire {
     ($($t:ty),+) => {$(
         impl WireEncode for $t {
-            fn encode(&self, out: &mut Vec<u8>) {
+            fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
                 out.extend_from_slice(&self.to_be_bytes());
+                Ok(())
             }
         }
 
@@ -154,8 +221,9 @@ macro_rules! int_wire {
 int_wire!(u8, u16, u32, u64);
 
 impl WireEncode for bool {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
         out.push(u8::from(*self));
+        Ok(())
     }
 }
 
@@ -173,9 +241,10 @@ impl WireDecode for bool {
 }
 
 impl WireEncode for String {
-    fn encode(&self, out: &mut Vec<u8>) {
-        (self.len() as u32).encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        check_len(self.len(), "string")?.encode(out)?;
         out.extend_from_slice(self.as_bytes());
+        Ok(())
     }
 }
 
@@ -194,14 +263,15 @@ impl WireDecode for String {
 }
 
 impl<T: WireEncode> WireEncode for Option<T> {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
         match self {
             None => out.push(0),
             Some(value) => {
                 out.push(1);
-                value.encode(out);
+                value.encode(out)?;
             }
         }
+        Ok(())
     }
 }
 
@@ -219,11 +289,12 @@ impl<T: WireDecode> WireDecode for Option<T> {
 }
 
 impl<T: WireEncode> WireEncode for Vec<T> {
-    fn encode(&self, out: &mut Vec<u8>) {
-        (self.len() as u32).encode(out);
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        check_len(self.len(), "sequence")?.encode(out)?;
         for item in self {
-            item.encode(out);
+            item.encode(out)?;
         }
+        Ok(())
     }
 }
 
@@ -247,17 +318,18 @@ impl<T: WireDecode> WireDecode for Vec<T> {
 }
 
 impl<T: WireEncode, E: WireEncode> WireEncode for Result<T, E> {
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
         match self {
             Ok(value) => {
                 out.push(0);
-                value.encode(out);
+                value.encode(out)?;
             }
             Err(error) => {
                 out.push(1);
-                error.encode(out);
+                error.encode(out)?;
             }
         }
+        Ok(())
     }
 }
 
@@ -279,7 +351,7 @@ mod tests {
     use super::*;
 
     fn round_trip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(value: T) {
-        let bytes = value.to_wire_bytes();
+        let bytes = value.to_wire_bytes().unwrap();
         assert_eq!(T::from_wire_bytes(&bytes).unwrap(), value);
     }
 
@@ -303,13 +375,16 @@ mod tests {
 
     #[test]
     fn integers_are_big_endian() {
-        assert_eq!(0x0102u16.to_wire_bytes(), vec![0x01, 0x02]);
-        assert_eq!(0x01020304u32.to_wire_bytes(), vec![0x01, 0x02, 0x03, 0x04]);
+        assert_eq!(0x0102u16.to_wire_bytes().unwrap(), vec![0x01, 0x02]);
+        assert_eq!(
+            0x01020304u32.to_wire_bytes().unwrap(),
+            vec![0x01, 0x02, 0x03, 0x04]
+        );
     }
 
     #[test]
     fn truncated_input_is_an_error_not_a_panic() {
-        let bytes = 0xDEAD_BEEF_u64.to_wire_bytes();
+        let bytes = 0xDEAD_BEEF_u64.to_wire_bytes().unwrap();
         for cut in 0..bytes.len() {
             assert!(matches!(
                 u64::from_wire_bytes(&bytes[..cut]),
@@ -320,7 +395,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut bytes = 7u32.to_wire_bytes();
+        let mut bytes = 7u32.to_wire_bytes().unwrap();
         bytes.push(0);
         assert_eq!(
             u32::from_wire_bytes(&bytes),
@@ -343,7 +418,7 @@ mod tests {
     #[test]
     fn invalid_utf8_is_rejected() {
         let mut bytes = Vec::new();
-        2u32.encode(&mut bytes);
+        2u32.encode(&mut bytes).unwrap();
         bytes.extend_from_slice(&[0xFF, 0xFE]);
         assert_eq!(String::from_wire_bytes(&bytes), Err(DecodeError::BadUtf8));
     }
@@ -352,17 +427,86 @@ mod tests {
     fn lying_length_prefixes_do_not_overallocate() {
         // Declares 2^20 - 1 elements but provides none: must error, fast.
         let mut bytes = Vec::new();
-        ((MAX_SEQUENCE_LEN - 1) as u32).encode(&mut bytes);
+        ((MAX_SEQUENCE_LEN - 1) as u32).encode(&mut bytes).unwrap();
         assert!(matches!(
             Vec::<u64>::from_wire_bytes(&bytes),
             Err(DecodeError::Truncated { .. })
         ));
         // Over the cap: rejected outright.
         let mut bytes = Vec::new();
-        ((MAX_SEQUENCE_LEN + 1) as u32).encode(&mut bytes);
+        ((MAX_SEQUENCE_LEN + 1) as u32).encode(&mut bytes).unwrap();
         assert!(matches!(
             String::from_wire_bytes(&bytes),
             Err(DecodeError::TooLarge { .. })
         ));
+    }
+
+    /// The headline regression: the codec used to encode over-cap values
+    /// that no conforming decoder (including our own) would accept.  The
+    /// cap is now symmetric — encode succeeds exactly up to the boundary
+    /// the decoder enforces, and fails one past it.
+    #[test]
+    fn encode_enforces_the_cap_the_decoder_enforces() {
+        // A string exactly at the cap round-trips.
+        let at_cap = "x".repeat(MAX_SEQUENCE_LEN);
+        let bytes = at_cap.to_wire_bytes().unwrap();
+        assert_eq!(String::from_wire_bytes(&bytes).unwrap(), at_cap);
+
+        // One byte over: refused at *encode* time (this assertion fails on
+        // the pre-fix codec, which happily produced undecodable bytes).
+        let over_cap = "x".repeat(MAX_SEQUENCE_LEN + 1);
+        assert_eq!(
+            over_cap.to_wire_bytes(),
+            Err(EncodeError::TooLong {
+                context: "string",
+                actual: MAX_SEQUENCE_LEN + 1,
+                limit: MAX_SEQUENCE_LEN,
+            })
+        );
+
+        // Sequences: at-cap encodes and round-trips, over-cap is refused.
+        let at_cap = vec![0u8; MAX_SEQUENCE_LEN];
+        let bytes = at_cap.to_wire_bytes().unwrap();
+        assert_eq!(Vec::<u8>::from_wire_bytes(&bytes).unwrap(), at_cap);
+        let over_cap = vec![0u8; MAX_SEQUENCE_LEN + 1];
+        assert!(matches!(
+            over_cap.to_wire_bytes(),
+            Err(EncodeError::TooLong {
+                context: "sequence",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn nested_over_cap_values_fail_wherever_they_sit() {
+        // The cap applies to inner values too, not just the outermost.
+        let nested = vec![String::new(), "y".repeat(MAX_SEQUENCE_LEN + 1)];
+        assert!(matches!(
+            nested.to_wire_bytes(),
+            Err(EncodeError::TooLong { .. })
+        ));
+        let inside_option = Some("z".repeat(MAX_SEQUENCE_LEN + 1));
+        assert!(matches!(
+            inside_option.to_wire_bytes(),
+            Err(EncodeError::TooLong { .. })
+        ));
+        let inside_result: Result<String, u8> = Ok("w".repeat(MAX_SEQUENCE_LEN + 1));
+        assert!(matches!(
+            inside_result.to_wire_bytes(),
+            Err(EncodeError::TooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_errors_name_the_problem() {
+        let message = EncodeError::TooLong {
+            context: "string",
+            actual: MAX_SEQUENCE_LEN + 1,
+            limit: MAX_SEQUENCE_LEN,
+        }
+        .to_string();
+        assert!(message.contains("string"));
+        assert!(message.contains(&MAX_SEQUENCE_LEN.to_string()));
     }
 }

@@ -8,8 +8,8 @@ use proptest::prelude::*;
 
 use actyp_grid::MachineId;
 use actyp_proto::{
-    Allocation, AllocationError, ClientFrame, RequestId, ServerFrame, SessionKey, StatsSnapshot,
-    WireDecode, WireEncode,
+    Allocation, AllocationError, ClientFrame, EncodeError, RequestId, ServerFrame, SessionKey,
+    StatsSnapshot, WireDecode, WireEncode, MAX_SEQUENCE_LEN,
 };
 
 fn text_strategy() -> impl Strategy<Value = String> {
@@ -76,6 +76,8 @@ fn stats_strategy() -> impl Strategy<Value = StatsSnapshot> {
         failures: seed % 7,
         delegations: seed % 11,
         forwards: seed % 13,
+        delegations_out: seed % 19,
+        delegations_in: seed % 23,
         releases: seed / 3,
         records_examined: seed.wrapping_mul(17),
         in_flight: (seed % 1024) as usize,
@@ -83,10 +85,10 @@ fn stats_strategy() -> impl Strategy<Value = StatsSnapshot> {
 }
 
 /// Every [`ClientFrame`] variant, driven by a variant selector so each of
-/// the nine shapes is generated.
+/// the eleven shapes is generated.
 fn client_frame_strategy() -> impl Strategy<Value = ClientFrame> {
     (
-        (0u8..9, 0u64..1 << 32, text_strategy()),
+        (0u8..11, 0u64..1 << 32, text_strategy()),
         (
             prop::collection::vec(text_strategy(), 0..5),
             0u64..1 << 20,
@@ -113,7 +115,18 @@ fn client_frame_strategy() -> impl Strategy<Value = ClientFrame> {
                     5 => ClientFrame::Release { corr, allocation },
                     6 => ClientFrame::Stats { corr },
                     7 => ClientFrame::Shutdown { corr },
-                    _ => ClientFrame::Halt { corr },
+                    8 => ClientFrame::Halt { corr },
+                    9 => ClientFrame::Delegate {
+                        corr,
+                        query,
+                        ttl: (ticket % 32) as u32,
+                        visited: queries,
+                    },
+                    _ => ClientFrame::SyncPools {
+                        corr,
+                        domain: query,
+                        pools: queries,
+                    },
                 }
             },
         )
@@ -122,7 +135,7 @@ fn client_frame_strategy() -> impl Strategy<Value = ClientFrame> {
 /// Every [`ServerFrame`] variant.
 fn server_frame_strategy() -> impl Strategy<Value = ServerFrame> {
     (
-        (0u8..11, 0u64..1 << 32, text_strategy()),
+        (0u8..13, 0u64..1 << 32, text_strategy()),
         (
             0u64..1 << 20,
             prop::collection::vec(0u64..1 << 20, 0..6),
@@ -130,10 +143,17 @@ fn server_frame_strategy() -> impl Strategy<Value = ServerFrame> {
             error_strategy(),
             stats_strategy(),
         ),
-        prop::bool::ANY,
+        (
+            prop::bool::ANY,
+            prop::collection::vec(text_strategy(), 0..4),
+        ),
     )
         .prop_map(
-            |((variant, corr, message), (ticket, tickets, allocations, error, stats), ok)| {
+            |(
+                (variant, corr, message),
+                (ticket, tickets, allocations, error, stats),
+                (ok, names),
+            )| {
                 let corr = RequestId(corr);
                 match variant {
                     0 => ServerFrame::HelloAck {
@@ -151,7 +171,18 @@ fn server_frame_strategy() -> impl Strategy<Value = ServerFrame> {
                     7 => ServerFrame::Released { corr },
                     8 => ServerFrame::StatsReply { corr, stats },
                     9 => ServerFrame::Ack { corr },
-                    _ => ServerFrame::Error { corr, error },
+                    10 => ServerFrame::Error { corr, error },
+                    11 => ServerFrame::Delegated {
+                        corr,
+                        outcome: if ok { Ok(allocations) } else { Err(error) },
+                        ttl: (ticket % 32) as u32,
+                        visited: names,
+                    },
+                    _ => ServerFrame::PoolsSynced {
+                        corr,
+                        domain: message,
+                        pools: names,
+                    },
                 }
             },
         )
@@ -163,14 +194,14 @@ proptest! {
     /// decode(encode(frame)) == frame, for every client frame.
     #[test]
     fn client_frames_round_trip(frame in client_frame_strategy()) {
-        let bytes = frame.to_wire_bytes();
+        let bytes = frame.to_wire_bytes().unwrap();
         prop_assert_eq!(ClientFrame::from_wire_bytes(&bytes).unwrap(), frame);
     }
 
     /// decode(encode(frame)) == frame, for every server frame.
     #[test]
     fn server_frames_round_trip(frame in server_frame_strategy()) {
-        let bytes = frame.to_wire_bytes();
+        let bytes = frame.to_wire_bytes().unwrap();
         prop_assert_eq!(ServerFrame::from_wire_bytes(&bytes).unwrap(), frame);
     }
 
@@ -204,7 +235,7 @@ proptest! {
         frame in client_frame_strategy(),
         cut_seed in 0usize..10_000,
     ) {
-        let bytes = frame.to_wire_bytes();
+        let bytes = frame.to_wire_bytes().unwrap();
         let cut = cut_seed % bytes.len();
         prop_assert!(ClientFrame::from_wire_bytes(&bytes[..cut]).is_err());
     }
@@ -215,7 +246,7 @@ proptest! {
         frame in server_frame_strategy(),
         cut_seed in 0usize..10_000,
     ) {
-        let bytes = frame.to_wire_bytes();
+        let bytes = frame.to_wire_bytes().unwrap();
         let cut = cut_seed % bytes.len();
         prop_assert!(ServerFrame::from_wire_bytes(&bytes[..cut]).is_err());
     }
@@ -228,10 +259,10 @@ proptest! {
     ) {
         let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
         if let Ok(frame) = ClientFrame::from_wire_bytes(&bytes) {
-            prop_assert_eq!(frame.to_wire_bytes(), bytes.clone());
+            prop_assert_eq!(frame.to_wire_bytes().unwrap(), bytes.clone());
         }
         if let Ok(frame) = ServerFrame::from_wire_bytes(&bytes) {
-            prop_assert_eq!(frame.to_wire_bytes(), bytes);
+            prop_assert_eq!(frame.to_wire_bytes().unwrap(), bytes);
         }
     }
 
@@ -243,9 +274,62 @@ proptest! {
         position_seed in 0usize..10_000,
         flip in 1u16..256,
     ) {
-        let mut bytes = frame.to_wire_bytes();
+        let mut bytes = frame.to_wire_bytes().unwrap();
         let position = position_seed % bytes.len();
         bytes[position] ^= flip as u8;
         let _ = ClientFrame::from_wire_bytes(&bytes);
+    }
+}
+
+// At-cap payloads are megabyte-sized, so these properties run fewer cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A frame carrying a string *exactly* at the codec cap encodes and
+    /// round-trips — the encode-side check is not off by one.
+    #[test]
+    fn at_cap_strings_round_trip_inside_frames(
+        corr in 0u64..1 << 32,
+        ttl in 0u32..16,
+        byte in prop::sample::select(vec!['a', 'q', '0']),
+    ) {
+        let frame = ClientFrame::Delegate {
+            corr: RequestId(corr),
+            query: byte.to_string().repeat(MAX_SEQUENCE_LEN),
+            ttl,
+            visited: vec!["purdue".to_string()],
+        };
+        let bytes = frame.to_wire_bytes().unwrap();
+        prop_assert_eq!(ClientFrame::from_wire_bytes(&bytes).unwrap(), frame);
+    }
+
+    /// Any frame carrying an over-cap string fails at *encode* time with
+    /// `EncodeError::TooLong` — the asymmetry regression: the pre-fix codec
+    /// encoded these into bytes every conforming decoder rejects.
+    #[test]
+    fn over_cap_strings_are_rejected_at_encode(
+        corr in 0u64..1 << 32,
+        excess in 1usize..64,
+        variant in 0u8..3,
+    ) {
+        let oversized = "q".repeat(MAX_SEQUENCE_LEN + excess);
+        let corr = RequestId(corr);
+        let frame = match variant {
+            0 => ClientFrame::Submit { corr, query: oversized },
+            1 => ClientFrame::Delegate {
+                corr,
+                query: oversized,
+                ttl: 4,
+                visited: Vec::new(),
+            },
+            _ => ClientFrame::SubmitBatch {
+                corr,
+                queries: vec![String::new(), oversized],
+            },
+        };
+        prop_assert!(matches!(
+            frame.to_wire_bytes(),
+            Err(EncodeError::TooLong { .. })
+        ));
     }
 }

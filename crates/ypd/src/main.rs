@@ -11,29 +11,51 @@
 //! ypd --listen 127.0.0.1:7411 --backend live --machines 500 --seed 42
 //! ```
 //!
+//! # Wide-area federation
+//!
+//! Give the daemon a domain name and peer addresses and it joins the
+//! paper's WAN topology: a query its own backend cannot satisfy is
+//! delegated to peers over the wire, carrying a TTL and the visited-domain
+//! list, and the originating client's ticket settles with the remote
+//! allocation (or `TtlExpired` when the federation is exhausted):
+//!
+//! ```text
+//! ypd --listen 127.0.0.1:7421 --domain purdue --arch sun --peer 127.0.0.1:7422 &
+//! ypd --listen 127.0.0.1:7422 --domain upc    --arch hp  --peer 127.0.0.1:7421 &
+//! ```
+//!
 //! The listen address may also come from the `ACTYP_YPD_LISTEN` environment
-//! variable; an explicit `--listen` wins.  The daemon runs until a client
-//! sends the protocol's `Halt` frame (see the `remote_quickstart` example's
-//! `--halt` flag), then drains gracefully: the listener stops accepting,
-//! open sessions finish and are settled, and the hosted backend is torn
-//! down.  Exit status is 0 after a clean drain, non-zero on any failure.
+//! variable, the domain from `ACTYP_YPD_DOMAIN`, and the peer list from
+//! `ACTYP_YPD_PEERS` (comma separated); explicit flags win.  The daemon
+//! runs until a client sends the protocol's `Halt` frame (see the
+//! `remote_quickstart` example's `--halt` flag), then drains gracefully:
+//! the listener stops accepting, open sessions finish and are settled, and
+//! the hosted backend is torn down.  Exit status is 0 after a clean drain,
+//! non-zero on any failure.
 
 use std::process::ExitCode;
 
 use actyp_grid::{FleetSpec, SyntheticFleet};
-use actyp_pipeline::{BackendKind, PipelineBuilder, StageAddress};
+use actyp_pipeline::{BackendKind, FederationConfig, PipelineBuilder, StageAddress};
 
 const USAGE: &str = "\
 usage: ypd [--listen HOST:PORT] [--backend KIND] [--machines N] [--seed N]
-           [--query-managers N] [--pool-managers N] [--window N]
+           [--arch NAME] [--query-managers N] [--pool-managers N] [--window N]
+           [--domain NAME] [--peer HOST:PORT]... [--ttl N]
 
   --listen HOST:PORT   address to bind (default: $ACTYP_YPD_LISTEN or 127.0.0.1:7411)
   --backend KIND       embedded | live | central-queue | matchmaker (default: live)
   --machines N         synthetic fleet size (default: 500)
   --seed N             synthetic fleet / pipeline RNG seed (default: 42)
+  --arch NAME          homogeneous fleet of this architecture (default: mixed fleet)
   --query-managers N   query-manager stages (default: 1)
   --pool-managers N    pool-manager stages (default: 1)
-  --window N           live-backend in-flight window (default: 32)";
+  --window N           live-backend in-flight window (default: 32)
+  --domain NAME        administrative-domain name for wide-area federation
+                       (default: $ACTYP_YPD_DOMAIN; required with --peer)
+  --peer HOST:PORT     peer daemon to delegate unsatisfiable queries to
+                       (repeatable; default: $ACTYP_YPD_PEERS, comma separated)
+  --ttl N              delegation time-to-live granted to queries (default: 8)";
 
 #[derive(Debug, PartialEq)]
 struct Config {
@@ -41,9 +63,13 @@ struct Config {
     backend: BackendKind,
     machines: usize,
     seed: u64,
+    arch: Option<String>,
     query_managers: usize,
     pool_managers: usize,
     window: usize,
+    domain: Option<String>,
+    peers: Vec<StageAddress>,
+    ttl: u32,
 }
 
 impl Default for Config {
@@ -53,11 +79,23 @@ impl Default for Config {
             backend: BackendKind::Live,
             machines: 500,
             seed: 42,
+            arch: None,
             query_managers: 1,
             pool_managers: 1,
             window: 32,
+            domain: None,
+            peers: Vec::new(),
+            ttl: 8,
         }
     }
+}
+
+/// Environment-variable inputs (so argument parsing stays testable).
+#[derive(Debug, Default)]
+struct EnvConfig<'a> {
+    listen: Option<&'a str>,
+    domain: Option<&'a str>,
+    peers: Option<&'a str>,
 }
 
 fn parse_backend(raw: &str) -> Result<BackendKind, String> {
@@ -74,13 +112,23 @@ fn parse_backend(raw: &str) -> Result<BackendKind, String> {
 
 fn parse_args(
     args: impl IntoIterator<Item = String>,
-    env_listen: Option<&str>,
+    env: EnvConfig<'_>,
 ) -> Result<Config, String> {
     let mut config = Config::default();
-    if let Some(listen) = env_listen {
+    if let Some(listen) = env.listen {
         config.listen = listen
             .parse()
             .map_err(|e| format!("ACTYP_YPD_LISTEN: {e}"))?;
+    }
+    if let Some(domain) = env.domain {
+        config.domain = Some(domain.to_string());
+    }
+    if let Some(peers) = env.peers {
+        for raw in peers.split(',').filter(|s| !s.trim().is_empty()) {
+            config
+                .peers
+                .push(raw.parse().map_err(|e| format!("ACTYP_YPD_PEERS: {e}"))?);
+        }
     }
     let mut args = args.into_iter();
     while let Some(flag) = args.next() {
@@ -106,6 +154,7 @@ fn parse_args(
                     .parse()
                     .map_err(|_| format!("--seed: invalid seed `{raw}`"))?;
             }
+            "--arch" => config.arch = Some(value("--arch")?),
             "--query-managers" => {
                 let raw = value("--query-managers")?;
                 config.query_managers = raw
@@ -124,15 +173,42 @@ fn parse_args(
                     .parse()
                     .map_err(|_| format!("--window: invalid size `{raw}`"))?;
             }
+            "--domain" => config.domain = Some(value("--domain")?),
+            "--peer" => {
+                let raw = value("--peer")?;
+                config
+                    .peers
+                    .push(raw.parse().map_err(|e| format!("--peer: {e}"))?);
+            }
+            "--ttl" => {
+                let raw = value("--ttl")?;
+                config.ttl = raw
+                    .parse()
+                    .map_err(|_| format!("--ttl: invalid hop count `{raw}`"))?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if !config.peers.is_empty() && config.domain.is_none() {
+        return Err(
+            "--peer requires --domain (or ACTYP_YPD_DOMAIN): federation \
+                    needs this daemon's administrative-domain name"
+                .to_string(),
+        );
     }
     Ok(config)
 }
 
 fn main() -> ExitCode {
     let env_listen = std::env::var("ACTYP_YPD_LISTEN").ok();
-    let config = match parse_args(std::env::args().skip(1), env_listen.as_deref()) {
+    let env_domain = std::env::var("ACTYP_YPD_DOMAIN").ok();
+    let env_peers = std::env::var("ACTYP_YPD_PEERS").ok();
+    let env = EnvConfig {
+        listen: env_listen.as_deref(),
+        domain: env_domain.as_deref(),
+        peers: env_peers.as_deref(),
+    };
+    let config = match parse_args(std::env::args().skip(1), env) {
         Ok(config) => config,
         Err(message) => {
             eprintln!("ypd: {message}");
@@ -141,16 +217,35 @@ fn main() -> ExitCode {
         }
     };
 
-    let db = SyntheticFleet::new(FleetSpec::with_machines(config.machines), config.seed)
+    let spec = match &config.arch {
+        Some(arch) => FleetSpec::homogeneous(config.machines, arch, 512),
+        None => FleetSpec::with_machines(config.machines),
+    };
+    let db = SyntheticFleet::new(spec, config.seed)
         .generate()
         .into_shared();
-    let server = PipelineBuilder::new()
+    let builder = PipelineBuilder::new()
         .database(db)
         .seed(config.seed)
+        .ttl(config.ttl)
         .query_managers(config.query_managers)
         .pool_managers(config.pool_managers)
-        .window(config.window)
-        .serve(&config.listen, config.backend);
+        .window(config.window);
+
+    let server = match &config.domain {
+        None => builder.serve(&config.listen, config.backend),
+        Some(domain) => builder
+            .serve_federated(
+                &config.listen,
+                config.backend,
+                FederationConfig {
+                    domain: domain.clone(),
+                    ttl: config.ttl,
+                    peers: config.peers.clone(),
+                },
+            )
+            .map(|(handle, _backend)| handle),
+    };
     let server = match server {
         Ok(server) => server,
         Err(e) => {
@@ -159,13 +254,25 @@ fn main() -> ExitCode {
         }
     };
 
-    println!(
-        "ypd: listening on {} ({} backend, {} machines, seed {})",
-        server.local_addr(),
-        config.backend,
-        config.machines,
-        config.seed
-    );
+    match &config.domain {
+        None => println!(
+            "ypd: listening on {} ({} backend, {} machines, seed {})",
+            server.local_addr(),
+            config.backend,
+            config.machines,
+            config.seed
+        ),
+        Some(domain) => println!(
+            "ypd: listening on {} ({} backend, {} machines, seed {}; domain {domain}, \
+             {} peer(s), ttl {})",
+            server.local_addr(),
+            config.backend,
+            config.machines,
+            config.seed,
+            config.peers.len(),
+            config.ttl
+        ),
+    }
 
     match server.join() {
         Ok(()) => {
@@ -187,9 +294,13 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
+    fn no_env() -> EnvConfig<'static> {
+        EnvConfig::default()
+    }
+
     #[test]
     fn defaults_apply_without_flags() {
-        let config = parse_args(args(&[]), None).unwrap();
+        let config = parse_args(args(&[]), no_env()).unwrap();
         assert_eq!(config, Config::default());
     }
 
@@ -205,54 +316,134 @@ mod tests {
                 "64",
                 "--seed",
                 "7",
+                "--arch",
+                "hp",
                 "--query-managers",
                 "2",
                 "--pool-managers",
                 "3",
                 "--window",
                 "16",
+                "--domain",
+                "purdue",
+                "--peer",
+                "127.0.0.1:7422",
+                "--peer",
+                "127.0.0.1:7423",
+                "--ttl",
+                "5",
             ]),
-            None,
+            no_env(),
         )
         .unwrap();
         assert_eq!(config.listen, StageAddress::new("0.0.0.0", 9000));
         assert_eq!(config.backend, BackendKind::Embedded);
         assert_eq!(config.machines, 64);
         assert_eq!(config.seed, 7);
+        assert_eq!(config.arch.as_deref(), Some("hp"));
         assert_eq!(config.query_managers, 2);
         assert_eq!(config.pool_managers, 3);
         assert_eq!(config.window, 16);
+        assert_eq!(config.domain.as_deref(), Some("purdue"));
+        assert_eq!(
+            config.peers,
+            vec![
+                StageAddress::new("127.0.0.1", 7422),
+                StageAddress::new("127.0.0.1", 7423),
+            ]
+        );
+        assert_eq!(config.ttl, 5);
     }
 
     #[test]
     fn env_listen_is_used_and_cli_wins_over_it() {
-        let from_env = parse_args(args(&[]), Some("10.0.0.1:7500")).unwrap();
+        let env = EnvConfig {
+            listen: Some("10.0.0.1:7500"),
+            ..EnvConfig::default()
+        };
+        let from_env = parse_args(args(&[]), env).unwrap();
         assert_eq!(from_env.listen, StageAddress::new("10.0.0.1", 7500));
-        let overridden =
-            parse_args(args(&["--listen", "127.0.0.1:0"]), Some("10.0.0.1:7500")).unwrap();
+        let env = EnvConfig {
+            listen: Some("10.0.0.1:7500"),
+            ..EnvConfig::default()
+        };
+        let overridden = parse_args(args(&["--listen", "127.0.0.1:0"]), env).unwrap();
         assert_eq!(overridden.listen, StageAddress::new("127.0.0.1", 0));
     }
 
     #[test]
+    fn env_federation_is_used_and_cli_wins_over_it() {
+        let env = EnvConfig {
+            domain: Some("upc"),
+            peers: Some("10.0.0.1:7421, 10.0.0.2:7421"),
+            ..EnvConfig::default()
+        };
+        let from_env = parse_args(args(&[]), env).unwrap();
+        assert_eq!(from_env.domain.as_deref(), Some("upc"));
+        assert_eq!(
+            from_env.peers,
+            vec![
+                StageAddress::new("10.0.0.1", 7421),
+                StageAddress::new("10.0.0.2", 7421),
+            ]
+        );
+        // CLI --domain replaces the env domain; --peer appends to the list.
+        let env = EnvConfig {
+            domain: Some("upc"),
+            peers: Some("10.0.0.1:7421"),
+            ..EnvConfig::default()
+        };
+        let overridden =
+            parse_args(args(&["--domain", "purdue", "--peer", "127.0.0.1:1"]), env).unwrap();
+        assert_eq!(overridden.domain.as_deref(), Some("purdue"));
+        assert_eq!(overridden.peers.len(), 2);
+    }
+
+    #[test]
+    fn peers_without_a_domain_are_rejected() {
+        let err = parse_args(args(&["--peer", "127.0.0.1:7421"]), no_env()).unwrap_err();
+        assert!(err.contains("--domain"), "{err}");
+        // A domain alone (federated name, no peers yet) is fine.
+        assert!(parse_args(args(&["--domain", "purdue"]), no_env()).is_ok());
+    }
+
+    #[test]
     fn bad_addresses_and_backends_are_reported() {
-        assert!(parse_args(args(&["--listen", "noport"]), None)
+        assert!(parse_args(args(&["--listen", "noport"]), no_env())
             .unwrap_err()
             .contains("host:port"));
-        assert!(parse_args(args(&["--backend", "quantum"]), None)
+        assert!(parse_args(args(&["--backend", "quantum"]), no_env())
             .unwrap_err()
             .contains("unknown backend"));
-        assert!(parse_args(args(&["--machines", "many"]), None)
+        assert!(parse_args(args(&["--machines", "many"]), no_env())
             .unwrap_err()
             .contains("invalid count"));
-        assert!(parse_args(args(&["--listen"]), None)
+        assert!(parse_args(args(&["--peer", "noport"]), no_env())
+            .unwrap_err()
+            .contains("--peer"));
+        assert!(parse_args(args(&["--ttl", "forever"]), no_env())
+            .unwrap_err()
+            .contains("invalid hop count"));
+        assert!(parse_args(args(&["--listen"]), no_env())
             .unwrap_err()
             .contains("requires a value"));
-        assert!(parse_args(args(&["--frobnicate"]), None)
+        assert!(parse_args(args(&["--frobnicate"]), no_env())
             .unwrap_err()
             .contains("unknown flag"));
-        assert!(parse_args(args(&[]), Some("bogus"))
+        let env = EnvConfig {
+            listen: Some("bogus"),
+            ..EnvConfig::default()
+        };
+        assert!(parse_args(args(&[]), env)
             .unwrap_err()
             .contains("ACTYP_YPD_LISTEN"));
+        let env = EnvConfig {
+            peers: Some("bogus"),
+            ..EnvConfig::default()
+        };
+        assert!(parse_args(args(&[]), env)
+            .unwrap_err()
+            .contains("ACTYP_YPD_PEERS"));
     }
 
     #[test]

@@ -1,0 +1,539 @@
+//! Wide-area federation over real sockets, plus routing-invariant
+//! property tests.
+//!
+//! The integration half peers real `ypd` daemons (the in-process
+//! [`PipelineBuilder::serve_federated`] form) on loopback and checks the
+//! paper's WAN behaviour end to end: a query the entry domain cannot
+//! satisfy settles with an allocation delegated from a peer, a query
+//! satisfiable nowhere fails with the proper error instead of hanging,
+//! and a peer killed mid-run strands nothing in the survivors.
+//!
+//! The property half drives whole in-memory topologies through the same
+//! [`run_chain`] the TCP implementation uses, checking the
+//! [`RoutingState`] invariants the in-process pipeline already proves for
+//! itself: the TTL strictly decreases across hops, no domain is ever
+//! revisited, and every chain terminates within TTL hops.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use actyp_grid::{FleetSpec, SharedDatabase, SyntheticFleet};
+use actyp_pipeline::api::QueryOutcome;
+use actyp_pipeline::{
+    run_chain, AllocationError, BackendKind, FederatedBackend, FederationConfig, PeerDelegator,
+    PeerUnavailable, PipelineBuilder, RemoteBackend, ResourceManager, RoutingState, ServerHandle,
+    StageAddress,
+};
+
+// ---------------------------------------------------------------------------
+// Integration: peered daemons on loopback
+// ---------------------------------------------------------------------------
+
+fn homogeneous_db(arch: &str, machines: usize, seed: u64) -> SharedDatabase {
+    SyntheticFleet::new(FleetSpec::homogeneous(machines, arch, 512), seed)
+        .generate()
+        .into_shared()
+}
+
+/// Starts one federated daemon for `domain` over a homogeneous fleet.
+fn spawn_domain(
+    domain: &str,
+    db: SharedDatabase,
+    peers: Vec<StageAddress>,
+    ttl: u32,
+) -> (ServerHandle, Arc<FederatedBackend>) {
+    PipelineBuilder::new()
+        .database(db)
+        .ttl(ttl)
+        .serve_federated(
+            &StageAddress::new("127.0.0.1", 0),
+            BackendKind::Embedded,
+            FederationConfig {
+                domain: domain.to_string(),
+                ttl,
+                peers,
+            },
+        )
+        .expect("federated daemon starts")
+}
+
+fn active_jobs(db: &SharedDatabase) -> u32 {
+    db.read().iter().map(|m| m.dynamic.active_jobs).sum()
+}
+
+/// Three peered daemons in a chain (A → B → C): a query only the far
+/// domain can satisfy is delegated across two hops, released back across
+/// the same hops, and every daemon's counters record its role.
+#[test]
+fn query_unsatisfiable_at_entry_is_delegated_across_the_federation() {
+    let db_a = homogeneous_db("sun", 30, 1);
+    let db_b = homogeneous_db("sun", 30, 2);
+    let db_c = homogeneous_db("hp", 30, 3);
+    let (srv_c, _fed_c) = spawn_domain("upc", db_c.clone(), vec![], 8);
+    let (srv_b, fed_b) = spawn_domain("cern", db_b.clone(), vec![srv_c.local_addr()], 8);
+    let (srv_a, fed_a) = spawn_domain("purdue", db_a.clone(), vec![srv_b.local_addr()], 8);
+
+    let client = RemoteBackend::connect(&srv_a.local_addr()).unwrap();
+    let allocations = client.submit_text_wait("punch.rsrc.arch = hp\n").unwrap();
+    assert_eq!(allocations.len(), 1);
+    assert!(
+        allocations[0].machine_name.contains("hp"),
+        "the allocation comes from the hp-only far domain"
+    );
+    assert_eq!(active_jobs(&db_c), 1, "the claim lives in domain upc");
+    assert_eq!(active_jobs(&db_a) + active_jobs(&db_b), 0);
+
+    // The entry daemon's stats show the delegation; the intermediates and
+    // the server of the query show theirs.
+    let stats = client.stats();
+    assert!(stats.delegations_out >= 1, "{stats:?}");
+    assert!(fed_b.stats().delegations_in >= 1, "B continued the chain");
+    assert!(fed_b.stats().delegations_out >= 1, "B forwarded to C");
+
+    // The chain obeyed the routing invariants, observable end to end.
+    let chain = fed_a.last_chain().expect("a chain ran");
+    assert_eq!(
+        chain.visited,
+        vec!["purdue".to_string(), "cern".to_string(), "upc".to_string()],
+        "every hop visited exactly once, in order"
+    );
+    assert_eq!(chain.ttl, 8 - 3, "three hops spent three TTL units");
+
+    // Release routes back hop by hop to the domain that made the
+    // allocation.
+    client.release(&allocations[0]).unwrap();
+    assert_eq!(active_jobs(&db_c), 0, "released in domain upc");
+
+    client.halt_daemon().unwrap();
+    client.shutdown().unwrap();
+    srv_a.join().unwrap();
+    srv_b.halt();
+    srv_b.join().unwrap();
+    srv_c.halt();
+    srv_c.join().unwrap();
+}
+
+/// A query satisfiable nowhere fails with `TtlExpired` when the TTL runs
+/// out mid-federation, and with the delegable local error when the
+/// federation is exhausted first — never a hang.
+#[test]
+fn query_satisfiable_nowhere_fails_with_ttl_exhaustion_not_a_hang() {
+    let db_a = homogeneous_db("sun", 20, 4);
+    let db_b = homogeneous_db("sun", 20, 5);
+    let db_c = homogeneous_db("sun", 20, 6);
+    // TTL 2 over a 3-domain chain: the TTL dies before the domains do.
+    let (srv_c, _) = spawn_domain("upc", db_c, vec![], 2);
+    let (srv_b, _) = spawn_domain("cern", db_b, vec![srv_c.local_addr()], 2);
+    let (srv_a, _) = spawn_domain("purdue", db_a, vec![srv_b.local_addr()], 2);
+
+    let client = RemoteBackend::connect(&srv_a.local_addr()).unwrap();
+    let err = client
+        .submit_text_wait("punch.rsrc.arch = cray\n")
+        .unwrap_err();
+    assert_eq!(err, AllocationError::TtlExpired);
+
+    client.halt_daemon().unwrap();
+    client.shutdown().unwrap();
+    srv_a.join().unwrap();
+    srv_b.halt();
+    srv_b.join().unwrap();
+    srv_c.halt();
+    srv_c.join().unwrap();
+}
+
+/// With TTL to spare, exhausting every domain returns the underlying
+/// allocation error (the paper fails the request once every manager has
+/// seen it).
+#[test]
+fn exhausting_every_domain_returns_the_allocation_error() {
+    let db_a = homogeneous_db("sun", 20, 7);
+    let db_b = homogeneous_db("sun", 20, 8);
+    let (srv_b, _) = spawn_domain("cern", db_b, vec![], 8);
+    let (srv_a, _) = spawn_domain("purdue", db_a, vec![srv_b.local_addr()], 8);
+
+    let client = RemoteBackend::connect(&srv_a.local_addr()).unwrap();
+    let err = client
+        .submit_text_wait("punch.rsrc.arch = cray\n")
+        .unwrap_err();
+    assert_eq!(err, AllocationError::NoSuchResources);
+
+    client.halt_daemon().unwrap();
+    client.shutdown().unwrap();
+    srv_a.join().unwrap();
+    srv_b.halt();
+    srv_b.join().unwrap();
+}
+
+/// Killing a peer mid-run strands no tickets in the survivors: queries
+/// that needed the dead domain settle with errors (not hangs), the dead
+/// peer's directory records are pruned, and the survivor keeps serving
+/// its own resources.
+#[test]
+fn killing_a_peer_mid_run_strands_no_tickets() {
+    let db_a = homogeneous_db("sun", 30, 9);
+    let db_b = homogeneous_db("hp", 30, 10);
+    let (srv_b, _fed_b) = spawn_domain("upc", db_b.clone(), vec![], 8);
+    let (srv_a, fed_a) = spawn_domain("purdue", db_a.clone(), vec![srv_b.local_addr()], 8);
+
+    let client = RemoteBackend::connect(&srv_a.local_addr()).unwrap();
+
+    // Warm run: the link to B is up, an hp query delegates and succeeds.
+    let warm = client.submit_text_wait("punch.rsrc.arch = hp\n").unwrap();
+    client.release(&warm[0]).unwrap();
+    assert!(
+        fed_a
+            .peer_directory()
+            .read()
+            .pool_managers()
+            .contains(&"upc".to_string()),
+        "the peer is in the entry daemon's peer directory"
+    );
+
+    // Kill B, with tickets already in flight on A that need it.
+    let tickets: Vec<_> = (0..3)
+        .map(|_| client.submit_text("punch.rsrc.arch = hp\n").unwrap())
+        .collect();
+    srv_b.halt();
+    srv_b.join().unwrap();
+
+    // Every in-flight ticket settles — delegation may have won the race
+    // with the halt (an allocation) or lost it (an error); either way
+    // nothing hangs and nothing is stranded.
+    for ticket in tickets {
+        if let Ok(allocations) = client.wait(ticket) {
+            for allocation in &allocations {
+                client.release(&allocation.clone()).unwrap();
+            }
+        }
+    }
+    // A fresh query needing the dead peer settles with the local error.
+    let err = client
+        .submit_text_wait("punch.rsrc.arch = hp\n")
+        .unwrap_err();
+    assert_eq!(err, AllocationError::NoSuchResources);
+    // The dead peer's records were pruned from the peer directory.
+    assert!(
+        !fed_a
+            .peer_directory()
+            .read()
+            .pool_managers()
+            .contains(&"upc".to_string()),
+        "the dead peer was unregistered"
+    );
+
+    // The survivor still serves its own domain, and no claim is stranded
+    // anywhere.
+    let own = client.submit_text_wait("punch.rsrc.arch = sun\n").unwrap();
+    client.release(&own[0]).unwrap();
+    client.halt_daemon().unwrap();
+    client.shutdown().unwrap();
+    srv_a.join().unwrap();
+    assert_eq!(active_jobs(&db_a), 0);
+    assert_eq!(active_jobs(&db_b), 0);
+}
+
+/// A client that vanishes holding a *delegated* allocation strands
+/// nothing: the entry daemon's session lease hands it back, and the
+/// release is routed over the federation to the domain that made it.
+#[test]
+fn abandoned_delegated_allocations_return_across_the_federation() {
+    let db_a = homogeneous_db("sun", 30, 11);
+    let db_b = homogeneous_db("hp", 30, 12);
+    let (srv_b, _) = spawn_domain("upc", db_b.clone(), vec![], 8);
+    let (srv_a, _) = spawn_domain("purdue", db_a.clone(), vec![srv_b.local_addr()], 8);
+
+    {
+        let client = RemoteBackend::connect(&srv_a.local_addr()).unwrap();
+        let allocations = client.submit_text_wait("punch.rsrc.arch = hp\n").unwrap();
+        assert_eq!(allocations.len(), 1);
+        assert_eq!(active_jobs(&db_b), 1);
+        // Dropped without release: the client vanishes.
+    }
+    srv_a.halt();
+    srv_a.join().unwrap();
+    assert_eq!(
+        active_jobs(&db_b),
+        0,
+        "the abandoned remote allocation was released in its home domain"
+    );
+    srv_b.halt();
+    srv_b.join().unwrap();
+}
+
+/// Peers exchange pool advertisements when a link comes up: after a
+/// delegation, the entry daemon's peer directory holds the peer's domain
+/// as a pool manager.
+#[test]
+fn peers_learn_each_others_pools_through_sync() {
+    let db_a = homogeneous_db("sun", 30, 13);
+    let db_b = homogeneous_db("hp", 30, 14);
+    let (srv_b, fed_b) = spawn_domain("upc", db_b, vec![], 8);
+    let (srv_a, fed_a) = spawn_domain("purdue", db_a, vec![srv_b.local_addr()], 8);
+
+    let client = RemoteBackend::connect(&srv_a.local_addr()).unwrap();
+    // Seed a pool in B's own directory first (so its advertisement is
+    // non-empty by the time A connects), then delegate.
+    let client_b = RemoteBackend::connect(&srv_b.local_addr()).unwrap();
+    let warm = client_b.submit_text_wait("punch.rsrc.arch = hp\n").unwrap();
+    client_b.release(&warm[0]).unwrap();
+    assert!(!fed_b.local_pools().is_empty(), "B hosts a pool now");
+
+    let allocations = client.submit_text_wait("punch.rsrc.arch = hp\n").unwrap();
+    client.release(&allocations[0]).unwrap();
+
+    let dir = fed_a.peer_directory();
+    let dir = dir.read();
+    assert!(dir.pool_managers().contains(&"upc".to_string()));
+    assert!(
+        dir.instances("arch,==/hp")
+            .iter()
+            .any(|r| r.manager == "upc"),
+        "B's advertised hp pool is recorded against its domain"
+    );
+    drop(dir);
+    // And the inbound side recorded A's advertisement too.
+    assert!(fed_b
+        .peer_directory()
+        .read()
+        .pool_managers()
+        .contains(&"purdue".to_string()));
+
+    client.halt_daemon().unwrap();
+    client.shutdown().unwrap();
+    client_b.halt_daemon().unwrap();
+    client_b.shutdown().unwrap();
+    srv_a.join().unwrap();
+    srv_b.join().unwrap();
+}
+
+/// A non-federated daemon answers the federation vocabulary with a
+/// protocol error instead of misbehaving.
+#[test]
+fn non_federated_daemons_refuse_delegation_frames() {
+    use actyp_proto::{
+        read_server_frame, write_frame, ClientFrame, RequestId, ServerFrame, PROTOCOL_VERSION,
+    };
+    use std::net::TcpStream;
+
+    let server = PipelineBuilder::new()
+        .database(homogeneous_db("sun", 20, 15))
+        .serve(&StageAddress::new("127.0.0.1", 0), BackendKind::Embedded)
+        .unwrap();
+    let addr = server.local_addr();
+    let mut raw = TcpStream::connect((addr.host.as_str(), addr.port)).unwrap();
+    write_frame(
+        &mut raw,
+        &ClientFrame::Hello {
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_server_frame(&mut raw).unwrap(),
+        Some(ServerFrame::HelloAck { .. })
+    ));
+    write_frame(
+        &mut raw,
+        &ClientFrame::Delegate {
+            corr: RequestId(0),
+            query: "punch.rsrc.arch = sun\n".to_string(),
+            ttl: 4,
+            visited: vec![],
+        },
+    )
+    .unwrap();
+    match read_server_frame(&mut raw).unwrap() {
+        Some(ServerFrame::Error { error, .. }) => {
+            assert!(matches!(error, AllocationError::Protocol(_)), "{error}");
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    drop(raw);
+    server.halt();
+    server.join().unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: routing invariants over in-memory topologies
+// ---------------------------------------------------------------------------
+
+/// A whole federation in memory: every domain resolves queries by flag and
+/// forwards through [`run_chain`], exactly like the TCP implementation.
+struct MemoryNet {
+    /// domain → (peer domains, locally satisfiable?)
+    domains: BTreeMap<String, (Vec<String>, bool)>,
+    dead: BTreeSet<String>,
+    /// `(domain, ttl-as-sent)` per delegation hop, for invariant checks.
+    hops: RefCell<Vec<(String, u32)>>,
+}
+
+/// One domain's view of the in-memory federation.
+struct NodeView<'a> {
+    net: &'a MemoryNet,
+    node: String,
+}
+
+impl MemoryNet {
+    fn resolve_local(&self, node: &str) -> QueryOutcome {
+        if self.domains[node].1 {
+            Ok(Vec::new())
+        } else {
+            Err(AllocationError::NoSuchResources)
+        }
+    }
+
+    fn run_from(&self, origin: &str, ttl: u32) -> (QueryOutcome, RoutingState) {
+        let view = NodeView {
+            net: self,
+            node: origin.to_string(),
+        };
+        run_chain(
+            origin,
+            "q",
+            RoutingState::new(ttl),
+            |_| self.resolve_local(origin),
+            &view,
+        )
+    }
+}
+
+impl PeerDelegator for NodeView<'_> {
+    fn candidates(&self, _query: &str, _state: &RoutingState) -> Vec<String> {
+        self.net.domains[&self.node]
+            .0
+            .iter()
+            .filter(|d| !self.net.dead.contains(*d))
+            .cloned()
+            .collect()
+    }
+
+    fn delegate(
+        &self,
+        domain: &str,
+        query: &str,
+        state: &RoutingState,
+    ) -> Result<(QueryOutcome, RoutingState), PeerUnavailable> {
+        if self.net.dead.contains(domain) {
+            return Err(PeerUnavailable {
+                transport: true,
+                reason: format!("domain `{domain}` is dead"),
+            });
+        }
+        self.net
+            .hops
+            .borrow_mut()
+            .push((domain.to_string(), state.ttl));
+        let view = NodeView {
+            net: self.net,
+            node: domain.to_string(),
+        };
+        Ok(run_chain(
+            domain,
+            query,
+            state.clone(),
+            |_| self.net.resolve_local(domain),
+            &view,
+        ))
+    }
+}
+
+/// Random topology: `n` domains, adjacency and satisfiability and deadness
+/// from seed bits.
+fn topology_strategy() -> impl Strategy<Value = (MemoryNet, String, u32)> {
+    (2usize..6, 0u64..u64::MAX, 0u32..12).prop_map(|(n, seed, ttl)| {
+        let names: Vec<String> = (0..n).map(|i| format!("d{i}")).collect();
+        let mut domains = BTreeMap::new();
+        let mut dead = BTreeSet::new();
+        for (i, name) in names.iter().enumerate() {
+            let peers: Vec<String> = names
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i && (seed >> ((i * n + j) % 48)) & 1 == 1)
+                .map(|(_, p)| p.clone())
+                .collect();
+            let satisfiable = (seed >> (48 + i % 16)) & 1 == 1;
+            domains.insert(name.clone(), (peers, satisfiable));
+            if i > 0 && (seed >> (32 + i)) & 3 == 3 {
+                dead.insert(name.clone());
+            }
+        }
+        let net = MemoryNet {
+            domains,
+            dead,
+            hops: RefCell::new(Vec::new()),
+        };
+        (net, names[0].clone(), ttl)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Over any topology (including dead peers) the chain terminates and
+    /// upholds the paper's routing invariants: the TTL strictly decreases
+    /// across hops, no domain is revisited, the whole search stays within
+    /// the TTL, and TTL exhaustion surfaces as `TtlExpired`.
+    #[test]
+    fn chains_terminate_and_uphold_routing_invariants(
+        input in topology_strategy()
+    ) {
+        let (net, origin, ttl) = input;
+        let (outcome, state) = net.run_from(&origin, ttl);
+        let hops = net.hops.borrow();
+
+        // TTL strictly decreases across hops (each hop carries the TTL it
+        // was sent with; the origin starts the sequence).
+        let mut previous = ttl;
+        for (_, sent_ttl) in hops.iter() {
+            prop_assert!(*sent_ttl < previous || previous == 0,
+                "hop sent ttl {sent_ttl} after {previous}");
+            previous = *sent_ttl;
+        }
+
+        // No domain is ever revisited.
+        let mut seen = BTreeSet::new();
+        for domain in &state.visited {
+            prop_assert!(seen.insert(domain.clone()), "revisited {domain}");
+        }
+
+        // The whole search stays within the TTL: one visit per hop.
+        prop_assert!(state.visited.len() as u64 <= ttl as u64);
+        prop_assert!(hops.len() as u64 <= ttl as u64);
+        prop_assert!(state.ttl <= ttl);
+
+        match &outcome {
+            Ok(_) => {
+                // Success requires a satisfiable domain among the visited.
+                prop_assert!(state.visited.iter().any(|d| net.domains[d].1));
+            }
+            Err(AllocationError::TtlExpired) => {
+                // TTL exhaustion is only reported when the TTL is in fact
+                // exhausted (zero from the start or consumed by hops).
+                prop_assert!(state.ttl == 0 || ttl == 0);
+            }
+            Err(AllocationError::NoSuchResources) => {
+                // Every visited domain really failed.
+                prop_assert!(state.visited.iter().all(|d| !net.domains[d].1));
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// Dead peers never appear in the visited list: an unreachable domain
+    /// consumes no TTL and leaves no trace in the routing state.
+    #[test]
+    fn dead_peers_consume_no_ttl(
+        input in topology_strategy()
+    ) {
+        let (net, origin, ttl) = input;
+        let (_, state) = net.run_from(&origin, ttl);
+        for domain in &state.visited {
+            prop_assert!(!net.dead.contains(domain),
+                "dead domain {domain} in the visited list");
+        }
+    }
+}
