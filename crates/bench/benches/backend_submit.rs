@@ -140,6 +140,97 @@ fn bench_remote_round_trip(c: &mut Criterion) {
     server.join().unwrap();
 }
 
+/// The reactor's headline win, measured: submit latency on one active
+/// connection while N *idle* sessions sit connected to the same daemon.
+/// Under the event-driven engine the idle sessions cost a poller
+/// registration each — no threads — so latency should hold flat as the
+/// sweep climbs; the legacy thread-per-session numbers are the contrast.
+fn bench_remote_idle_connections(c: &mut Criterion) {
+    use actyp_proto::{write_frame, ClientFrame, PROTOCOL_VERSION};
+    use std::net::TcpStream;
+
+    let query = Query::paper_example();
+    for idle_count in [0usize, 64, 256] {
+        let server = PipelineBuilder::new()
+            .database(fleet(800, 12))
+            .serve(&StageAddress::new("127.0.0.1", 0), BackendKind::Embedded)
+            .expect("loopback ypd starts");
+        let addr = server.local_addr();
+        // Idle sessions: hello-handshaken raw sockets (no client threads),
+        // held open for the duration of the measurement.
+        let idle: Vec<TcpStream> = (0..idle_count)
+            .map(|_| {
+                let mut sock = TcpStream::connect((addr.host.as_str(), addr.port)).unwrap();
+                write_frame(
+                    &mut sock,
+                    &ClientFrame::Hello {
+                        min_version: PROTOCOL_VERSION,
+                        max_version: PROTOCOL_VERSION,
+                    },
+                )
+                .unwrap();
+                sock
+            })
+            .collect();
+        let remote = PipelineBuilder::remote(&addr).expect("connect to loopback ypd");
+        let warm = remote.submit_wait(&query).unwrap();
+        for a in &warm {
+            remote.release(a).unwrap();
+        }
+        c.bench_function(&format!("backend_submit/remote_idle_x{idle_count}"), |b| {
+            b.iter(|| {
+                let allocations = remote.submit_wait(black_box(&query)).unwrap();
+                for a in &allocations {
+                    remote.release(a).unwrap();
+                }
+            })
+        });
+        drop(idle);
+        remote.halt_daemon().unwrap();
+        remote.shutdown().unwrap();
+        server.join().unwrap();
+    }
+}
+
+/// How deep pipelining pays across the socket: one connection, a batch of
+/// D tickets in flight at once, swept over D.  The per-ticket cost should
+/// fall as D grows — the paper's pipelining claim, measured against the
+/// reactor server.
+fn bench_remote_pipelining_depth(c: &mut Criterion) {
+    let query = Query::paper_example();
+    let server = PipelineBuilder::new()
+        .database(fleet(800, 13))
+        .query_managers(2)
+        .window(64)
+        .serve(&StageAddress::new("127.0.0.1", 0), BackendKind::Live)
+        .expect("loopback ypd starts");
+    let remote = PipelineBuilder::remote(&server.local_addr()).expect("connect to loopback ypd");
+    let warm = remote.submit_wait(&query).unwrap();
+    for a in &warm {
+        remote.release(a).unwrap();
+    }
+    for depth in [1usize, 2, 4, 8, 16, 32] {
+        c.bench_function(
+            &format!("backend_submit/remote_pipelined_depth_{depth}"),
+            |b| {
+                b.iter(|| {
+                    let queries = vec![query.clone(); depth];
+                    let tickets = remote.submit_batch(black_box(queries)).unwrap();
+                    for ticket in tickets {
+                        let allocations = remote.wait(ticket).unwrap();
+                        for a in &allocations {
+                            remote.release(a).unwrap();
+                        }
+                    }
+                })
+            },
+        );
+    }
+    remote.halt_daemon().unwrap();
+    remote.shutdown().unwrap();
+    server.join().unwrap();
+}
+
 /// Wide-area delegation cost: two federated loopback daemons, a query the
 /// entry domain cannot satisfy, so every iteration crosses client → entry
 /// daemon → peer daemon and back — the paper's WAN hop, measured right
@@ -218,6 +309,7 @@ criterion_group! {
     name = backend_submit;
     config = config();
     targets = bench_backend_round_trip, bench_live_pipelining, bench_remote_round_trip,
+        bench_remote_idle_connections, bench_remote_pipelining_depth,
         bench_federated_delegation
 }
 criterion_main!(backend_submit);

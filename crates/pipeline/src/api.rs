@@ -71,7 +71,8 @@ use crate::pool_manager::InstanceSelection;
 use crate::query_manager::{PoolManagerSelection, ReintegrationPolicy};
 use crate::scheduler::SchedulingObjective;
 
-pub use crate::remote::{RemoteBackend, ServerHandle};
+pub use crate::reactor::PollerKind;
+pub use crate::remote::{RemoteBackend, ServerConfig, ServerHandle, SessionMode};
 pub use actyp_proto::types::StatsSnapshot;
 
 /// The outcome a ticket resolves to.
@@ -875,6 +876,7 @@ pub struct PipelineBuilder {
     window: usize,
     database: Option<SharedDatabase>,
     domains: Vec<(String, SharedDatabase)>,
+    server: ServerConfig,
 }
 
 impl Default for PipelineBuilder {
@@ -884,14 +886,15 @@ impl Default for PipelineBuilder {
 }
 
 impl PipelineBuilder {
-    /// A builder with the default [`PipelineConfig`] and an in-flight
-    /// window of 32.
+    /// A builder with the default [`PipelineConfig`], an in-flight window
+    /// of 32 and the default [`ServerConfig`] (reactor sessions).
     pub fn new() -> Self {
         PipelineBuilder {
             config: PipelineConfig::default(),
             window: 32,
             database: None,
             domains: Vec::new(),
+            server: ServerConfig::default(),
         }
     }
 
@@ -978,6 +981,40 @@ impl PipelineBuilder {
     /// blocks (backpressure).  Clamped to at least 1.
     pub fn window(mut self, window: usize) -> Self {
         self.window = window;
+        self
+    }
+
+    /// How a served daemon drives session I/O: the event-driven reactor
+    /// (default) or the legacy thread per session.  Only affects
+    /// [`PipelineBuilder::serve`] / [`PipelineBuilder::serve_federated`].
+    pub fn session_mode(mut self, mode: SessionMode) -> Self {
+        self.server.mode = mode;
+        self
+    }
+
+    /// Reactor I/O threads for a served daemon (clamped to at least 1).
+    pub fn reactor_io_threads(mut self, n: usize) -> Self {
+        self.server.io_threads = n;
+        self
+    }
+
+    /// Worker threads per blocking lane (submit / redeem) for a served
+    /// daemon in reactor mode (clamped to at least 1 each).
+    pub fn reactor_workers(mut self, n: usize) -> Self {
+        self.server.workers = n;
+        self
+    }
+
+    /// Readiness poller the reactor's I/O threads use ([`PollerKind::Auto`]
+    /// picks epoll on Linux, `poll(2)` elsewhere).
+    pub fn poller(mut self, kind: PollerKind) -> Self {
+        self.server.poller = kind;
+        self
+    }
+
+    /// Replaces the whole server-side configuration at once.
+    pub fn server_config(mut self, config: ServerConfig) -> Self {
+        self.server = config;
         self
     }
 
@@ -1083,7 +1120,8 @@ impl PipelineBuilder {
         addr: &StageAddress,
         kind: BackendKind,
     ) -> Result<ServerHandle, AllocationError> {
-        crate::remote::serve(self.build(kind)?, addr)
+        let server = self.server;
+        crate::remote::serve_with(self.build(kind)?, addr, server)
     }
 
     /// Builds the configured backend wrapped in the wide-area federation
@@ -1132,8 +1170,9 @@ impl PipelineBuilder {
         ),
         AllocationError,
     > {
+        let server = self.server;
         let backend = self.build_federated(kind, federation)?;
-        let handle = crate::remote::serve_federated(backend.clone(), addr)?;
+        let handle = crate::remote::serve_federated_with(backend.clone(), addr, server)?;
         Ok((handle, backend))
     }
 

@@ -39,6 +39,7 @@
 use std::collections::HashMap;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
@@ -219,62 +220,129 @@ pub fn run_chain(
 // Peer links (the TCP implementation)
 // ---------------------------------------------------------------------------
 
-/// One live connection to a peer daemon, after the hello and pool-sync
-/// handshakes.
-struct PeerConn {
-    stream: TcpStream,
-    /// The peer's domain name, learned from its `PoolsSynced` reply.
-    domain: String,
-    corr: u64,
+/// One live, *multiplexed* connection to a peer daemon, after the hello
+/// and pool-sync handshakes.
+///
+/// This is the same correlation machinery [`crate::remote::RemoteBackend`]
+/// proves out client-side, applied daemon-to-daemon: a background reader
+/// thread routes every reply frame to the request that sent it by
+/// [`RequestId`], so any number of delegation chains (and releases) share
+/// the one connection *concurrently* — the link mutex of the old design,
+/// which serialized concurrent delegations to the same peer for the whole
+/// WAN round trip, is gone.  The lease-holding property is preserved: it
+/// is still one TCP session per peer, so every allocation a peer granted
+/// this daemon stays leased to this same connection.
+struct MuxConn {
+    /// The peer's domain name, learned from its `PoolsSynced` reply
+    /// (empty until that handshake answers; interior-mutable because the
+    /// reader thread already shares the connection by then).
+    domain: Mutex<String>,
+    writer: Mutex<TcpStream>,
+    /// Requests awaiting their reply, by correlation id.
+    pending: Mutex<HashMap<u64, crossbeam::channel::Sender<ServerFrame>>>,
+    /// Why the connection died, once it has.
+    dead: Mutex<Option<String>>,
+    corr: AtomicU64,
+    reader: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
-impl PeerConn {
-    /// One request/response exchange.  Any failure poisons the connection
-    /// (the caller drops it).
-    fn request(
-        &mut self,
-        build: impl FnOnce(RequestId) -> ClientFrame,
-    ) -> Result<ServerFrame, String> {
-        let corr = RequestId(self.corr);
-        self.corr += 1;
-        write_frame(&mut self.stream, &build(corr)).map_err(|e| format!("send: {e}"))?;
-        // Requests on a link are strictly serial (the caller holds the
-        // link mutex) and any failure drops the connection, so the next
-        // frame must answer this request — anything else means the stream
-        // can no longer be trusted.
-        match read_server_frame(&mut self.stream) {
-            Ok(Some(frame)) if crate::remote::corr_of(&frame) == Some(corr) => Ok(frame),
-            Ok(Some(frame)) => Err(format!("reply out of correlation: {frame:?}")),
-            Ok(None) => Err("peer closed the connection".to_string()),
-            Err(e) => Err(e.to_string()),
+impl MuxConn {
+    /// The peer's domain name (empty before the pool-sync reply).
+    fn domain(&self) -> String {
+        self.domain.lock().clone()
+    }
+
+    /// Records the death reason and wakes every in-flight request.  The
+    /// `dead` lock is held across the `pending` clear so no request can
+    /// register between the two and hang forever (same discipline as the
+    /// remote backend client).
+    fn poison(&self, reason: String) {
+        let mut dead = self.dead.lock();
+        dead.get_or_insert(reason);
+        self.pending.lock().clear();
+    }
+
+    /// One request/response exchange over the shared connection.  Other
+    /// threads' requests interleave freely; a reply that takes longer
+    /// than [`PEER_REPLY_TIMEOUT`] fails the exchange (and the caller
+    /// drops the link).
+    fn request(&self, build: impl FnOnce(RequestId) -> ClientFrame) -> Result<ServerFrame, String> {
+        let corr = RequestId(self.corr.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = crossbeam::channel::unbounded();
+        {
+            let dead = self.dead.lock();
+            if let Some(reason) = &*dead {
+                return Err(reason.clone());
+            }
+            self.pending.lock().insert(corr.0, tx);
+        }
+        let sent = {
+            let mut writer = self.writer.lock();
+            write_frame(&mut *writer, &build(corr))
+        };
+        if let Err(e) = sent {
+            self.pending.lock().remove(&corr.0);
+            let reason = format!("send: {e}");
+            self.poison(reason.clone());
+            return Err(reason);
+        }
+        match rx.recv_timeout(PEER_REPLY_TIMEOUT) {
+            Ok(frame) => Ok(frame),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                self.pending.lock().remove(&corr.0);
+                Err(format!(
+                    "no reply from peer `{}` within {PEER_REPLY_TIMEOUT:?}",
+                    self.domain()
+                ))
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(self
+                .dead
+                .lock()
+                .clone()
+                .unwrap_or_else(|| "peer connection closed".to_string())),
+        }
+    }
+
+    /// Closes the transport and joins the reader thread.  Idempotent.
+    fn shutdown(&self) {
+        self.poison("link disconnected".to_string());
+        {
+            let writer = self.writer.lock();
+            let _ = writer.shutdown(std::net::Shutdown::Both);
+        }
+        let reader = self.reader.lock().take();
+        if let Some(reader) = reader {
+            let _ = reader.join();
         }
     }
 }
 
 /// A pooled connection to one peer daemon: lazily established, reused
-/// across delegations, re-established after failures.
+/// (concurrently — see [`MuxConn`]) across delegations, re-established
+/// after failures.
 struct PeerLink {
     addr: StageAddress,
     /// Stable index of this link, used as the instance number for the
     /// peer's advertised pool records (unique per manager in the peer
     /// directory).
     index: u32,
-    conn: Mutex<Option<PeerConn>>,
+    conn: Mutex<Option<Arc<MuxConn>>>,
     /// Last domain name this link handshook as (kept after the connection
     /// dies).  Read instead of locking `conn` wherever only the identity
-    /// is needed — in particular by `candidates()`, which must never block
-    /// on a link that is busy delegating (two mutually peered daemons
-    /// delegating to each other at once would otherwise deadlock until
-    /// both reply timeouts fire).
+    /// is needed — in particular by `candidates()`, which must never wait
+    /// on a link that is mid-redial.
     last_domain: Mutex<Option<String>>,
     /// When the last connect attempt failed (for redial backoff).
     last_connect_failure: Mutex<Option<std::time::Instant>>,
 }
 
-/// A freshly learned peer advertisement (domain name and pool names).
+/// A freshly learned peer advertisement (domain name and pool names),
+/// with the identity the link had before — a peer that restarted under a
+/// different domain name must have its old records pruned.
 struct PeerAdvertisement {
     domain: String,
     pools: Vec<String>,
+    previous_domain: Option<String>,
 }
 
 impl PeerLink {
@@ -288,11 +356,13 @@ impl PeerLink {
         }
     }
 
+    /// Dials the peer, performs the hello and pool-sync handshakes, and
+    /// starts the reader thread that routes replies by correlation id.
     fn connect(
         &self,
         my_domain: &str,
         my_pools: Vec<String>,
-    ) -> Result<(PeerConn, Vec<String>), String> {
+    ) -> Result<(Arc<MuxConn>, Vec<String>), String> {
         let mut addrs = (self.addr.host.as_str(), self.addr.port)
             .to_socket_addrs()
             .map_err(|e| format!("resolve {}: {e}", self.addr))?;
@@ -302,6 +372,17 @@ impl PeerLink {
         let mut stream = TcpStream::connect_timeout(&sock, PEER_CONNECT_TIMEOUT)
             .map_err(|e| format!("connect {}: {e}", self.addr))?;
         let _ = stream.set_nodelay(true);
+        // The handshake is the one serial exchange on the stream, bounded
+        // by a read timeout; afterwards the reader blocks indefinitely
+        // (per-request deadlines live in `MuxConn::request`).  Sends stay
+        // deadline-bounded for the connection's whole life: a stalled
+        // peer with a full receive buffer would otherwise block
+        // `write_frame` forever *while holding the writer mutex*, wedging
+        // every other request on the link — and the `shutdown` that would
+        // tear it down.  A timed-out (possibly partial) send poisons the
+        // connection, which is dropped, so no desynchronised stream is
+        // ever reused.
+        let _ = stream.set_write_timeout(Some(PEER_REPLY_TIMEOUT));
         let _ = stream.set_read_timeout(Some(PEER_REPLY_TIMEOUT));
         // Same version floor as every other client of this build; the
         // federation vocabulary exists since v2, which MIN_SUPPORTED_VERSION
@@ -324,79 +405,188 @@ impl PeerLink {
             }
             other => return Err(format!("handshake failed: {other:?}")),
         }
-        let mut conn = PeerConn {
-            stream,
-            domain: String::new(),
-            corr: 0,
-        };
+        let _ = stream.set_read_timeout(None);
+        let read_stream = stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?;
+        let conn = Arc::new(MuxConn {
+            domain: Mutex::new(String::new()),
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+            dead: Mutex::new(None),
+            corr: AtomicU64::new(0),
+            reader: Mutex::new(None),
+        });
+        let reader_conn = conn.clone();
+        let reader = std::thread::spawn(move || run_link_reader(reader_conn, read_stream));
+        *conn.reader.lock() = Some(reader);
+
+        // Pool-sync rides the mux like every later request.
         let reply = conn.request(|corr| ClientFrame::SyncPools {
             corr,
             domain: my_domain.to_string(),
             pools: my_pools,
-        })?;
+        });
         match reply {
-            ServerFrame::PoolsSynced { domain, pools, .. } => {
-                conn.domain = domain;
+            Ok(ServerFrame::PoolsSynced { domain, pools, .. }) => {
+                *conn.domain.lock() = domain;
                 Ok((conn, pools))
             }
-            ServerFrame::Error { error, .. } => Err(format!("pool sync refused: {error}")),
-            other => Err(format!("expected PoolsSynced, got {other:?}")),
-        }
-    }
-
-    /// Runs `f` over a live connection (establishing one first if
-    /// necessary).  Returns the freshly learned advertisement when a new
-    /// connection was made, so the caller can refresh its peer directory.
-    /// Any failure drops the connection.
-    fn with_conn<R>(
-        &self,
-        my_domain: &str,
-        my_pools: impl FnOnce() -> Vec<String>,
-        f: impl FnOnce(&mut PeerConn) -> Result<R, String>,
-    ) -> Result<(R, Option<PeerAdvertisement>), String> {
-        let mut slot = self.conn.lock();
-        let mut fresh = None;
-        if slot.is_none() {
-            // Redial backoff: a recently failed connect is not repeated,
-            // so every query against a dead peer does not pay the full
-            // connect timeout.
-            if let Some(failed_at) = *self.last_connect_failure.lock() {
-                if failed_at.elapsed() < PEER_REDIAL_BACKOFF {
-                    return Err(format!(
-                        "peer {} is in redial backoff after a failed connect",
-                        self.addr
-                    ));
-                }
+            Ok(ServerFrame::Error { error, .. }) => {
+                conn.shutdown();
+                Err(format!("pool sync refused: {error}"))
             }
-            let (conn, pools) = match self.connect(my_domain, my_pools()) {
-                Ok(established) => established,
-                Err(e) => {
-                    *self.last_connect_failure.lock() = Some(std::time::Instant::now());
-                    return Err(e);
-                }
-            };
-            *self.last_connect_failure.lock() = None;
-            *self.last_domain.lock() = Some(conn.domain.clone());
-            fresh = Some(PeerAdvertisement {
-                domain: conn.domain.clone(),
-                pools,
-            });
-            *slot = Some(conn);
-        }
-        let conn = slot.as_mut().expect("connection just ensured");
-        match f(conn) {
-            Ok(value) => Ok((value, fresh)),
+            Ok(other) => {
+                conn.shutdown();
+                Err(format!("expected PoolsSynced, got {other:?}"))
+            }
             Err(e) => {
-                *slot = None;
+                conn.shutdown();
                 Err(e)
             }
         }
     }
 
+    /// Returns a live connection, dialing (with redial backoff) when none
+    /// exists or the previous one died.  The slot lock is held only for
+    /// the establishment itself — requests on the returned connection run
+    /// outside it, concurrently.
+    fn ensure_conn(
+        &self,
+        my_domain: &str,
+        my_pools: impl FnOnce() -> Vec<String>,
+    ) -> Result<(Arc<MuxConn>, Option<PeerAdvertisement>), String> {
+        let mut slot = self.conn.lock();
+        if let Some(conn) = &*slot {
+            if conn.dead.lock().is_none() {
+                return Ok((conn.clone(), None));
+            }
+            // The reader declared it dead since last use: retire it
+            // before redialing.
+            let stale = slot.take().expect("connection just seen");
+            stale.shutdown();
+        }
+        // Redial backoff: a recently failed connect is not repeated, so
+        // every query against a dead peer does not pay the full connect
+        // timeout.
+        if let Some(failed_at) = *self.last_connect_failure.lock() {
+            if failed_at.elapsed() < PEER_REDIAL_BACKOFF {
+                return Err(format!(
+                    "peer {} is in redial backoff after a failed connect",
+                    self.addr
+                ));
+            }
+        }
+        let (conn, pools) = match self.connect(my_domain, my_pools()) {
+            Ok(established) => established,
+            Err(e) => {
+                *self.last_connect_failure.lock() = Some(std::time::Instant::now());
+                return Err(e);
+            }
+        };
+        *self.last_connect_failure.lock() = None;
+        // A redial re-learns the peer's advertisement — a peer that
+        // restarted with different pools (or a different domain name)
+        // must replace its stale directory records, not be routed to
+        // from them.
+        let learned = conn.domain();
+        let previous_domain = self.last_domain.lock().replace(learned.clone());
+        let fresh = Some(PeerAdvertisement {
+            domain: learned,
+            pools,
+            previous_domain,
+        });
+        *slot = Some(conn.clone());
+        Ok((conn, fresh))
+    }
+
+    /// Runs `f` over a live connection (establishing one first if
+    /// necessary).  Returns the freshly learned advertisement when a new
+    /// connection was made, so the caller can refresh its peer directory.
+    /// Any failure drops the connection — unless a concurrent request
+    /// already replaced it with a newer one, which is left alone.
+    fn with_conn<R>(
+        &self,
+        my_domain: &str,
+        my_pools: impl FnOnce() -> Vec<String>,
+        f: impl FnOnce(&MuxConn) -> Result<R, String>,
+    ) -> Result<(R, Option<PeerAdvertisement>), String> {
+        let (conn, fresh) = self.ensure_conn(my_domain, my_pools)?;
+        match f(&conn) {
+            Ok(value) => Ok((value, fresh)),
+            Err(e) => {
+                self.retire(&conn);
+                Err(e)
+            }
+        }
+    }
+
+    /// Drops `failed` if it is still the pooled connection; a newer
+    /// connection another thread already dialed is kept.
+    fn retire(&self, failed: &Arc<MuxConn>) {
+        let taken = {
+            let mut slot = self.conn.lock();
+            match &*slot {
+                Some(current) if Arc::ptr_eq(current, failed) => slot.take(),
+                _ => None,
+            }
+        };
+        if let Some(conn) = taken {
+            conn.shutdown();
+        } else {
+            // Still close the failed transport itself.
+            failed.shutdown();
+        }
+    }
+
     /// Drops the connection (peer declared dead or backend shutting down).
     fn disconnect(&self) {
-        if let Some(conn) = self.conn.lock().take() {
-            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        let taken = self.conn.lock().take();
+        if let Some(conn) = taken {
+            conn.shutdown();
+        }
+    }
+}
+
+/// The per-link reader: routes every reply frame to the request whose
+/// correlation id it echoes, and poisons the connection on transport
+/// death so in-flight and future requests fail fast.
+fn run_link_reader(conn: Arc<MuxConn>, mut stream: TcpStream) {
+    loop {
+        match read_server_frame(&mut stream) {
+            Ok(Some(frame)) => match crate::remote::corr_of(&frame) {
+                Some(corr) => {
+                    let sender = conn.pending.lock().remove(&corr.0);
+                    if let Some(sender) = sender {
+                        let _ = sender.send(frame);
+                    } else if corr.0 >= conn.corr.load(Ordering::Relaxed) {
+                        // A correlation id this link never issued: the
+                        // peer is desynchronised or hostile — fail the
+                        // whole link NOW rather than letting every
+                        // in-flight request ride out its full reply
+                        // timeout (the fast-fail the serial link had).
+                        conn.poison(format!(
+                            "reply out of correlation (id {} never issued): {frame:?}",
+                            corr.0
+                        ));
+                        break;
+                    }
+                    // An *issued* id with no waiter lost its race with a
+                    // request timeout: dropped silently.
+                }
+                None => {
+                    conn.poison("unexpected handshake frame on an established link".to_string());
+                    break;
+                }
+            },
+            Ok(None) => {
+                conn.poison("peer closed the connection".to_string());
+                break;
+            }
+            Err(e) => {
+                conn.poison(e.to_string());
+                break;
+            }
         }
     }
 }
@@ -660,6 +850,35 @@ impl FederatedBackend {
         }
     }
 
+    /// Bounded redemption that *never delegates*: the local outcome is
+    /// returned as-is, delegable failure or not.
+    ///
+    /// This is the "settle locally only" hint the server's session
+    /// teardown plumbs through when it settles tickets a vanished client
+    /// abandoned (ROADMAP "teardown delegation churn"): there is nobody
+    /// left to use an allocation a peer would make, so shipping the query
+    /// across the WAN — and then releasing the result hop by hop — would
+    /// be pure churn.  Clients redeeming their own tickets keep the full
+    /// federating behaviour of [`ResourceManager::wait_deadline`].
+    pub fn wait_deadline_local(&self, ticket: Ticket, timeout: Duration) -> Option<QueryOutcome> {
+        if ticket.brand() != self.brand {
+            return Some(Err(AllocationError::UnknownTicket));
+        }
+        let pending = match self.tickets.lock().remove(&ticket.id()) {
+            Some(pending) => pending,
+            None => return Some(Err(AllocationError::UnknownTicket)),
+        };
+        match self.inner.wait_deadline(pending.inner, timeout) {
+            Some(outcome) => Some(outcome),
+            None => {
+                // Deadline elapsed: the ticket stays redeemable for a
+                // later settling round.
+                self.tickets.lock().insert(ticket.id(), pending);
+                None
+            }
+        }
+    }
+
     fn take_ticket(&self, ticket: Ticket) -> Result<PendingTicket, AllocationError> {
         if ticket.brand() != self.brand {
             return Err(AllocationError::UnknownTicket);
@@ -673,11 +892,20 @@ impl FederatedBackend {
 
 impl FederatedBackend {
     /// Folds a freshly learned advertisement (new connection on `link`)
-    /// into the peer directory.
+    /// into the peer directory.  A redial replaces the peer's stale
+    /// records wholesale — including under its *old* domain name, if the
+    /// peer came back identifying as somebody else.
     fn note_fresh_advertisement(&self, link: &PeerLink, fresh: Option<PeerAdvertisement>) {
-        if let Some(adv) = fresh {
-            self.record_peer_advertisement(&adv.domain, &adv.pools, link.addr.clone(), link.index);
+        let Some(adv) = fresh else { return };
+        match &adv.previous_domain {
+            Some(previous) if previous != &adv.domain => {
+                self.peer_directory
+                    .write()
+                    .unregister_pool_manager(previous);
+            }
+            _ => {}
         }
+        self.record_peer_advertisement(&adv.domain, &adv.pools, link.addr.clone(), link.index);
     }
 }
 
@@ -704,7 +932,7 @@ impl PeerDelegator for FederatedBackend {
                     let ensured = link.with_conn(
                         &self.config.domain,
                         || self.local_pools(),
-                        |conn| Ok(conn.domain.clone()),
+                        |conn| Ok(conn.domain()),
                     );
                     match ensured {
                         Ok((domain, fresh)) => {

@@ -32,10 +32,15 @@
 //! * [`remote`] — the wire deployment: a `ypd` daemon hosts any backend
 //!   behind the versioned [`actyp_proto`] protocol, and
 //!   [`remote::RemoteBackend`] serves the same client surface across a TCP
-//!   hop, with tickets pipelined on one connection.  [`federation`] peers
-//!   daemons across administrative domains: a query the local backend
-//!   cannot satisfy is delegated over the wire with a TTL and
-//!   visited-domain list, the paper's WAN topology.
+//!   hop, with tickets pipelined on one connection.  Session I/O is event
+//!   driven by default: a fixed pool of I/O threads runs every session as
+//!   a nonblocking state machine over the [`reactor`] (raw epoll/poll
+//!   bindings), with blocking backend calls on shared worker lanes, so
+//!   one daemon holds thousands of mostly-idle sessions cheaply.
+//!   [`federation`] peers daemons across administrative domains: a query
+//!   the local backend cannot satisfy is delegated over the wire with a
+//!   TTL and visited-domain list — multiplexed per peer link by
+//!   correlation id — the paper's WAN topology.
 //! * [`sim`] — the discrete-event simulated deployment used to reproduce the
 //!   paper's controlled experiments (Figures 4–8), where stage service times
 //!   and LAN/WAN link latencies are modelled explicitly.
@@ -55,6 +60,7 @@ pub mod live;
 pub mod message;
 pub mod pool_manager;
 pub mod query_manager;
+pub mod reactor;
 pub mod remote;
 pub mod resource_pool;
 pub mod scheduler;
@@ -73,6 +79,10 @@ pub use message::{
 };
 pub use pool_manager::{HandleOutcome, InstanceSelection, PoolManager, PoolManagerConfig};
 pub use query_manager::{PoolManagerSelection, QueryManager, ReintegrationPolicy};
-pub use remote::{serve, serve_federated, RemoteBackend, ServerHandle};
+pub use reactor::PollerKind;
+pub use remote::{
+    serve, serve_federated, serve_federated_with, serve_with, RemoteBackend, ServerConfig,
+    ServerHandle, SessionMode,
+};
 pub use resource_pool::ResourcePool;
 pub use scheduler::{ReplicaBias, ScheduleOutcome, Scheduler, SchedulingObjective};

@@ -1,0 +1,861 @@
+//! The reactor core: readiness polling for the event-driven `ypd` server.
+//!
+//! The build environment has no access to crates.io, so there is no `mio`
+//! or `tokio` here: this module binds the kernel's readiness interfaces
+//! directly with `extern "C"` declarations against the libc the standard
+//! library already links.  Two implementations sit behind one [`Poller`]
+//! trait:
+//!
+//! * [`PollerKind::Epoll`] — Linux `epoll(7)` (`epoll_create1` /
+//!   `epoll_ctl` / `epoll_wait`), O(ready) wakeups, the production path.
+//! * [`PollerKind::Poll`] — portable POSIX `poll(2)`, O(registered) per
+//!   wakeup; the fallback for non-Linux unix hosts, and a second
+//!   implementation the test suite can run on Linux to keep the trait
+//!   honest.
+//!
+//! [`PollerKind::Auto`] picks epoll on Linux and `poll(2)` elsewhere.  On
+//! non-unix hosts [`PollerKind::create`] reports
+//! [`std::io::ErrorKind::Unsupported`] and the server falls back to the
+//! legacy thread-per-session mode.
+//!
+//! Two more pieces the session engine needs live here because they share
+//! the same raw-binding style and have no other natural home:
+//!
+//! * [`Waker`] — a non-blocking self-pipe.  Worker threads finish blocking
+//!   backend calls off the I/O threads; posting the completion into a
+//!   session's write queue must interrupt that session's [`Poller::poll`],
+//!   which is exactly what writing one byte into the registered pipe does.
+//! * [`WorkerPool`] — a fixed, capped pool of job threads.  The reactor
+//!   server runs every blocking backend call (submit, wait, delegate …) on
+//!   one of these instead of spawning a thread per request, which is what
+//!   keeps the daemon's thread count independent of its session count.
+//!
+//! Everything here is deliberately minimal: level-triggered readiness
+//! only, one registration per fd, no timer wheel — the session engine in
+//! [`crate::remote`] supplies the rest.
+
+use std::io;
+use std::time::Duration;
+
+#[cfg(unix)]
+use std::os::fd::RawFd;
+
+// ---------------------------------------------------------------------------
+// Interest and events
+// ---------------------------------------------------------------------------
+
+/// Which readiness a registration asks to be told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd becomes readable (or the peer hangs up).
+    pub read: bool,
+    /// Wake when the fd becomes writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Write readiness only.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Both read and write readiness.
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+    /// No readiness at all (registration kept, nothing delivered except
+    /// errors/hangups).
+    pub const NONE: Interest = Interest {
+        read: false,
+        write: false,
+    };
+}
+
+/// One readiness notification out of [`Poller::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The fd has bytes to read (or a hangup to observe via `read() == 0`).
+    pub readable: bool,
+    /// The fd can accept more outgoing bytes.
+    pub writable: bool,
+    /// The kernel reports an error or hangup condition; the owner should
+    /// read it out (a final `read` still drains buffered bytes) and close.
+    pub closed: bool,
+}
+
+// ---------------------------------------------------------------------------
+// The trait
+// ---------------------------------------------------------------------------
+
+/// A readiness poller: epoll on Linux, `poll(2)` as the portable fallback
+/// — both behind this one trait so the session engine cannot tell them
+/// apart.
+///
+/// Registrations are level-triggered: an fd that stays readable is
+/// reported on every call until it is drained or its interest is changed.
+pub trait Poller: Send {
+    /// Starts watching `fd` under `token` for `interest`.
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+
+    /// Changes the interest (and token) of an already-registered fd.
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+
+    /// Stops watching `fd`.
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()>;
+
+    /// Blocks up to `timeout` (forever if `None`) for readiness, filling
+    /// `events` with what became ready.  `events` is cleared first.
+    fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+/// Which [`Poller`] implementation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollerKind {
+    /// Epoll on Linux, `poll(2)` elsewhere.
+    #[default]
+    Auto,
+    /// Linux `epoll(7)`; creation fails on other platforms.
+    Epoll,
+    /// Portable POSIX `poll(2)`.
+    Poll,
+}
+
+impl std::fmt::Display for PollerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PollerKind::Auto => "auto",
+            PollerKind::Epoll => "epoll",
+            PollerKind::Poll => "poll",
+        })
+    }
+}
+
+impl std::str::FromStr for PollerKind {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw {
+            "auto" => Ok(PollerKind::Auto),
+            "epoll" => Ok(PollerKind::Epoll),
+            "poll" => Ok(PollerKind::Poll),
+            other => Err(format!(
+                "unknown poller `{other}` (expected auto, epoll or poll)"
+            )),
+        }
+    }
+}
+
+impl PollerKind {
+    /// Builds the chosen poller.  Fails with
+    /// [`std::io::ErrorKind::Unsupported`] where the kind (or readiness
+    /// polling at all) is unavailable, letting the caller fall back to
+    /// thread-per-session I/O.
+    pub fn create(self) -> io::Result<Box<dyn Poller>> {
+        #[cfg(target_os = "linux")]
+        {
+            match self {
+                PollerKind::Auto | PollerKind::Epoll => Ok(Box::new(EpollPoller::new()?)),
+                PollerKind::Poll => Ok(Box::new(PollPoller::new())),
+            }
+        }
+        #[cfg(all(unix, not(target_os = "linux")))]
+        {
+            match self {
+                PollerKind::Auto | PollerKind::Poll => Ok(Box::new(PollPoller::new())),
+                PollerKind::Epoll => Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "epoll is Linux-only; use the poll fallback",
+                )),
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "no readiness poller on this platform; use thread-per-session mode",
+            ))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raw bindings
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sys {
+    //! The handful of libc symbols the reactor needs, declared by hand:
+    //! the toolchain links libc through std already, so `extern "C"` is
+    //! all it takes — no crates.io dependency.
+    use std::os::raw::{c_int, c_short};
+
+    extern "C" {
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        // fcntl(2) is variadic; declaring it with a fixed third argument
+        // would be UB and concretely mis-passes the argument on ABIs that
+        // place variadic arguments differently (e.g. aarch64 Darwin).
+        pub fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+    }
+
+    pub const F_SETFL: c_int = 4;
+    #[cfg(target_os = "linux")]
+    pub const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    pub const O_NONBLOCK: c_int = 0x0004;
+
+    /// `struct pollfd` from `poll(2)`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    #[cfg(target_os = "linux")]
+    pub type NfdsT = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    pub type NfdsT = std::os::raw::c_uint;
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    #[cfg(target_os = "linux")]
+    pub mod epoll {
+        use std::os::raw::c_int;
+
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            pub fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+        }
+
+        pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+
+        /// `struct epoll_event`; packed on x86-64, exactly as the kernel
+        /// ABI declares it (`__EPOLL_PACKED`).
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+    }
+}
+
+#[cfg(unix)]
+fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    // SAFETY: plain fcntl on an owned fd; no memory is involved.
+    let rc = unsafe { sys::fcntl(fd, sys::F_SETFL, sys::O_NONBLOCK) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Milliseconds for the kernel timeout argument: `None` blocks forever
+/// (-1), and anything else is clamped into `c_int` range, rounding up so a
+/// sub-millisecond timeout does not spin.
+#[cfg(unix)]
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            let ms = t.as_millis();
+            let ms = if ms == 0 && t.as_nanos() > 0 { 1 } else { ms };
+            i32::try_from(ms).unwrap_or(i32::MAX)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoll implementation (Linux)
+// ---------------------------------------------------------------------------
+
+/// The Linux `epoll(7)` poller: one epoll instance, O(ready) wakeups.
+#[cfg(target_os = "linux")]
+pub struct EpollPoller {
+    epfd: RawFd,
+    /// Scratch buffer reused across `poll` calls.
+    buf: Vec<sys::epoll::EpollEvent>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollPoller {
+    /// Creates a fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 allocates a new fd; no pointers passed.
+        let epfd = unsafe { sys::epoll::epoll_create1(sys::epoll::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollPoller {
+            epfd,
+            buf: vec![sys::epoll::EpollEvent { events: 0, data: 0 }; 256],
+        })
+    }
+
+    fn ctl(
+        &self,
+        op: std::os::raw::c_int,
+        fd: RawFd,
+        token: u64,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let mut mask = sys::epoll::EPOLLRDHUP;
+        if interest.read {
+            mask |= sys::epoll::EPOLLIN;
+        }
+        if interest.write {
+            mask |= sys::epoll::EPOLLOUT;
+        }
+        let mut event = sys::epoll::EpollEvent {
+            events: mask,
+            data: token,
+        };
+        // SAFETY: `event` outlives the call; the kernel copies it.
+        let rc = unsafe { sys::epoll::epoll_ctl(self.epfd, op, fd, &mut event) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Poller for EpollPoller {
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::epoll::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::epoll::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::epoll::EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+    }
+
+    fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        // SAFETY: `buf` is a live, correctly-sized epoll_event array.
+        let n = unsafe {
+            sys::epoll::epoll_wait(
+                self.epfd,
+                self.buf.as_mut_ptr(),
+                self.buf.len() as std::os::raw::c_int,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for raw in &self.buf[..n as usize] {
+            // Copy out of the (possibly packed) struct before inspecting.
+            let mask = raw.events;
+            let token = raw.data;
+            events.push(Event {
+                token,
+                readable: mask & (sys::epoll::EPOLLIN | sys::epoll::EPOLLRDHUP) != 0,
+                writable: mask & sys::epoll::EPOLLOUT != 0,
+                closed: mask & (sys::epoll::EPOLLERR | sys::epoll::EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        // SAFETY: closing the fd this struct owns.
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// poll(2) implementation (portable unix)
+// ---------------------------------------------------------------------------
+
+/// The portable `poll(2)` poller: keeps the registered set in user space
+/// and hands the whole array to the kernel each call — O(registered) per
+/// wakeup, which is fine for the fallback role.
+#[cfg(unix)]
+pub struct PollPoller {
+    entries: Vec<(RawFd, u64, Interest)>,
+    buf: Vec<sys::PollFd>,
+}
+
+#[cfg(unix)]
+impl Default for PollPoller {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(unix)]
+impl PollPoller {
+    /// An empty registration set.
+    pub fn new() -> Self {
+        PollPoller {
+            entries: Vec::new(),
+            buf: Vec::new(),
+        }
+    }
+
+    fn position(&self, fd: RawFd) -> Option<usize> {
+        self.entries.iter().position(|(f, _, _)| *f == fd)
+    }
+}
+
+#[cfg(unix)]
+impl Poller for PollPoller {
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        if self.position(fd).is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        self.entries.push((fd, token, interest));
+        Ok(())
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match self.position(fd) {
+            Some(i) => {
+                self.entries[i] = (fd, token, interest);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match self.position(fd) {
+            Some(i) => {
+                self.entries.swap_remove(i);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    fn poll(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        self.buf.clear();
+        for (fd, _, interest) in &self.entries {
+            let mut mask: std::os::raw::c_short = 0;
+            if interest.read {
+                mask |= sys::POLLIN;
+            }
+            if interest.write {
+                mask |= sys::POLLOUT;
+            }
+            self.buf.push(sys::PollFd {
+                fd: *fd,
+                events: mask,
+                revents: 0,
+            });
+        }
+        // SAFETY: `buf` is a live pollfd array of exactly `len` entries.
+        let n = unsafe {
+            sys::poll(
+                self.buf.as_mut_ptr(),
+                self.buf.len() as sys::NfdsT,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for (slot, (_, token, _)) in self.buf.iter().zip(&self.entries) {
+            let got = slot.revents;
+            if got == 0 {
+                continue;
+            }
+            events.push(Event {
+                token: *token,
+                readable: got & (sys::POLLIN | sys::POLLHUP) != 0,
+                writable: got & sys::POLLOUT != 0,
+                closed: got & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waker
+// ---------------------------------------------------------------------------
+
+/// A self-pipe that interrupts a blocked [`Poller::poll`] from another
+/// thread.
+///
+/// Register [`Waker::read_fd`] (read interest) under a reserved token;
+/// [`Waker::wake`] then makes the poller report that token readable.  The
+/// owning loop calls [`Waker::drain`] once per wakeup — coalesced wakes
+/// cost one byte each but a single drain.
+///
+/// Both ends are non-blocking: waking a loop that is already behind never
+/// blocks the waker (a full pipe already guarantees a pending wakeup).
+#[cfg(unix)]
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+#[cfg(unix)]
+impl Waker {
+    /// Creates the pipe pair, both ends non-blocking.
+    pub fn new() -> io::Result<Self> {
+        let mut fds = [0 as std::os::raw::c_int; 2];
+        // SAFETY: `fds` is a live 2-element array, exactly what pipe wants.
+        let rc = unsafe { sys::pipe(fds.as_mut_ptr()) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let waker = Waker {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        };
+        set_nonblocking(waker.read_fd)?;
+        set_nonblocking(waker.write_fd)?;
+        Ok(waker)
+    }
+
+    /// The end to register with the poller (read interest).
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Interrupts the poller.  Never blocks: a full pipe means a wakeup is
+    /// already pending, which is all this call promises.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        // SAFETY: writing one byte from a live buffer to an owned fd.
+        unsafe { sys::write(self.write_fd, byte.as_ptr(), 1) };
+    }
+
+    /// Consumes every pending wake byte.  Call once per poller wakeup.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: reading into a live buffer from an owned fd.
+            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: closing the two fds this struct owns.
+        unsafe {
+            sys::close(self.read_fd);
+            sys::close(self.write_fd);
+        }
+    }
+}
+
+// SAFETY: the waker is two raw fds; writing/reading them from any thread
+// is exactly what pipes are for.
+#[cfg(unix)]
+unsafe impl Send for Waker {}
+#[cfg(unix)]
+unsafe impl Sync for Waker {}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// A fixed pool of job threads for the blocking backend calls the reactor
+/// must not run on its I/O threads.
+///
+/// The pool is the *cap*: jobs beyond the thread count queue (unbounded —
+/// per-session request caps in the server bound the queue) and run as
+/// workers free up.  A panicking job takes neither the worker nor the pool
+/// down; panics are counted and surfaced by [`WorkerPool::shutdown`], the
+/// same contract the thread-per-session server keeps for its sessions.
+pub struct WorkerPool {
+    tx: crossbeam::channel::Sender<Job>,
+    handles: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+    panics: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    size: usize,
+}
+
+enum Job {
+    Run(Box<dyn FnOnce() + Send>),
+    Stop,
+}
+
+impl WorkerPool {
+    /// Spawns `size` worker threads (at least one), named `name-N`.
+    pub fn new(name: &str, size: usize) -> Self {
+        let size = size.max(1);
+        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        let panics = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(size);
+        for i in 0..size {
+            let rx = rx.clone();
+            let panics = panics.clone();
+            let builder = std::thread::Builder::new().name(format!("{name}-{i}"));
+            let handle = builder
+                .spawn(move || {
+                    // Ends on the first Stop marker or a disconnected queue.
+                    while let Ok(Job::Run(job)) = rx.recv() {
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        if outcome.is_err() {
+                            panics.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                })
+                .expect("spawn worker thread");
+            handles.push(handle);
+        }
+        WorkerPool {
+            tx,
+            handles: parking_lot::Mutex::new(handles),
+            panics,
+            size,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Queues one job.  Jobs run in submission order as workers free up;
+    /// after [`WorkerPool::shutdown`] the job is silently dropped (the
+    /// sessions that could queue work are gone by then).
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let _ = self.tx.send(Job::Run(Box::new(job)));
+    }
+
+    /// Stops the pool after the queued jobs finish: every worker gets a
+    /// stop marker *behind* the existing queue, is joined, and the number
+    /// of jobs that panicked over the pool's lifetime is returned.
+    pub fn shutdown(&self) -> u64 {
+        let handles: Vec<_> = std::mem::take(&mut *self.handles.lock());
+        for _ in 0..handles.len() {
+            let _ = self.tx.send(Job::Stop);
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.panics.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn pollers() -> Vec<(&'static str, Box<dyn Poller>)> {
+        let mut all: Vec<(&'static str, Box<dyn Poller>)> =
+            vec![("poll", Box::new(PollPoller::new()))];
+        #[cfg(target_os = "linux")]
+        all.push(("epoll", Box::new(EpollPoller::new().unwrap())));
+        all
+    }
+
+    /// A connected loopback socket pair.
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_events_fire_when_bytes_arrive() {
+        for (name, mut poller) in pollers() {
+            let (mut tx, rx) = socket_pair();
+            rx.set_nonblocking(true).unwrap();
+            poller.register(rx.as_raw_fd(), 7, Interest::READ).unwrap();
+
+            let mut events = Vec::new();
+            // Nothing yet: a short poll comes back empty.
+            poller
+                .poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{name}: spurious event");
+
+            tx.write_all(b"x").unwrap();
+            poller
+                .poll(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(events.len(), 1, "{name}");
+            assert_eq!(events[0].token, 7, "{name}");
+            assert!(events[0].readable, "{name}");
+        }
+    }
+
+    #[test]
+    fn write_interest_and_reregistration_work() {
+        for (name, mut poller) in pollers() {
+            let (tx, _rx) = socket_pair();
+            tx.set_nonblocking(true).unwrap();
+            // A fresh socket is writable immediately.
+            poller.register(tx.as_raw_fd(), 1, Interest::WRITE).unwrap();
+            let mut events = Vec::new();
+            poller
+                .poll(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.token == 1 && e.writable),
+                "{name}: no writable event"
+            );
+            // Dropping write interest silences it.
+            poller
+                .reregister(tx.as_raw_fd(), 1, Interest::NONE)
+                .unwrap();
+            poller
+                .poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(
+                !events.iter().any(|e| e.writable),
+                "{name}: writable after reregister"
+            );
+            poller.deregister(tx.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn hangups_are_reported_to_the_reader() {
+        for (name, mut poller) in pollers() {
+            let (tx, mut rx) = socket_pair();
+            poller.register(rx.as_raw_fd(), 3, Interest::READ).unwrap();
+            drop(tx);
+            let mut events = Vec::new();
+            poller
+                .poll(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            let ev = events.iter().find(|e| e.token == 3).expect(name);
+            // A hangup must be observable: either flagged directly or via
+            // a readable event whose read returns 0.
+            assert!(ev.readable || ev.closed, "{name}");
+            let mut buf = [0u8; 8];
+            assert_eq!(rx.read(&mut buf).unwrap(), 0, "{name}: clean EOF");
+        }
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_poll() {
+        for (name, mut poller) in pollers() {
+            let waker = Arc::new(Waker::new().unwrap());
+            poller
+                .register(waker.read_fd(), u64::MAX, Interest::READ)
+                .unwrap();
+            let remote = waker.clone();
+            let hand = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                remote.wake();
+            });
+            let mut events = Vec::new();
+            let started = std::time::Instant::now();
+            poller
+                .poll(&mut events, Some(Duration::from_secs(30)))
+                .unwrap();
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "{name}: poll did not wake"
+            );
+            assert!(
+                events.iter().any(|e| e.token == u64::MAX && e.readable),
+                "{name}: no waker event"
+            );
+            waker.drain();
+            // Drained: the next short poll is quiet again.
+            poller
+                .poll(&mut events, Some(Duration::from_millis(10)))
+                .unwrap();
+            assert!(events.is_empty(), "{name}: waker still readable");
+            hand.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn auto_poller_creates_on_unix() {
+        assert!(PollerKind::Auto.create().is_ok());
+        assert!(PollerKind::Poll.create().is_ok());
+        #[cfg(target_os = "linux")]
+        assert!(PollerKind::Epoll.create().is_ok());
+    }
+
+    #[test]
+    fn poller_kind_parses_and_displays() {
+        for kind in [PollerKind::Auto, PollerKind::Epoll, PollerKind::Poll] {
+            assert_eq!(kind.to_string().parse::<PollerKind>().unwrap(), kind);
+        }
+        assert!("kqueue".parse::<PollerKind>().is_err());
+    }
+
+    #[test]
+    fn worker_pool_runs_jobs_and_survives_panics() {
+        let pool = WorkerPool::new("test-worker", 3);
+        assert_eq!(pool.size(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let counter = counter.clone();
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.execute(|| panic!("job panics, pool survives"));
+        let counter2 = counter.clone();
+        pool.execute(move || {
+            counter2.fetch_add(1, Ordering::Relaxed);
+        });
+        let panics = pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 21, "all jobs ran");
+        assert_eq!(panics, 1, "the panic was counted, not lost");
+    }
+}

@@ -14,20 +14,53 @@
 //! # Server
 //!
 //! [`serve`] binds a listener and hosts *any* [`ResourceManager`] — the
-//! embedded engine, the threaded live pipeline or a centralized baseline —
-//! behind a threaded accept loop.  Each connection is a *session* with its
-//! own ticket table: wire ticket ids are session-scoped, so one client can
-//! never redeem (or guess) another's tickets.  Slow operations (submit,
-//! which may block on the live backend's admission window, and wait) run on
-//! per-request worker threads so the session keeps reading frames — that is
-//! what makes server-side pipelining real.  Allocations are *session
-//! leases*: a session that ends settles its outstanding tickets (outcomes
-//! awaited, bounded by a teardown budget) and hands back every allocation
-//! the client still held, so an abruptly disconnected client leaks neither
-//! machines nor window permits.  [`ServerHandle::halt`] (or a client's
-//! [`ClientFrame::Halt`]) drains the daemon gracefully: the listener stops
-//! accepting, open sessions finish, and [`ServerHandle::join`] then tears
-//! the hosted backend down.
+//! embedded engine, the threaded live pipeline or a centralized baseline.
+//! Each connection is a *session* with its own ticket table: wire ticket
+//! ids are session-scoped, so one client can never redeem (or guess)
+//! another's tickets.  Allocations are *session leases*: a session that
+//! ends settles its outstanding tickets (outcomes awaited, bounded by a
+//! teardown budget) and hands back every allocation the client still held,
+//! so an abruptly disconnected client leaks neither machines nor window
+//! permits.  [`ServerHandle::halt`] (or a client's [`ClientFrame::Halt`])
+//! drains the daemon gracefully: the listener stops accepting, open
+//! sessions finish, and [`ServerHandle::join`] then tears the hosted
+//! backend down.
+//!
+//! ## Session I/O: the reactor
+//!
+//! By default ([`SessionMode::Reactor`]) session I/O is event driven: a
+//! fixed pool of I/O threads ([`ServerConfig::io_threads`]) drives every
+//! session's nonblocking socket through a [`crate::reactor::Poller`]
+//! (epoll on Linux, `poll(2)` elsewhere).  Each session is an explicit
+//! state machine — buffered partial-frame reads, a write queue the I/O
+//! thread flushes as the socket allows (with a high-water mark that stops
+//! *reading* from a client that is not draining its replies), and a
+//! drain-aware close that lets queued replies leave before the socket
+//! shuts.  Blocking backend calls never run on an I/O thread: they are
+//! queued onto one shared, capped [`crate::reactor::WorkerPool`] per lane
+//! ([`ServerConfig::workers`] threads each) —
+//!
+//! * the *submit* lane (submit, batch submit, delegations in), whose
+//!   jobs may block on the live backend's admission window,
+//! * the *redeem* lane (wait, federated polls and releases), whose jobs
+//!   resolve by pipeline progress or bounded peer I/O alone, and
+//! * the *teardown* lane (session settles for closed connections), so a
+//!   mass disconnect never spawns a thread per closing session —
+//!
+//! kept separate so a lane full of window-blocked submissions can never
+//! starve the redemptions (or the releases clients interleave with them)
+//! that would free those very permits.  Completions
+//! are posted back to the owning session's write queue and the I/O thread
+//! is woken to flush them.  The daemon's thread count is therefore
+//! *independent of its session count*: accept + I/O pool + two worker
+//! lanes + the hosted backend, whether two clients are connected or two
+//! thousand.
+//!
+//! [`SessionMode::ThreadPerSession`] keeps the legacy deployment — one OS
+//! thread per connected session plus a per-request worker thread for every
+//! blocking call — for platforms without a poller and as a baseline the
+//! benches compare against.  Both modes serve the identical protocol and
+//! pass the identical test suite.
 //!
 //! # Client
 //!
@@ -39,7 +72,7 @@
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -56,15 +89,89 @@ use actyp_query::Query;
 use crate::allocation::{Allocation, AllocationError};
 use crate::api::{QueryOutcome, ResourceManager, StatsSnapshot, Ticket};
 use crate::message::{RequestId, RequestIdGenerator, StageAddress};
+use crate::reactor::PollerKind;
 
 // ---------------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------------
 
-/// Upper bound on worker threads (blocking submits/waits) per session; a
-/// request beyond it is answered with an error instead of spawning, so one
-/// connection cannot exhaust the daemon's threads.
+/// Upper bound on blocking requests (submits/waits) in flight per session;
+/// a request beyond it is answered with an error, so one connection cannot
+/// exhaust the daemon's threads (legacy mode, where each blocking request
+/// is a thread) or flood the shared worker queues (reactor mode, where
+/// each is a queued job).
 const MAX_SESSION_WORKERS: usize = 256;
+
+/// How the daemon drives session I/O.  See the module docs for the full
+/// picture of the two architectures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SessionMode {
+    /// Event-driven sessions: a fixed I/O-thread pool drives nonblocking
+    /// sockets through a readiness poller; blocking backend calls run on
+    /// shared, capped worker lanes.  Thread count is independent of
+    /// session count.  The default.
+    #[default]
+    Reactor,
+    /// Legacy sessions: one OS thread per connection plus a worker thread
+    /// per blocking request.  The fallback where no poller exists, and the
+    /// baseline the benches compare the reactor against.
+    ThreadPerSession,
+}
+
+impl std::fmt::Display for SessionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SessionMode::Reactor => "reactor",
+            SessionMode::ThreadPerSession => "threaded",
+        })
+    }
+}
+
+impl std::str::FromStr for SessionMode {
+    type Err = String;
+
+    fn from_str(raw: &str) -> Result<Self, Self::Err> {
+        match raw {
+            "reactor" => Ok(SessionMode::Reactor),
+            "threaded" => Ok(SessionMode::ThreadPerSession),
+            other => Err(format!(
+                "unknown session mode `{other}` (expected reactor or threaded)"
+            )),
+        }
+    }
+}
+
+/// Server-side knobs: how session I/O is driven and how many threads the
+/// daemon spends on it.  The defaults suit a daemon on a small host; raise
+/// [`ServerConfig::io_threads`] and [`ServerConfig::workers`] together
+/// with core count and backend latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Session I/O architecture.  [`SessionMode::Reactor`] silently falls
+    /// back to [`SessionMode::ThreadPerSession`] only on platforms with no
+    /// poller at all (non-unix).
+    pub mode: SessionMode,
+    /// Reactor I/O threads (clamped to at least 1).  Sessions are
+    /// distributed round-robin across them at accept time.
+    pub io_threads: usize,
+    /// Worker threads *per lane* (submit, redeem and teardown lanes,
+    /// clamped to at least 1 each): the cap on concurrently executing
+    /// blocking backend calls in reactor mode.
+    pub workers: usize,
+    /// Which readiness poller the I/O threads use.
+    pub poller: PollerKind,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            mode: SessionMode::default(),
+            io_threads: 2,
+            workers: 4,
+            poller: PollerKind::Auto,
+        }
+    }
+}
 
 /// How often an idle session checks the daemon's drain flag.  Sessions
 /// block on the socket between frames; without this bound a drain would
@@ -90,14 +197,25 @@ struct ServerShared {
     /// Sessions that panicked and were reaped before [`ServerHandle::join`]
     /// ran; counted so the panic still surfaces at join time.
     reaped_panics: AtomicU64,
+    /// The reactor session engine, when [`SessionMode::Reactor`] is
+    /// active; `None` in thread-per-session mode.  Taken at join time.
+    #[cfg(unix)]
+    reactor: Mutex<Option<ReactorEngine>>,
 }
 
 impl ServerShared {
-    /// Flags the drain and pokes the blocking `accept` awake with a dummy
-    /// connection so the accept loop observes it.
+    /// Flags the drain and wakes everything that could be blocked past it:
+    /// the reactor I/O threads (so idle sessions are closed and settled)
+    /// and the blocking `accept`, poked awake with a dummy connection.
     fn begin_drain(&self) {
         if self.draining.swap(true, Ordering::SeqCst) {
             return;
+        }
+        #[cfg(unix)]
+        if let Some(engine) = &*self.reactor.lock() {
+            for io in &engine.io {
+                io.notify.wake();
+            }
         }
         let _ = TcpStream::connect(self.wake_addr);
     }
@@ -143,6 +261,27 @@ impl ServerHandle {
                 problems.push("ypd accept loop panicked".to_string());
             }
         }
+        // Reactor engine teardown: the I/O threads exit once every session
+        // is closed, the per-session teardowns finish settling, and the
+        // worker lanes stop after their queues drain.
+        #[cfg(unix)]
+        {
+            let engine = self.shared.reactor.lock().take();
+            if let Some(engine) = engine {
+                for io in engine.io {
+                    io.notify.wake();
+                    if io.thread.join().is_err() {
+                        problems.push("ypd I/O thread panicked".to_string());
+                    }
+                }
+                let worker_panics = engine.pools.submit.shutdown()
+                    + engine.pools.redeem.shutdown()
+                    + engine.pools.teardown.shutdown();
+                if worker_panics > 0 {
+                    problems.push(format!("{worker_panics} ypd worker job(s) panicked"));
+                }
+            }
+        }
         let sessions: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.sessions.lock());
         let mut panicked = self.shared.reaped_panics.load(Ordering::Relaxed);
         for session in sessions {
@@ -166,7 +305,8 @@ impl ServerHandle {
     }
 }
 
-/// Binds `addr` and serves `manager` over the wire protocol until halted.
+/// Binds `addr` and serves `manager` over the wire protocol until halted,
+/// with the default [`ServerConfig`] (reactor sessions).
 ///
 /// `addr.port == 0` binds an ephemeral port; read it back with
 /// [`ServerHandle::local_addr`].
@@ -174,7 +314,17 @@ pub fn serve(
     manager: Box<dyn ResourceManager>,
     addr: &StageAddress,
 ) -> Result<ServerHandle, AllocationError> {
-    serve_inner(manager, None, addr)
+    serve_inner(manager, None, addr, ServerConfig::default())
+}
+
+/// [`serve`] with explicit server-side knobs (session mode, I/O-thread and
+/// worker-lane sizes, poller choice).
+pub fn serve_with(
+    manager: Box<dyn ResourceManager>,
+    addr: &StageAddress,
+    config: ServerConfig,
+) -> Result<ServerHandle, AllocationError> {
+    serve_inner(manager, None, addr, config)
 }
 
 /// Binds `addr` and serves a *federated* backend: the full client protocol
@@ -186,13 +336,28 @@ pub fn serve_federated(
     backend: Arc<crate::federation::FederatedBackend>,
     addr: &StageAddress,
 ) -> Result<ServerHandle, AllocationError> {
-    serve_inner(Box::new(backend.clone()), Some(backend), addr)
+    serve_inner(
+        Box::new(backend.clone()),
+        Some(backend),
+        addr,
+        ServerConfig::default(),
+    )
+}
+
+/// [`serve_federated`] with explicit server-side knobs.
+pub fn serve_federated_with(
+    backend: Arc<crate::federation::FederatedBackend>,
+    addr: &StageAddress,
+    config: ServerConfig,
+) -> Result<ServerHandle, AllocationError> {
+    serve_inner(Box::new(backend.clone()), Some(backend), addr, config)
 }
 
 fn serve_inner(
     manager: Box<dyn ResourceManager>,
     federation: Option<Arc<crate::federation::FederatedBackend>>,
     addr: &StageAddress,
+    config: ServerConfig,
 ) -> Result<ServerHandle, AllocationError> {
     let listener = TcpListener::bind((addr.host.as_str(), addr.port))
         .map_err(|e| AllocationError::Network(format!("bind {addr}: {e}")))?;
@@ -219,7 +384,19 @@ fn serve_inner(
         wake_addr,
         sessions: Mutex::new(Vec::new()),
         reaped_panics: AtomicU64::new(0),
+        #[cfg(unix)]
+        reactor: Mutex::new(None),
     });
+
+    // Stand the reactor engine up before the listener opens: where a
+    // poller exists, reactor mode is honoured or fails loudly; a platform
+    // with no poller at all falls back to thread-per-session.
+    #[cfg(unix)]
+    if config.mode == SessionMode::Reactor {
+        let engine = ReactorEngine::start(&shared, &config)
+            .map_err(|e| AllocationError::Network(format!("reactor setup: {e}")))?;
+        *shared.reactor.lock() = Some(engine);
+    }
 
     let accept_shared = shared.clone();
     let accept = std::thread::spawn(move || {
@@ -230,6 +407,12 @@ fn serve_inner(
             let stream = match stream {
                 Ok(stream) => stream,
                 Err(_) => continue,
+            };
+            // Reactor mode: hand the socket to an I/O thread (round
+            // robin) and keep accepting.  Otherwise: the legacy thread
+            // per session.
+            let Some(stream) = try_dispatch_reactor(&accept_shared, stream) else {
+                continue;
             };
             let session_shared = accept_shared.clone();
             let handle = std::thread::spawn(move || run_session(session_shared, stream));
@@ -259,11 +442,1020 @@ fn serve_inner(
     })
 }
 
-/// Per-connection session state: the reply socket, the session-scoped
+/// Routes an accepted socket to the reactor engine when one is running.
+/// Returns the socket back when the daemon is in thread-per-session mode.
+#[cfg(unix)]
+fn try_dispatch_reactor(shared: &Arc<ServerShared>, stream: TcpStream) -> Option<TcpStream> {
+    let guard = shared.reactor.lock();
+    match &*guard {
+        Some(engine) => {
+            engine.dispatch(stream);
+            None
+        }
+        None => Some(stream),
+    }
+}
+
+#[cfg(not(unix))]
+fn try_dispatch_reactor(_shared: &Arc<ServerShared>, stream: TcpStream) -> Option<TcpStream> {
+    Some(stream)
+}
+
+// ---------------------------------------------------------------------------
+// The reactor session engine
+// ---------------------------------------------------------------------------
+//
+// A fixed pool of I/O threads drives every session's nonblocking socket
+// through a `reactor::Poller`.  Each session is an explicit state machine
+// (`ReactorSession`); blocking backend calls run on the two shared worker
+// lanes and post their replies into the owning session's `OutQueue`, waking
+// that session's I/O thread through its `IoNotify`.
+
+#[cfg(unix)]
+mod engine {
+    use super::*;
+    use crate::reactor::{Event, Interest, Poller, Waker, WorkerPool};
+    use actyp_proto::{WireDecode, MAX_FRAME_LEN};
+    use std::collections::HashSet;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+
+    /// Poller token reserved for the I/O thread's waker pipe.
+    const WAKE_TOKEN: u64 = u64::MAX;
+
+    /// Upper bound on queued-but-unsent reply bytes before the session
+    /// stops *reading*: a client that pipelines requests without draining
+    /// replies is backpressured instead of ballooning the daemon's memory.
+    const OUT_HIGH_WATER: usize = 1 << 20;
+
+    /// How many bytes one readable event may pull off a single socket
+    /// before yielding to the other sessions on the same I/O thread
+    /// (level-triggered polling re-delivers the event if more is waiting).
+    /// This caps bytes *per event*, never the session's total buffer — a
+    /// frame larger than one burst (the protocol allows up to
+    /// [`MAX_FRAME_LEN`]) accumulates across events and must always be
+    /// able to complete.
+    const READ_BURST: usize = 256 * 1024;
+
+    /// How long a closing session may keep flushing queued replies to a
+    /// client that is not reading them before the socket is cut anyway.
+    /// Measured from the moment the teardown seals the write queue, so a
+    /// well-behaved client always gets its drain; only a stalled one is
+    /// dropped — without this, one such client would wedge the I/O
+    /// thread's exit and [`ServerHandle::join`] forever.
+    const CLOSE_FLUSH_GRACE: Duration = Duration::from_secs(5);
+
+    /// How often the I/O thread sweeps its closing sessions for the
+    /// [`CLOSE_FLUSH_GRACE`] deadline (a stalled client produces no
+    /// events of its own to trigger the check).
+    const CLOSING_SWEEP_INTERVAL: Duration = Duration::from_millis(250);
+
+    /// A session buffer (read or write) whose capacity ballooned past this
+    /// is shrunk back once it empties: `Vec::clear`/`drain` keep their
+    /// peak allocation, and a long-lived idle session pinning megabytes
+    /// from one historical burst works against the whole point of holding
+    /// many idle sessions cheaply.
+    const BUF_SHRINK_THRESHOLD: usize = 64 * 1024;
+
+    /// Safety-net poll timeout: wakeups normally arrive via the waker, but
+    /// the drain flag is also re-checked at least this often.
+    const IO_POLL_INTERVAL: Duration = Duration::from_millis(500);
+
+    /// Cross-thread doorbell for one I/O thread: worker lanes mark the
+    /// sessions whose write queues they touched and ring the waker; the
+    /// I/O thread drains the set and flushes exactly those sessions.
+    pub(super) struct IoNotify {
+        dirty: Mutex<HashSet<u64>>,
+        waker: Waker,
+    }
+
+    impl IoNotify {
+        fn new() -> std::io::Result<Self> {
+            Ok(IoNotify {
+                dirty: Mutex::new(HashSet::new()),
+                waker: Waker::new()?,
+            })
+        }
+
+        fn mark_dirty(&self, token: u64) {
+            self.dirty.lock().insert(token);
+            self.waker.wake();
+        }
+
+        fn take_dirty(&self) -> Vec<u64> {
+            self.dirty.lock().drain().collect()
+        }
+
+        pub(super) fn wake(&self) {
+            self.waker.wake();
+        }
+    }
+
+    /// The write side of one reactor session: frames are encoded into this
+    /// byte queue by whoever produces them (I/O thread, worker lane,
+    /// teardown) and flushed by the owning I/O thread as the socket
+    /// allows.
+    pub(super) struct OutQueue {
+        token: u64,
+        notify: Arc<IoNotify>,
+        buf: Mutex<OutBuf>,
+    }
+
+    #[derive(Default)]
+    struct OutBuf {
+        data: Vec<u8>,
+        sent: usize,
+        /// When the teardown sealed the queue (no more frames will ever
+        /// be queued); also starts the [`CLOSE_FLUSH_GRACE`] clock.
+        closed_at: Option<std::time::Instant>,
+    }
+
+    impl OutBuf {
+        fn closed(&self) -> bool {
+            self.closed_at.is_some()
+        }
+
+        /// Resets the queue after a complete flush, returning oversized
+        /// capacity to the allocator.
+        fn reset(&mut self) {
+            self.data.clear();
+            if self.data.capacity() > BUF_SHRINK_THRESHOLD {
+                self.data.shrink_to(BUF_SHRINK_THRESHOLD);
+            }
+            self.sent = 0;
+        }
+    }
+
+    impl OutQueue {
+        /// Appends one frame (best effort, exactly like the legacy direct
+        /// send: an unencodable frame is dropped, a closed queue swallows
+        /// it) and rings the session's I/O thread.
+        pub(super) fn push(&self, frame: &ServerFrame) {
+            {
+                let mut buf = self.buf.lock();
+                if buf.closed() {
+                    return;
+                }
+                // Writing into a Vec cannot fail; `write_frame` refuses an
+                // over-limit frame before emitting any byte, so a failed
+                // push leaves the queue intact.
+                let _ = write_frame(&mut buf.data, frame);
+            }
+            self.notify.mark_dirty(self.token);
+        }
+
+        /// Marks the queue closed (no more frames will ever be queued) and
+        /// rings the I/O thread so it can finish the drain-aware close.
+        fn close(&self) {
+            let mut buf = self.buf.lock();
+            if buf.closed_at.is_none() {
+                buf.closed_at = Some(std::time::Instant::now());
+            }
+            drop(buf);
+            self.notify.mark_dirty(self.token);
+        }
+
+        fn pending_bytes(&self) -> usize {
+            let buf = self.buf.lock();
+            buf.data.len() - buf.sent
+        }
+
+        fn is_closed(&self) -> bool {
+            self.buf.lock().closed()
+        }
+
+        /// Whether the queue was sealed longer than `grace` ago — the
+        /// point past which a client that will not drain its replies is
+        /// cut instead of holding the session (and the drain) open.
+        fn sealed_longer_than(&self, grace: Duration) -> bool {
+            matches!(self.buf.lock().closed_at, Some(at) if at.elapsed() > grace)
+        }
+    }
+
+    /// The two worker lanes for blocking backend calls.  They are separate
+    /// pools because their blocking has different *causes*: submit-lane
+    /// jobs (submits, batches, incoming delegations) can block on the
+    /// live backend's admission window, whose permits only redemptions
+    /// free — a single shared pool saturated with window-blocked
+    /// submissions would starve the very waits that unblock it.
+    /// Redeem-lane jobs (waits, federated polls and releases) resolve by
+    /// pipeline progress or bounded peer I/O alone, never by the window;
+    /// everything a client must complete in order to *return* capacity
+    /// lives here, so the lane always drains.
+    pub(super) struct Pools {
+        pub(super) submit: WorkerPool,
+        pub(super) redeem: WorkerPool,
+        /// Session teardowns (settle abandoned tickets, sweep leases,
+        /// seal the write queue).  A lane rather than a thread per
+        /// closing session: a mass disconnect — or the drain itself —
+        /// would otherwise spawn one thread per session in a burst,
+        /// reintroducing thread-count-proportional-to-session-count at
+        /// exactly the moment the daemon is busiest.  Teardown jobs never
+        /// wait on each other (they wait on the submit/redeem lanes and
+        /// on bounded backend deadlines), so the lane always drains.
+        pub(super) teardown: WorkerPool,
+    }
+
+    /// Which lane a blocking request runs on.
+    #[derive(Clone, Copy)]
+    enum Lane {
+        Submit,
+        Redeem,
+    }
+
+    /// One I/O thread's handle: where the accept loop sends new sockets,
+    /// and the doorbell that wakes the thread to collect them.
+    pub(super) struct IoHandle {
+        tx: Sender<TcpStream>,
+        pub(super) notify: Arc<IoNotify>,
+        pub(super) thread: JoinHandle<()>,
+    }
+
+    /// The running reactor: I/O threads, worker lanes, teardown tracker.
+    pub(super) struct ReactorEngine {
+        pub(super) io: Vec<IoHandle>,
+        next_io: AtomicUsize,
+        pub(super) pools: Arc<Pools>,
+    }
+
+    impl ReactorEngine {
+        /// Spawns the worker lanes and `config.io_threads` I/O threads,
+        /// each with its own poller and waker.
+        pub(super) fn start(
+            shared: &Arc<ServerShared>,
+            config: &ServerConfig,
+        ) -> std::io::Result<ReactorEngine> {
+            let pools = Arc::new(Pools {
+                submit: WorkerPool::new("ypd-submit", config.workers),
+                redeem: WorkerPool::new("ypd-redeem", config.workers),
+                teardown: WorkerPool::new("ypd-teardown", config.workers),
+            });
+            let mut io: Vec<IoHandle> = Vec::new();
+            for i in 0..config.io_threads.max(1) {
+                let started = config.poller.create().and_then(|poller| {
+                    let notify = Arc::new(IoNotify::new()?);
+                    let (tx, rx) = unbounded::<TcpStream>();
+                    let thread = std::thread::Builder::new()
+                        .name(format!("ypd-io-{i}"))
+                        .spawn({
+                            let shared = shared.clone();
+                            let pools = pools.clone();
+                            let notify = notify.clone();
+                            move || io_thread_main(shared, pools, rx, notify, poller)
+                        })?;
+                    Ok(IoHandle { tx, notify, thread })
+                });
+                match started {
+                    Ok(handle) => io.push(handle),
+                    Err(e) => {
+                        // Unwind the threads already spawned: flag the
+                        // drain so they exit, then report the failure.
+                        shared.draining.store(true, Ordering::SeqCst);
+                        for handle in io {
+                            handle.notify.wake();
+                            let _ = handle.thread.join();
+                        }
+                        pools.submit.shutdown();
+                        pools.redeem.shutdown();
+                        pools.teardown.shutdown();
+                        shared.draining.store(false, Ordering::SeqCst);
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(ReactorEngine {
+                io,
+                next_io: AtomicUsize::new(0),
+                pools,
+            })
+        }
+
+        /// Assigns an accepted socket to an I/O thread, round robin.
+        pub(super) fn dispatch(&self, stream: TcpStream) {
+            let index = self.next_io.fetch_add(1, Ordering::Relaxed) % self.io.len();
+            let io = &self.io[index];
+            if io.tx.send(stream).is_ok() {
+                io.notify.wake();
+            }
+        }
+    }
+
+    /// Where one reactor session is in its life.
+    enum Phase {
+        /// Connected; the first frame must be a `Hello`.
+        AwaitingHello,
+        /// Handshake done; frames are parsed and dispatched.
+        Serving,
+        /// No more frames are read.  The session teardown is settling
+        /// tickets on its own thread; the socket closes once the teardown
+        /// marks the write queue closed and every queued byte is flushed
+        /// (drain-aware close) — or immediately once the client is gone.
+        Closing,
+    }
+
+    /// One connection, as the state machine its I/O thread drives.
+    struct ReactorSession {
+        stream: TcpStream,
+        state: Arc<SessionState>,
+        queue: Arc<OutQueue>,
+        phase: Phase,
+        /// Bytes received but not yet parsed into frames (partial frames
+        /// accumulate here across readable events).
+        read_buf: Vec<u8>,
+        /// Interest currently registered with the poller.
+        interest: Interest,
+        /// The peer disconnected (EOF or transport error): close without
+        /// waiting to flush.
+        client_gone: bool,
+    }
+
+    impl ReactorSession {
+        fn desired_interest(&self) -> Interest {
+            let pending = self.queue.pending_bytes();
+            match self.phase {
+                // Keep reading while closing only to observe EOF promptly
+                // (bytes are discarded); stop reading frames from a client
+                // that is not draining its replies.
+                Phase::Closing => Interest {
+                    read: true,
+                    write: pending > 0,
+                },
+                _ => Interest {
+                    read: pending <= OUT_HIGH_WATER,
+                    write: pending > 0,
+                },
+            }
+        }
+
+        /// The drain-aware close condition: the teardown has sealed the
+        /// queue and everything queued has left — or the client vanished
+        /// and there is nobody to flush to — or the client has refused to
+        /// drain its replies for [`CLOSE_FLUSH_GRACE`] past the seal, in
+        /// which case it is cut rather than allowed to wedge the drain.
+        fn finished(&self) -> bool {
+            matches!(self.phase, Phase::Closing)
+                && (self.client_gone
+                    || (self.queue.is_closed()
+                        && (self.queue.pending_bytes() == 0
+                            || self.queue.sealed_longer_than(CLOSE_FLUSH_GRACE))))
+        }
+    }
+
+    fn would_block(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        )
+    }
+
+    /// Decrements the owning session's lane counter when a job finishes —
+    /// by panic as much as by return, so a panicking backend cannot wedge
+    /// the session teardown that waits for the count to reach zero.
+    struct JobGuard {
+        state: Arc<SessionState>,
+        lane: Lane,
+    }
+
+    impl Drop for JobGuard {
+        fn drop(&mut self) {
+            let counter = match self.lane {
+                Lane::Submit => &self.state.submit_jobs,
+                Lane::Redeem => &self.state.redeem_jobs,
+            };
+            counter.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Queues one blocking request on a worker lane, bounded per session:
+    /// past [`MAX_SESSION_WORKERS`] in flight on the lane, the request is
+    /// answered with an overload error instead — one connection cannot
+    /// flood the shared queues any more than it could spawn unbounded
+    /// threads in legacy mode.
+    fn spawn_job(
+        pools: &Pools,
+        lane: Lane,
+        state: &Arc<SessionState>,
+        corr: RequestId,
+        job: impl FnOnce() + Send + 'static,
+    ) {
+        let counter = match lane {
+            Lane::Submit => &state.submit_jobs,
+            Lane::Redeem => &state.redeem_jobs,
+        };
+        if counter.load(Ordering::Relaxed) >= MAX_SESSION_WORKERS {
+            state.send(&session_overloaded(corr));
+            return;
+        }
+        counter.fetch_add(1, Ordering::Relaxed);
+        let guard = JobGuard {
+            state: state.clone(),
+            lane,
+        };
+        let pool = match lane {
+            Lane::Submit => &pools.submit,
+            Lane::Redeem => &pools.redeem,
+        };
+        pool.execute(move || {
+            let _guard = guard;
+            job();
+        });
+    }
+
+    /// One I/O thread: polls its sessions' sockets, parses frames,
+    /// dispatches work, flushes write queues, and retires sessions.
+    fn io_thread_main(
+        shared: Arc<ServerShared>,
+        pools: Arc<Pools>,
+        incoming: Receiver<TcpStream>,
+        notify: Arc<IoNotify>,
+        mut poller: Box<dyn Poller>,
+    ) {
+        // If waker registration fails the thread still functions — the
+        // poll interval bounds how stale a wakeup can go.
+        let _ = poller.register(notify.waker.read_fd(), WAKE_TOKEN, Interest::READ);
+        let mut sessions: HashMap<u64, ReactorSession> = HashMap::new();
+        let mut next_token: u64 = 0;
+        let mut events: Vec<Event> = Vec::new();
+        let mut touched: Vec<u64> = Vec::new();
+        let mut last_closing_sweep = std::time::Instant::now();
+        loop {
+            if shared.draining.load(Ordering::SeqCst) && sessions.is_empty() {
+                break;
+            }
+            if poller.poll(&mut events, Some(IO_POLL_INTERVAL)).is_err() {
+                // A failing poller must not hot-loop the thread.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            notify.waker.drain();
+            touched.clear();
+
+            // New connections from the accept loop (refused once a drain
+            // began — the listener race can hand over a late socket).
+            while let Ok(stream) = incoming.try_recv() {
+                if shared.draining.load(Ordering::SeqCst) {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    continue;
+                }
+                if let Some(token) = add_session(
+                    &mut *poller,
+                    &mut sessions,
+                    &mut next_token,
+                    &notify,
+                    stream,
+                ) {
+                    touched.push(token);
+                }
+            }
+
+            // Socket readiness.
+            for event in events.iter().copied() {
+                if event.token == WAKE_TOKEN {
+                    continue;
+                }
+                let Some(session) = sessions.get_mut(&event.token) else {
+                    continue;
+                };
+                if event.readable || event.closed {
+                    handle_readable(&shared, &pools, session);
+                }
+                if (event.writable || event.closed) && !flush_session(session) {
+                    session.client_gone = true;
+                    begin_close(&shared, &pools, session);
+                }
+                touched.push(event.token);
+            }
+
+            // Write queues touched by worker lanes / teardowns.
+            for token in notify.take_dirty() {
+                if let Some(session) = sessions.get_mut(&token) {
+                    if !flush_session(session) {
+                        session.client_gone = true;
+                        begin_close(&shared, &pools, session);
+                    }
+                    touched.push(token);
+                }
+            }
+
+            // Closing sessions whose clients went quiet produce no events
+            // of their own; sweep them periodically so the
+            // CLOSE_FLUSH_GRACE deadline is actually observed.
+            if last_closing_sweep.elapsed() >= CLOSING_SWEEP_INTERVAL {
+                last_closing_sweep = std::time::Instant::now();
+                for (token, session) in sessions.iter() {
+                    if matches!(session.phase, Phase::Closing) {
+                        touched.push(*token);
+                    }
+                }
+            }
+
+            // A drain closes every session still open (their teardowns
+            // settle whatever the vanished or idle clients left behind).
+            if shared.draining.load(Ordering::SeqCst) {
+                for (token, session) in sessions.iter_mut() {
+                    begin_close(&shared, &pools, session);
+                    touched.push(*token);
+                }
+            }
+
+            // Re-parse, retire, and re-register everything touched.
+            touched.sort_unstable();
+            touched.dedup();
+            for token in touched.iter().copied() {
+                refresh_session(&shared, &pools, &mut *poller, &mut sessions, token);
+            }
+        }
+    }
+
+    /// Registers a fresh connection as a session in the hello phase.
+    fn add_session(
+        poller: &mut dyn Poller,
+        sessions: &mut HashMap<u64, ReactorSession>,
+        next_token: &mut u64,
+        notify: &Arc<IoNotify>,
+        stream: TcpStream,
+    ) -> Option<u64> {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return None;
+        }
+        let token = *next_token;
+        *next_token += 1;
+        let queue = Arc::new(OutQueue {
+            token,
+            notify: notify.clone(),
+            buf: Mutex::new(OutBuf::default()),
+        });
+        if poller
+            .register(stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            return None;
+        }
+        let state = SessionState::new(ReplySink::Queue(queue.clone()));
+        sessions.insert(
+            token,
+            ReactorSession {
+                stream,
+                state,
+                queue,
+                phase: Phase::AwaitingHello,
+                read_buf: Vec::new(),
+                interest: Interest::READ,
+                client_gone: false,
+            },
+        );
+        Some(token)
+    }
+
+    /// Pulls available bytes (one bounded burst), parses complete frames,
+    /// dispatches them, and begins the close on EOF — after parsing, so a
+    /// client that submits and immediately hangs up still gets its work
+    /// settled rather than dropped.
+    fn handle_readable(
+        shared: &Arc<ServerShared>,
+        pools: &Arc<Pools>,
+        session: &mut ReactorSession,
+    ) {
+        let mut chunk = [0u8; 16 * 1024];
+        if matches!(session.phase, Phase::Closing) {
+            // Discard whatever the client still sends; observe its EOF.
+            // Bounded per event like the serving path: a client that
+            // blasts bytes after close must not monopolize the I/O
+            // thread for the other sessions' sake.
+            let mut taken = 0usize;
+            while taken < READ_BURST {
+                match session.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        session.client_gone = true;
+                        break;
+                    }
+                    Ok(n) => taken += n,
+                    Err(e) if would_block(&e) => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        session.client_gone = true;
+                        break;
+                    }
+                }
+            }
+            return;
+        }
+        let mut eof = false;
+        let mut taken = 0usize;
+        while taken < READ_BURST {
+            match session.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    taken += n;
+                    session.read_buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if would_block(&e) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    eof = true;
+                    break;
+                }
+            }
+        }
+        parse_and_dispatch(shared, pools, session);
+        if eof {
+            session.client_gone = true;
+            begin_close(shared, pools, session);
+        }
+    }
+
+    /// Parses every complete frame buffered for the session and
+    /// dispatches it, stopping early when the write queue crosses the
+    /// high-water mark (the leftovers stay buffered and are re-parsed
+    /// once the queue drains).  Garbage — an over-limit length prefix or
+    /// an undecodable body — ends the session, settled like any other.
+    fn parse_and_dispatch(
+        shared: &Arc<ServerShared>,
+        pools: &Arc<Pools>,
+        session: &mut ReactorSession,
+    ) {
+        let mut pos = 0usize;
+        loop {
+            if matches!(session.phase, Phase::Closing) {
+                break;
+            }
+            let available = &session.read_buf[pos..];
+            if available.len() < 4 {
+                break;
+            }
+            let declared =
+                u32::from_be_bytes([available[0], available[1], available[2], available[3]])
+                    as usize;
+            if declared > MAX_FRAME_LEN {
+                begin_close(shared, pools, session);
+                break;
+            }
+            let Some(body) = available.get(4..4 + declared) else {
+                break;
+            };
+            match ClientFrame::from_wire_bytes(body) {
+                Ok(frame) => {
+                    pos += 4 + declared;
+                    dispatch_frame(shared, pools, session, frame);
+                }
+                Err(_) => {
+                    begin_close(shared, pools, session);
+                    break;
+                }
+            }
+            if session.queue.pending_bytes() > OUT_HIGH_WATER {
+                break;
+            }
+        }
+        if matches!(session.phase, Phase::Closing) {
+            // Nothing buffered will ever be parsed now (and a mid-loop
+            // close may have replaced the buffer already): drop it whole
+            // instead of draining against a stale offset.
+            session.read_buf = Vec::new();
+        } else if pos > 0 {
+            session.read_buf.drain(..pos);
+            if session.read_buf.is_empty() && session.read_buf.capacity() > BUF_SHRINK_THRESHOLD {
+                session.read_buf.shrink_to(BUF_SHRINK_THRESHOLD);
+            }
+        }
+    }
+
+    /// Mirrors the legacy session's frame match, with blocking work queued
+    /// on the worker lanes instead of spawned threads.
+    fn dispatch_frame(
+        shared: &Arc<ServerShared>,
+        pools: &Arc<Pools>,
+        session: &mut ReactorSession,
+        frame: ClientFrame,
+    ) {
+        let state = session.state.clone();
+        if matches!(session.phase, Phase::AwaitingHello) {
+            match frame {
+                ClientFrame::Hello {
+                    min_version,
+                    max_version,
+                } => match negotiate(min_version, max_version) {
+                    Some(version) => {
+                        state.send(&ServerFrame::HelloAck { version });
+                        session.phase = Phase::Serving;
+                    }
+                    None => {
+                        state.send(&ServerFrame::HelloReject {
+                            message: format!(
+                                "no common protocol version: client speaks \
+                                 {min_version}..={max_version}, server speaks \
+                                 {MIN_SUPPORTED_VERSION}..={PROTOCOL_VERSION}"
+                            ),
+                        });
+                        begin_close(shared, pools, session);
+                    }
+                },
+                _ => {
+                    state.send(&ServerFrame::HelloReject {
+                        message: "the first frame must be Hello".to_string(),
+                    });
+                    begin_close(shared, pools, session);
+                }
+            }
+            return;
+        }
+        match frame {
+            ClientFrame::Hello { .. } => {
+                state.send(&ServerFrame::HelloReject {
+                    message: "duplicate Hello".to_string(),
+                });
+                begin_close(shared, pools, session);
+            }
+            ClientFrame::Submit { corr, query } => {
+                let shared = shared.clone();
+                let job_state = state.clone();
+                spawn_job(pools, Lane::Submit, &state, corr, move || {
+                    handle_submit(&shared, &job_state, corr, &query)
+                });
+            }
+            ClientFrame::SubmitBatch { corr, queries } => {
+                let shared = shared.clone();
+                let job_state = state.clone();
+                spawn_job(pools, Lane::Submit, &state, corr, move || {
+                    handle_submit_batch(&shared, &job_state, corr, &queries)
+                });
+            }
+            ClientFrame::Wait {
+                corr,
+                ticket,
+                deadline_ms,
+            } => {
+                // Unknown ids are answered inline — no job for a frame
+                // that cannot block; the worker's own atomic claim still
+                // decides races.
+                if !state.tickets.lock().contains_key(&ticket) {
+                    state.send(&ServerFrame::Error {
+                        corr,
+                        error: AllocationError::UnknownTicket,
+                    });
+                    return;
+                }
+                let shared = shared.clone();
+                let job_state = state.clone();
+                spawn_job(pools, Lane::Redeem, &state, corr, move || {
+                    handle_wait(&shared, &job_state, corr, ticket, deadline_ms)
+                });
+            }
+            ClientFrame::Poll { corr, ticket } => {
+                let backend_ticket = match state.tickets.lock().get(&ticket).copied() {
+                    None => {
+                        state.send(&ServerFrame::Error {
+                            corr,
+                            error: AllocationError::UnknownTicket,
+                        });
+                        return;
+                    }
+                    Some(backend_ticket) => backend_ticket,
+                };
+                let poll = {
+                    let shared = shared.clone();
+                    let state = state.clone();
+                    move || match shared.manager.try_poll(backend_ticket) {
+                        None => state.send(&ServerFrame::Pending { corr }),
+                        Some(outcome) => {
+                            state.tickets.lock().remove(&ticket);
+                            state.deliver_outcome(corr, outcome);
+                        }
+                    }
+                };
+                // On a federated daemon a poll can block on peer I/O, so
+                // it runs on the redeem lane; in-process backends answer
+                // inline on the I/O thread.
+                if shared.federation.is_some() {
+                    spawn_job(pools, Lane::Redeem, &state, corr, poll);
+                } else {
+                    poll();
+                }
+            }
+            ClientFrame::Release { corr, allocation } => {
+                let release = {
+                    let shared = shared.clone();
+                    let state = state.clone();
+                    move || match shared.manager.release(&allocation) {
+                        Ok(()) => {
+                            state.leases.lock().remove(&allocation.access_key.0);
+                            state.send(&ServerFrame::Released { corr });
+                        }
+                        Err(error) => state.send(&ServerFrame::Error { corr, error }),
+                    }
+                };
+                // Releasing a delegated allocation crosses the wire to
+                // the owning domain: a worker keeps the I/O thread
+                // responsive.  It rides the REDEEM lane, not the submit
+                // lane: clients interleave releases with the very waits
+                // that free admission-window permits, so a release queued
+                // behind window-blocked submit jobs would deadlock the
+                // whole daemon (client stuck awaiting the release reply →
+                // no further waits → no permits freed → submits blocked
+                // forever).  A release never blocks on the window itself —
+                // only on bounded peer I/O — so it is safe on this lane.
+                if shared.federation.is_some() {
+                    spawn_job(pools, Lane::Redeem, &state, corr, release);
+                } else {
+                    release();
+                }
+            }
+            ClientFrame::Stats { corr } => {
+                state.send(&ServerFrame::StatsReply {
+                    corr,
+                    stats: shared.manager.stats(),
+                });
+            }
+            ClientFrame::Shutdown { corr } => {
+                state.send(&ServerFrame::Ack { corr });
+                begin_close(shared, pools, session);
+            }
+            ClientFrame::Halt { corr } => {
+                state.send(&ServerFrame::Ack { corr });
+                shared.begin_drain();
+                begin_close(shared, pools, session);
+            }
+            ClientFrame::Delegate {
+                corr,
+                query,
+                ttl,
+                visited,
+            } => {
+                let Some(federation) = shared.federation.clone() else {
+                    state.send(&ServerFrame::Error {
+                        corr,
+                        error: AllocationError::Protocol(
+                            "this daemon is not federated (no --domain/--peer)".to_string(),
+                        ),
+                    });
+                    return;
+                };
+                let job_state = state.clone();
+                spawn_job(pools, Lane::Submit, &state, corr, move || {
+                    let (outcome, routing) = federation.handle_delegate(&query, ttl, visited);
+                    job_state.deliver_delegated(corr, outcome, routing);
+                });
+            }
+            ClientFrame::SyncPools {
+                corr,
+                domain,
+                pools: advertised,
+            } => match &shared.federation {
+                None => state.send(&ServerFrame::Error {
+                    corr,
+                    error: AllocationError::Protocol(
+                        "this daemon is not federated (no --domain/--peer)".to_string(),
+                    ),
+                }),
+                Some(federation) => {
+                    federation.record_inbound_advertisement(&domain, &advertised);
+                    state.send(&ServerFrame::PoolsSynced {
+                        corr,
+                        domain: federation.domain().to_string(),
+                        pools: federation.local_pools(),
+                    });
+                }
+            },
+        }
+    }
+
+    /// Transitions the session into [`Phase::Closing`] (idempotent) and
+    /// spawns its teardown: the settle loop must not run on the I/O
+    /// thread, because it blocks on backend outcomes.
+    fn begin_close(shared: &Arc<ServerShared>, pools: &Arc<Pools>, session: &mut ReactorSession) {
+        if matches!(session.phase, Phase::Closing) {
+            return;
+        }
+        session.phase = Phase::Closing;
+        let shared = shared.clone();
+        let state = session.state.clone();
+        let queue = session.queue.clone();
+        pools
+            .teardown
+            .execute(move || teardown_session(&shared, &state, &queue));
+    }
+
+    /// The reactor-mode session teardown — the same interleaved
+    /// settle-and-wait the legacy session runs, with lane job counters in
+    /// place of worker thread handles: settle (freeing window permits a
+    /// blocked submit job may be waiting on), wait for the jobs to finish
+    /// (they may issue new tickets), repeat, then sweep the leases.  Seals
+    /// the write queue at the end so the I/O thread can complete the
+    /// drain-aware close.
+    fn teardown_session(
+        shared: &Arc<ServerShared>,
+        state: &Arc<SessionState>,
+        queue: &Arc<OutQueue>,
+    ) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            settle_abandoned_tickets(shared, state, deadline);
+            if state.jobs_in_flight() == 0 {
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                // Leave the stragglers to the worker lanes.  Settlement is
+                // best-effort past this point, exactly as in legacy mode.
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        settle_abandoned_tickets(
+            shared,
+            state,
+            std::time::Instant::now() + Duration::from_secs(5),
+        );
+        let leaked: Vec<Allocation> = state.leases.lock().drain().map(|(_, a)| a).collect();
+        for allocation in &leaked {
+            let _ = shared.manager.release(allocation);
+        }
+        queue.close();
+    }
+
+    /// Flushes as much of the session's write queue as the socket takes.
+    /// Returns `false` when the transport is dead.
+    fn flush_session(session: &mut ReactorSession) -> bool {
+        loop {
+            let mut buf = session.queue.buf.lock();
+            if buf.sent >= buf.data.len() {
+                buf.reset();
+                return true;
+            }
+            match session.stream.write(&buf.data[buf.sent..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    buf.sent += n;
+                    if buf.sent >= buf.data.len() {
+                        buf.reset();
+                        return true;
+                    }
+                }
+                Err(e) if would_block(&e) => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Post-pass for a touched session: re-parse frames a drained write
+    /// queue unblocked, retire the session when its close completed, and
+    /// re-register interest when it changed.
+    fn refresh_session(
+        shared: &Arc<ServerShared>,
+        pools: &Arc<Pools>,
+        poller: &mut dyn Poller,
+        sessions: &mut HashMap<u64, ReactorSession>,
+        token: u64,
+    ) {
+        let Some(session) = sessions.get_mut(&token) else {
+            return;
+        };
+        if !matches!(session.phase, Phase::Closing)
+            && !session.read_buf.is_empty()
+            && session.queue.pending_bytes() <= OUT_HIGH_WATER
+        {
+            parse_and_dispatch(shared, pools, session);
+        }
+        if session.finished() {
+            let session = sessions.remove(&token).expect("session just seen");
+            let _ = poller.deregister(session.stream.as_raw_fd());
+            let _ = session.stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+        let wanted = session.desired_interest();
+        if wanted != session.interest
+            && poller
+                .reregister(session.stream.as_raw_fd(), token, wanted)
+                .is_ok()
+        {
+            session.interest = wanted;
+        }
+    }
+}
+
+#[cfg(unix)]
+use engine::{OutQueue, ReactorEngine};
+
+/// Where a session's replies go: straight down the socket (legacy
+/// thread-per-session mode, where blocking in `send` is fine) or into the
+/// session's write queue for its I/O thread to flush (reactor mode, where
+/// nothing on a worker may ever block on a peer's socket).
+enum ReplySink {
+    /// Legacy: a shared handle on the connection, written under a lock.
+    Stream(Mutex<TcpStream>),
+    /// Reactor: the session's write queue.
+    #[cfg(unix)]
+    Queue(Arc<OutQueue>),
+}
+
+/// Per-connection session state: the reply sink, the session-scoped
 /// ticket table mapping wire ticket ids to backend tickets, and the
 /// allocation leases the session currently holds.
 struct SessionState {
-    writer: Mutex<TcpStream>,
+    sink: ReplySink,
     tickets: Mutex<HashMap<u64, Ticket>>,
     /// Allocations delivered to this client and not yet released, keyed by
     /// access key.  Allocations are *session leases*: whatever is still
@@ -272,13 +1464,43 @@ struct SessionState {
     /// strand a machine claim.
     leases: Mutex<HashMap<String, Allocation>>,
     next_ticket: AtomicU64,
+    /// Blocking requests in flight on the submit lane (reactor mode) —
+    /// the reactor's equivalent of the legacy per-session worker vectors,
+    /// bounded by [`MAX_SESSION_WORKERS`] and awaited by the teardown.
+    submit_jobs: AtomicUsize,
+    /// Blocking requests in flight on the redeem lane (reactor mode).
+    redeem_jobs: AtomicUsize,
 }
 
 impl SessionState {
-    /// Best-effort reply; a vanished client is detected by the read loop.
+    fn new(sink: ReplySink) -> Arc<Self> {
+        Arc::new(SessionState {
+            sink,
+            tickets: Mutex::new(HashMap::new()),
+            leases: Mutex::new(HashMap::new()),
+            next_ticket: AtomicU64::new(0),
+            submit_jobs: AtomicUsize::new(0),
+            redeem_jobs: AtomicUsize::new(0),
+        })
+    }
+
+    /// Best-effort reply; a vanished client is detected by the read side.
     fn send(&self, frame: &ServerFrame) {
-        let mut writer = self.writer.lock();
-        let _ = write_frame(&mut *writer, frame);
+        match &self.sink {
+            ReplySink::Stream(writer) => {
+                let mut writer = writer.lock();
+                let _ = write_frame(&mut *writer, frame);
+            }
+            #[cfg(unix)]
+            ReplySink::Queue(queue) => queue.push(frame),
+        }
+    }
+
+    /// Blocking requests this session still has in flight on the worker
+    /// lanes (always zero in legacy mode, which tracks thread handles
+    /// instead).
+    fn jobs_in_flight(&self) -> usize {
+        self.submit_jobs.load(Ordering::Relaxed) + self.redeem_jobs.load(Ordering::Relaxed)
     }
 
     fn issue(&self, ticket: Ticket) -> u64 {
@@ -336,12 +1558,7 @@ fn run_session(shared: Arc<ServerShared>, mut stream: TcpStream) {
         Ok(clone) => clone,
         Err(_) => return,
     };
-    let state = Arc::new(SessionState {
-        writer: Mutex::new(reply_stream),
-        tickets: Mutex::new(HashMap::new()),
-        leases: Mutex::new(HashMap::new()),
-        next_ticket: AtomicU64::new(0),
-    });
+    let state = SessionState::new(ReplySink::Stream(Mutex::new(reply_stream)));
     match hello {
         ClientFrame::Hello {
             min_version,
@@ -671,6 +1888,12 @@ fn session_overloaded(corr: RequestId) -> ServerFrame {
 /// A ticket whose wait times out goes *back* into the table — still
 /// redeemable inside the backend — so a later settling round can retry it
 /// instead of dropping the claim on the floor.
+///
+/// On a federated daemon the settle is *local only*: the client these
+/// tickets belonged to is gone, so a delegable local failure is simply
+/// accepted instead of being shipped across the WAN to peers — nobody is
+/// left to use an allocation a peer would make, and the delegation (plus
+/// its hop-by-hop release) would be pure churn.
 fn settle_abandoned_tickets(
     shared: &ServerShared,
     state: &SessionState,
@@ -679,7 +1902,11 @@ fn settle_abandoned_tickets(
     let abandoned: Vec<(u64, Ticket)> = state.tickets.lock().drain().collect();
     for (wire_id, ticket) in abandoned {
         let budget = deadline.saturating_duration_since(std::time::Instant::now());
-        match shared.manager.wait_deadline(ticket, budget) {
+        let waited = match &shared.federation {
+            Some(federation) => federation.wait_deadline_local(ticket, budget),
+            None => shared.manager.wait_deadline(ticket, budget),
+        };
+        match waited {
             Some(Ok(allocations)) => {
                 for allocation in &allocations {
                     let _ = shared.manager.release(allocation);

@@ -152,12 +152,28 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Passes the wakeup baton on: a receiver that pops a message while
+        /// more remain must re-notify, because two `send`s can both wake
+        /// the SAME blocked receiver (a thread that has been signalled but
+        /// not yet scheduled still absorbs further `notify_one`s on many
+        /// implementations).  That receiver consumes exactly one message
+        /// and leaves — without the hand-off, the second message would sit
+        /// queued while every other consumer sleeps forever.  Single-
+        /// consumer channels are unaffected; multi-consumer pools (the
+        /// `ypd` reactor's worker lanes) deadlocked on exactly this.
+        fn pass_baton(&self, state: &State<T>) {
+            if !state.queue.is_empty() {
+                self.0.ready.notify_one();
+            }
+        }
+
         /// Blocks until a message arrives, failing once the channel is empty
         /// with no senders left.
         pub fn recv(&self) -> Result<T, RecvError> {
             let mut state = self.0.state.lock().unwrap();
             loop {
                 if let Some(value) = state.queue.pop_front() {
+                    self.pass_baton(&state);
                     return Ok(value);
                 }
                 if state.senders == 0 {
@@ -175,6 +191,7 @@ pub mod channel {
             let mut state = self.0.state.lock().unwrap();
             loop {
                 if let Some(value) = state.queue.pop_front() {
+                    self.pass_baton(&state);
                     return Ok(value);
                 }
                 if state.senders == 0 {
@@ -196,7 +213,10 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.0.state.lock().unwrap();
             match state.queue.pop_front() {
-                Some(value) => Ok(value),
+                Some(value) => {
+                    self.pass_baton(&state);
+                    Ok(value)
+                }
                 None if state.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
@@ -286,6 +306,52 @@ pub mod channel {
             drop(tx);
             let got: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
             assert_eq!(got, 2);
+        }
+
+        /// The worker-pool shape that exposed the lost wakeup: several
+        /// consumers blocked on one channel, producers bursting messages.
+        /// Two sends could wake the same consumer, which takes one message
+        /// and leaves — stranding the other message forever.  With the
+        /// wakeup hand-off every message is consumed.
+        #[test]
+        fn bursts_reach_every_blocked_consumer() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            use std::sync::Arc;
+
+            for _round in 0..50 {
+                let (tx, rx) = unbounded::<u32>();
+                let consumed = Arc::new(AtomicUsize::new(0));
+                let consumers: Vec<_> = (0..4)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        let consumed = consumed.clone();
+                        std::thread::spawn(move || {
+                            while rx.recv().is_ok() {
+                                consumed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        })
+                    })
+                    .collect();
+                drop(rx);
+                let producers: Vec<_> = (0..3)
+                    .map(|p| {
+                        let tx = tx.clone();
+                        std::thread::spawn(move || {
+                            for i in 0..40 {
+                                tx.send(p * 100 + i).unwrap();
+                            }
+                        })
+                    })
+                    .collect();
+                drop(tx);
+                for producer in producers {
+                    producer.join().unwrap();
+                }
+                for consumer in consumers {
+                    consumer.join().unwrap();
+                }
+                assert_eq!(consumed.load(Ordering::Relaxed), 120, "no message stranded");
+            }
         }
 
         #[test]

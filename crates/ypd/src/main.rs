@@ -11,6 +11,17 @@
 //! ypd --listen 127.0.0.1:7411 --backend live --machines 500 --seed 42
 //! ```
 //!
+//! # Thread model
+//!
+//! Session I/O is event driven by default (`--sessions reactor`): a fixed
+//! pool of I/O threads (`--io-threads`) drives every connection's
+//! nonblocking socket through an epoll/poll reactor, and blocking backend
+//! calls run on capped worker lanes (`--workers` threads each for the
+//! submit, redeem and teardown lanes), so the daemon's thread count is
+//! independent of how many clients and peer daemons are connected.  `--sessions threaded` restores the legacy
+//! thread-per-session mode; `--poller poll` forces the portable `poll(2)`
+//! fallback where epoll is undesirable.
+//!
 //! # Wide-area federation
 //!
 //! Give the daemon a domain name and peer addresses and it joins the
@@ -36,11 +47,14 @@
 use std::process::ExitCode;
 
 use actyp_grid::{FleetSpec, SyntheticFleet};
-use actyp_pipeline::{BackendKind, FederationConfig, PipelineBuilder, StageAddress};
+use actyp_pipeline::{
+    BackendKind, FederationConfig, PipelineBuilder, PollerKind, SessionMode, StageAddress,
+};
 
 const USAGE: &str = "\
 usage: ypd [--listen HOST:PORT] [--backend KIND] [--machines N] [--seed N]
            [--arch NAME] [--query-managers N] [--pool-managers N] [--window N]
+           [--sessions MODE] [--io-threads N] [--workers N] [--poller KIND]
            [--domain NAME] [--peer HOST:PORT]... [--ttl N]
 
   --listen HOST:PORT   address to bind (default: $ACTYP_YPD_LISTEN or 127.0.0.1:7411)
@@ -51,6 +65,13 @@ usage: ypd [--listen HOST:PORT] [--backend KIND] [--machines N] [--seed N]
   --query-managers N   query-manager stages (default: 1)
   --pool-managers N    pool-manager stages (default: 1)
   --window N           live-backend in-flight window (default: 32)
+  --sessions MODE      session I/O: reactor | threaded
+                       (default: $ACTYP_YPD_SESSIONS or reactor)
+  --io-threads N       reactor I/O threads driving all session sockets
+                       (default: $ACTYP_YPD_IO_THREADS or 2)
+  --workers N          worker threads per lane (submit / redeem / teardown)
+                       (default: $ACTYP_YPD_WORKERS or 4)
+  --poller KIND        readiness poller: auto | epoll | poll (default: auto)
   --domain NAME        administrative-domain name for wide-area federation
                        (default: $ACTYP_YPD_DOMAIN; required with --peer)
   --peer HOST:PORT     peer daemon to delegate unsatisfiable queries to
@@ -67,6 +88,10 @@ struct Config {
     query_managers: usize,
     pool_managers: usize,
     window: usize,
+    sessions: SessionMode,
+    io_threads: usize,
+    workers: usize,
+    poller: PollerKind,
     domain: Option<String>,
     peers: Vec<StageAddress>,
     ttl: u32,
@@ -83,6 +108,10 @@ impl Default for Config {
             query_managers: 1,
             pool_managers: 1,
             window: 32,
+            sessions: SessionMode::Reactor,
+            io_threads: 2,
+            workers: 4,
+            poller: PollerKind::Auto,
             domain: None,
             peers: Vec::new(),
             ttl: 8,
@@ -96,6 +125,9 @@ struct EnvConfig<'a> {
     listen: Option<&'a str>,
     domain: Option<&'a str>,
     peers: Option<&'a str>,
+    sessions: Option<&'a str>,
+    io_threads: Option<&'a str>,
+    workers: Option<&'a str>,
 }
 
 fn parse_backend(raw: &str) -> Result<BackendKind, String> {
@@ -129,6 +161,21 @@ fn parse_args(
                 .peers
                 .push(raw.parse().map_err(|e| format!("ACTYP_YPD_PEERS: {e}"))?);
         }
+    }
+    if let Some(sessions) = env.sessions {
+        config.sessions = sessions
+            .parse()
+            .map_err(|e| format!("ACTYP_YPD_SESSIONS: {e}"))?;
+    }
+    if let Some(io_threads) = env.io_threads {
+        config.io_threads = io_threads
+            .parse()
+            .map_err(|_| format!("ACTYP_YPD_IO_THREADS: invalid count `{io_threads}`"))?;
+    }
+    if let Some(workers) = env.workers {
+        config.workers = workers
+            .parse()
+            .map_err(|_| format!("ACTYP_YPD_WORKERS: invalid count `{workers}`"))?;
     }
     let mut args = args.into_iter();
     while let Some(flag) = args.next() {
@@ -173,6 +220,26 @@ fn parse_args(
                     .parse()
                     .map_err(|_| format!("--window: invalid size `{raw}`"))?;
             }
+            "--sessions" => {
+                let raw = value("--sessions")?;
+                config.sessions = raw.parse().map_err(|e| format!("--sessions: {e}"))?;
+            }
+            "--io-threads" => {
+                let raw = value("--io-threads")?;
+                config.io_threads = raw
+                    .parse()
+                    .map_err(|_| format!("--io-threads: invalid count `{raw}`"))?;
+            }
+            "--workers" => {
+                let raw = value("--workers")?;
+                config.workers = raw
+                    .parse()
+                    .map_err(|_| format!("--workers: invalid count `{raw}`"))?;
+            }
+            "--poller" => {
+                let raw = value("--poller")?;
+                config.poller = raw.parse().map_err(|e| format!("--poller: {e}"))?;
+            }
             "--domain" => config.domain = Some(value("--domain")?),
             "--peer" => {
                 let raw = value("--peer")?;
@@ -203,10 +270,16 @@ fn main() -> ExitCode {
     let env_listen = std::env::var("ACTYP_YPD_LISTEN").ok();
     let env_domain = std::env::var("ACTYP_YPD_DOMAIN").ok();
     let env_peers = std::env::var("ACTYP_YPD_PEERS").ok();
+    let env_sessions = std::env::var("ACTYP_YPD_SESSIONS").ok();
+    let env_io_threads = std::env::var("ACTYP_YPD_IO_THREADS").ok();
+    let env_workers = std::env::var("ACTYP_YPD_WORKERS").ok();
     let env = EnvConfig {
         listen: env_listen.as_deref(),
         domain: env_domain.as_deref(),
         peers: env_peers.as_deref(),
+        sessions: env_sessions.as_deref(),
+        io_threads: env_io_threads.as_deref(),
+        workers: env_workers.as_deref(),
     };
     let config = match parse_args(std::env::args().skip(1), env) {
         Ok(config) => config,
@@ -230,7 +303,11 @@ fn main() -> ExitCode {
         .ttl(config.ttl)
         .query_managers(config.query_managers)
         .pool_managers(config.pool_managers)
-        .window(config.window);
+        .window(config.window)
+        .session_mode(config.sessions)
+        .reactor_io_threads(config.io_threads)
+        .reactor_workers(config.workers)
+        .poller(config.poller);
 
     let server = match &config.domain {
         None => builder.serve(&config.listen, config.backend),
@@ -256,19 +333,21 @@ fn main() -> ExitCode {
 
     match &config.domain {
         None => println!(
-            "ypd: listening on {} ({} backend, {} machines, seed {})",
-            server.local_addr(),
-            config.backend,
-            config.machines,
-            config.seed
-        ),
-        Some(domain) => println!(
-            "ypd: listening on {} ({} backend, {} machines, seed {}; domain {domain}, \
-             {} peer(s), ttl {})",
+            "ypd: listening on {} ({} backend, {} machines, seed {}, {} sessions)",
             server.local_addr(),
             config.backend,
             config.machines,
             config.seed,
+            config.sessions
+        ),
+        Some(domain) => println!(
+            "ypd: listening on {} ({} backend, {} machines, seed {}, {} sessions; \
+             domain {domain}, {} peer(s), ttl {})",
+            server.local_addr(),
+            config.backend,
+            config.machines,
+            config.seed,
+            config.sessions,
             config.peers.len(),
             config.ttl
         ),
@@ -324,6 +403,14 @@ mod tests {
                 "3",
                 "--window",
                 "16",
+                "--sessions",
+                "threaded",
+                "--io-threads",
+                "4",
+                "--workers",
+                "8",
+                "--poller",
+                "poll",
                 "--domain",
                 "purdue",
                 "--peer",
@@ -344,6 +431,10 @@ mod tests {
         assert_eq!(config.query_managers, 2);
         assert_eq!(config.pool_managers, 3);
         assert_eq!(config.window, 16);
+        assert_eq!(config.sessions, SessionMode::ThreadPerSession);
+        assert_eq!(config.io_threads, 4);
+        assert_eq!(config.workers, 8);
+        assert_eq!(config.poller, PollerKind::Poll);
         assert_eq!(config.domain.as_deref(), Some("purdue"));
         assert_eq!(
             config.peers,
@@ -400,6 +491,44 @@ mod tests {
     }
 
     #[test]
+    fn env_thread_model_is_used_and_cli_wins_over_it() {
+        let env = EnvConfig {
+            sessions: Some("threaded"),
+            io_threads: Some("6"),
+            workers: Some("12"),
+            ..EnvConfig::default()
+        };
+        let from_env = parse_args(args(&[]), env).unwrap();
+        assert_eq!(from_env.sessions, SessionMode::ThreadPerSession);
+        assert_eq!(from_env.io_threads, 6);
+        assert_eq!(from_env.workers, 12);
+        let env = EnvConfig {
+            sessions: Some("threaded"),
+            io_threads: Some("6"),
+            ..EnvConfig::default()
+        };
+        let overridden =
+            parse_args(args(&["--sessions", "reactor", "--io-threads", "3"]), env).unwrap();
+        assert_eq!(overridden.sessions, SessionMode::Reactor);
+        assert_eq!(overridden.io_threads, 3);
+        // Bad env values are reported against the variable.
+        let env = EnvConfig {
+            sessions: Some("bogus"),
+            ..EnvConfig::default()
+        };
+        assert!(parse_args(args(&[]), env)
+            .unwrap_err()
+            .contains("ACTYP_YPD_SESSIONS"));
+        let env = EnvConfig {
+            workers: Some("many"),
+            ..EnvConfig::default()
+        };
+        assert!(parse_args(args(&[]), env)
+            .unwrap_err()
+            .contains("ACTYP_YPD_WORKERS"));
+    }
+
+    #[test]
     fn peers_without_a_domain_are_rejected() {
         let err = parse_args(args(&["--peer", "127.0.0.1:7421"]), no_env()).unwrap_err();
         assert!(err.contains("--domain"), "{err}");
@@ -424,6 +553,15 @@ mod tests {
         assert!(parse_args(args(&["--ttl", "forever"]), no_env())
             .unwrap_err()
             .contains("invalid hop count"));
+        assert!(parse_args(args(&["--sessions", "fibers"]), no_env())
+            .unwrap_err()
+            .contains("unknown session mode"));
+        assert!(parse_args(args(&["--poller", "kqueue"]), no_env())
+            .unwrap_err()
+            .contains("unknown poller"));
+        assert!(parse_args(args(&["--io-threads", "lots"]), no_env())
+            .unwrap_err()
+            .contains("invalid count"));
         assert!(parse_args(args(&["--listen"]), no_env())
             .unwrap_err()
             .contains("requires a value"));

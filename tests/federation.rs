@@ -309,6 +309,325 @@ fn peers_learn_each_others_pools_through_sync() {
     srv_b.join().unwrap();
 }
 
+/// The peer-link multiplexing regression test: two delegation chains to
+/// the *same* peer must proceed in parallel on the one pooled connection,
+/// correlated by request id.
+///
+/// The fake peer enforces it structurally: it reads BOTH `Delegate`
+/// frames before answering either, then replies in reverse order with
+/// distinct outcomes keyed off the query text.  The old one-request-at-a-
+/// time link (which held the connection mutex across the whole WAN round
+/// trip) can never send the second frame before the first reply, so under
+/// it this test times out instead of passing; out-of-order replies also
+/// prove the responses really route by correlation id, not arrival order.
+#[test]
+fn parallel_delegations_multiplex_on_one_peer_link() {
+    use actyp_proto::{read_client_frame, write_frame, ClientFrame, ServerFrame, PROTOCOL_VERSION};
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let fake_addr = listener.local_addr().unwrap();
+    let fake_peer = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        match read_client_frame(&mut conn).unwrap() {
+            Some(ClientFrame::Hello { .. }) => write_frame(
+                &mut conn,
+                &ServerFrame::HelloAck {
+                    version: PROTOCOL_VERSION,
+                },
+            )
+            .unwrap(),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        match read_client_frame(&mut conn).unwrap() {
+            Some(ClientFrame::SyncPools { corr, .. }) => write_frame(
+                &mut conn,
+                &ServerFrame::PoolsSynced {
+                    corr,
+                    domain: "upc".to_string(),
+                    pools: Vec::new(),
+                },
+            )
+            .unwrap(),
+            other => panic!("expected SyncPools, got {other:?}"),
+        }
+        // The regression proper: the second Delegate must arrive while
+        // the first is still unanswered.
+        let mut delegates = Vec::new();
+        for nth in 0..2 {
+            match read_client_frame(&mut conn).unwrap() {
+                Some(ClientFrame::Delegate {
+                    corr,
+                    query,
+                    ttl,
+                    visited,
+                }) => delegates.push((corr, query, ttl, visited)),
+                other => panic!(
+                    "expected pipelined Delegate #{nth} before any reply \
+                     (a serialized link never sends it), got {other:?}"
+                ),
+            }
+        }
+        for (corr, query, ttl, mut visited) in delegates.into_iter().rev() {
+            let error = if query.contains("hp") {
+                AllocationError::NoneAvailable
+            } else {
+                AllocationError::ShadowAccountsExhausted
+            };
+            visited.push("upc".to_string());
+            write_frame(
+                &mut conn,
+                &ServerFrame::Delegated {
+                    corr,
+                    outcome: Err(error),
+                    ttl: ttl.saturating_sub(1),
+                    visited,
+                },
+            )
+            .unwrap();
+        }
+        // Hold the connection until the entry daemon shuts down.
+        let _ = read_client_frame(&mut conn);
+    });
+
+    let entry = PipelineBuilder::new()
+        .database(homogeneous_db("sun", 20, 40))
+        .build_federated(
+            BackendKind::Embedded,
+            FederationConfig {
+                domain: "purdue".to_string(),
+                ttl: 8,
+                peers: vec![StageAddress::new("127.0.0.1", fake_addr.port())],
+            },
+        )
+        .unwrap();
+
+    let hp_chain = {
+        let entry = entry.clone();
+        std::thread::spawn(move || entry.submit_text_wait("punch.rsrc.arch = hp\n"))
+    };
+    let sgi_chain = {
+        let entry = entry.clone();
+        std::thread::spawn(move || entry.submit_text_wait("punch.rsrc.arch = sgi\n"))
+    };
+    // Each chain got ITS peer outcome, not the other's.
+    assert_eq!(
+        hp_chain.join().unwrap().unwrap_err(),
+        AllocationError::NoneAvailable
+    );
+    assert_eq!(
+        sgi_chain.join().unwrap().unwrap_err(),
+        AllocationError::ShadowAccountsExhausted
+    );
+    assert_eq!(entry.stats().delegations_out, 2);
+
+    entry.shutdown().unwrap();
+    fake_peer.join().unwrap();
+}
+
+/// Satellite regression (ROADMAP "teardown delegation churn"): settling
+/// the abandoned tickets of a vanished client must NOT trigger outbound
+/// delegations — there is nobody left to use what a peer would allocate.
+#[test]
+fn abandoned_tickets_settle_locally_without_delegating() {
+    let db_a = homogeneous_db("sun", 20, 50);
+    let db_b = homogeneous_db("hp", 20, 51);
+    let (srv_b, _fed_b) = spawn_domain("upc", db_b.clone(), vec![], 8);
+    let (srv_a, fed_a) = spawn_domain("purdue", db_a.clone(), vec![srv_b.local_addr()], 8);
+
+    // Warm the link: a delegation is available and cheap, so only the
+    // teardown hint can explain its absence below.
+    let client = RemoteBackend::connect(&srv_a.local_addr()).unwrap();
+    let warm = client.submit_text_wait("punch.rsrc.arch = hp\n").unwrap();
+    client.release(&warm[0]).unwrap();
+    let delegations_before = fed_a.stats().delegations_out;
+    assert!(delegations_before >= 1, "the link is warm");
+
+    // A client submits a query only the peer could satisfy, then
+    // vanishes without redeeming the ticket.
+    {
+        let abandoner = RemoteBackend::connect(&srv_a.local_addr()).unwrap();
+        let _ticket = abandoner.submit_text("punch.rsrc.arch = hp\n").unwrap();
+        // Dropped with the ticket in flight.
+    }
+    client.halt_daemon().unwrap();
+    client.shutdown().unwrap();
+    srv_a.join().unwrap();
+
+    assert_eq!(
+        fed_a.stats().delegations_out,
+        delegations_before,
+        "the abandoned ticket settled locally; no delegation churn"
+    );
+    assert_eq!(active_jobs(&db_a), 0);
+    assert_eq!(active_jobs(&db_b), 0, "no peer allocation was ever made");
+    srv_b.halt();
+    srv_b.join().unwrap();
+}
+
+/// Satellite regression (first slice of ROADMAP "gossip cadence"): a dead
+/// peer link redialed after the connection drops re-syncs pool
+/// advertisements, so a peer that came back with *different* pools is not
+/// routed to from a stale directory.
+#[test]
+fn redialed_peer_link_resyncs_pool_advertisements() {
+    use actyp_proto::{read_client_frame, write_frame, ClientFrame, ServerFrame, PROTOCOL_VERSION};
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let fake_addr = listener.local_addr().unwrap();
+    let fake_peer = std::thread::spawn(move || {
+        let handshake = |conn: &mut std::net::TcpStream, pools: Vec<String>| {
+            conn.set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            match read_client_frame(conn).unwrap() {
+                Some(ClientFrame::Hello { .. }) => write_frame(
+                    conn,
+                    &ServerFrame::HelloAck {
+                        version: PROTOCOL_VERSION,
+                    },
+                )
+                .unwrap(),
+                other => panic!("expected Hello, got {other:?}"),
+            }
+            match read_client_frame(conn).unwrap() {
+                Some(ClientFrame::SyncPools { corr, .. }) => write_frame(
+                    conn,
+                    &ServerFrame::PoolsSynced {
+                        corr,
+                        domain: "upc".to_string(),
+                        pools,
+                    },
+                )
+                .unwrap(),
+                other => panic!("expected SyncPools, got {other:?}"),
+            }
+        };
+        // First life: advertise an hp pool, then die straight away — the
+        // stale record must not survive the redial.
+        {
+            let (mut conn, _) = listener.accept().unwrap();
+            handshake(&mut conn, vec!["arch,==/hp".to_string()]);
+            // Dropped: the link is now dead.
+        }
+        // Second life: same domain, DIFFERENT pools; serve delegations
+        // until the entry disconnects.
+        let (mut conn, _) = listener.accept().unwrap();
+        handshake(&mut conn, vec!["arch,==/sgi".to_string()]);
+        while let Ok(Some(frame)) = read_client_frame(&mut conn) {
+            if let ClientFrame::Delegate {
+                corr, ttl, visited, ..
+            } = frame
+            {
+                let mut visited = visited;
+                visited.push("upc".to_string());
+                write_frame(
+                    &mut conn,
+                    &ServerFrame::Delegated {
+                        corr,
+                        outcome: Err(AllocationError::NoneAvailable),
+                        ttl: ttl.saturating_sub(1),
+                        visited,
+                    },
+                )
+                .unwrap();
+            }
+        }
+    });
+
+    let entry = PipelineBuilder::new()
+        .database(homogeneous_db("sun", 20, 52))
+        .build_federated(
+            BackendKind::Embedded,
+            FederationConfig {
+                domain: "purdue".to_string(),
+                ttl: 8,
+                peers: vec![StageAddress::new("127.0.0.1", fake_addr.port())],
+            },
+        )
+        .unwrap();
+
+    // Drive delegable queries until the redial happened and the directory
+    // reflects the peer's SECOND advertisement.  (The first query may
+    // burn on the dying first connection; the link redials on the next.)
+    let mut resynced = false;
+    for _ in 0..20 {
+        let _ = entry.submit_text_wait("punch.rsrc.arch = hp\n");
+        let dir = entry.peer_directory().read();
+        let has_new = dir
+            .instances("arch,==/sgi")
+            .iter()
+            .any(|r| r.manager == "upc");
+        let has_old = dir
+            .instances("arch,==/hp")
+            .iter()
+            .any(|r| r.manager == "upc");
+        if has_new && !has_old {
+            resynced = true;
+            break;
+        }
+        drop(dir);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    assert!(
+        resynced,
+        "after the redial the peer directory must hold the restarted peer's new pools \
+         and none of its stale ones"
+    );
+
+    entry.shutdown().unwrap();
+    fake_peer.join().unwrap();
+}
+
+/// Concurrency smoke over real daemons: many simultaneous delegations to
+/// one peer all settle with that peer's allocations, and the entry's
+/// counters account for every one of them.
+#[test]
+fn concurrent_delegations_to_the_same_peer_all_settle() {
+    let db_a = homogeneous_db("sun", 20, 60);
+    let db_b = homogeneous_db("hp", 40, 61);
+    let (srv_b, fed_b) = spawn_domain("upc", db_b.clone(), vec![], 8);
+    let entry = PipelineBuilder::new()
+        .database(db_a)
+        .build_federated(
+            BackendKind::Embedded,
+            FederationConfig {
+                domain: "purdue".to_string(),
+                ttl: 8,
+                peers: vec![srv_b.local_addr()],
+            },
+        )
+        .unwrap();
+
+    let chains: Vec<_> = (0..8)
+        .map(|_| {
+            let entry = entry.clone();
+            std::thread::spawn(move || entry.submit_text_wait("punch.rsrc.arch = hp\n"))
+        })
+        .collect();
+    let mut allocations = Vec::new();
+    for chain in chains {
+        let outcome = chain.join().unwrap().unwrap();
+        assert!(outcome[0].machine_name.contains("hp"));
+        allocations.extend(outcome);
+    }
+    assert_eq!(active_jobs(&db_b), 8, "all eight claims live in the peer");
+    assert_eq!(entry.stats().delegations_out, 8);
+    assert!(fed_b.stats().delegations_in >= 8);
+    for allocation in &allocations {
+        entry.release(allocation).unwrap();
+    }
+    assert_eq!(active_jobs(&db_b), 0);
+
+    entry.shutdown().unwrap();
+    srv_b.halt();
+    srv_b.join().unwrap();
+}
+
 /// A non-federated daemon answers the federation vocabulary with a
 /// protocol error instead of misbehaving.
 #[test]
