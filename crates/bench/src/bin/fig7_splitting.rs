@@ -1,7 +1,6 @@
 //! Regenerates the `fig7_splitting` series; see EXPERIMENTS.md.
-//! Set `ACTYP_QUICK=1` for a reduced sweep.
+//! Set `ACTYP_QUICK=1` for a reduced sweep; pass `--json` to print the
+//! `BENCH_fig7_splitting.json` artifact instead of the CSV series.
 fn main() {
-    let scale = actyp_bench::Scale::from_env();
-    let series = actyp_bench::fig7_splitting(&scale);
-    print!("{}", series.to_csv());
+    actyp_bench::harness::figure_main("fig7_splitting");
 }

@@ -1,7 +1,6 @@
 //! Regenerates the `fig9_cputime_dist` series; see EXPERIMENTS.md.
-//! Set `ACTYP_QUICK=1` for a reduced sweep.
+//! Set `ACTYP_QUICK=1` for a reduced sweep; pass `--json` to print the
+//! `BENCH_fig9_cputime_dist.json` artifact instead of the CSV series.
 fn main() {
-    let scale = actyp_bench::Scale::from_env();
-    let series = actyp_bench::fig9_cputime_dist(&scale);
-    print!("{}", series.to_csv());
+    actyp_bench::harness::figure_main("fig9_cputime_dist");
 }

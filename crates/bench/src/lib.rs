@@ -11,11 +11,14 @@
 //! code can run in CI and in unit tests.
 
 use actyp_grid::{FleetSpec, SyntheticFleet};
-use actyp_pipeline::sim::{ExperimentConfig, PoolTopology, SimulatedPipeline};
+use actyp_pipeline::sim::{ExperimentConfig, ExperimentResult, PoolTopology, SimulatedPipeline};
 use actyp_pipeline::{BackendKind, PipelineBuilder, ResourceManager, SchedulingObjective};
 use actyp_query::{Constraint, Query, QueryKey};
 use actyp_simnet::{LinkProfile, NetworkModel, Rng};
 use actyp_workload::CpuTimeDistribution;
+
+pub mod harness;
+pub mod json;
 
 /// A figure series: an x axis and one or more named y columns.
 #[derive(Debug, Clone)]
@@ -118,17 +121,47 @@ fn experiment(
     }
 }
 
-fn pools_sweep(scale: &Scale, network: NetworkModel, link: LinkProfile) -> FigureSeries {
+/// Full measurements of a figure sweep: one [`ExperimentResult`] per
+/// `(x, column)` cell.  The CSV series of the figure binaries (means, via
+/// [`FigureRuns::series`]) and the tracked `BENCH_*.json` artifacts
+/// (throughput plus latency percentiles, via [`harness`]) both derive from
+/// the same runs, so the two outputs can never disagree.
+#[derive(Debug)]
+pub struct FigureRuns {
+    /// Name of the x axis.
+    pub x_name: String,
+    /// Names of the columns (one per curve).
+    pub columns: Vec<String>,
+    /// Rows: `(x, one result per column)`.
+    pub cells: Vec<(f64, Vec<ExperimentResult>)>,
+}
+
+impl FigureRuns {
+    /// The mean-response series the paper's figures plot.
+    pub fn series(&self) -> FigureSeries {
+        FigureSeries {
+            x_name: self.x_name.clone(),
+            columns: self.columns.clone(),
+            rows: self
+                .cells
+                .iter()
+                .map(|(x, results)| (*x, results.iter().map(|r| r.mean_response()).collect()))
+                .collect(),
+        }
+    }
+}
+
+fn pools_runs(scale: &Scale, network: NetworkModel, link: LinkProfile) -> FigureRuns {
     let columns: Vec<String> = scale
         .client_counts
         .iter()
         .map(|c| format!("clients={c}"))
         .collect();
-    let rows = scale
+    let cells = scale
         .pool_counts
         .iter()
         .map(|&pools| {
-            let ys = scale
+            let results = scale
                 .client_counts
                 .iter()
                 .map(|&clients| {
@@ -140,42 +173,50 @@ fn pools_sweep(scale: &Scale, network: NetworkModel, link: LinkProfile) -> Figur
                         link,
                     ))
                     .run()
-                    .mean_response()
                 })
                 .collect();
-            (pools as f64, ys)
+            (pools as f64, results)
         })
         .collect();
-    FigureSeries {
+    FigureRuns {
         x_name: "pools".to_string(),
         columns,
-        rows,
+        cells,
     }
+}
+
+/// Figure 4 (full measurements): effect of the number of pools, LAN.
+pub fn fig4_runs(scale: &Scale) -> FigureRuns {
+    pools_runs(scale, NetworkModel::lan(), LinkProfile::Lan)
+}
+
+/// Figure 5 (full measurements): the same sweep, WAN configuration.
+pub fn fig5_runs(scale: &Scale) -> FigureRuns {
+    pools_runs(scale, NetworkModel::wan(), LinkProfile::Wan)
 }
 
 /// Figure 4: effect of the number of pools on response time, LAN
 /// configuration.  3,200 machines uniformly distributed across pools,
 /// queries striped randomly across pools, closed-loop clients.
 pub fn fig4_pools_lan(scale: &Scale) -> FigureSeries {
-    pools_sweep(scale, NetworkModel::lan(), LinkProfile::Lan)
+    fig4_runs(scale).series()
 }
 
 /// Figure 5: the same sweep in the WAN configuration (clients reach the
 /// service over a trans-Atlantic link).
 pub fn fig5_pools_wan(scale: &Scale) -> FigureSeries {
-    pools_sweep(scale, NetworkModel::wan(), LinkProfile::Wan)
+    fig5_runs(scale).series()
 }
 
-/// Figure 6: response time as a function of the number of clients for
-/// growing pool sizes (single pool, linear-search scheduler).
-pub fn fig6_pool_size(scale: &Scale) -> FigureSeries {
+/// Figure 6 (full measurements): clients versus pool size.
+pub fn fig6_runs(scale: &Scale) -> FigureRuns {
     let sizes = [scale.machines / 4, scale.machines / 2, scale.machines];
     let columns: Vec<String> = sizes.iter().map(|s| format!("machines={s}")).collect();
-    let rows = scale
+    let cells = scale
         .client_counts
         .iter()
         .map(|&clients| {
-            let ys = sizes
+            let results = sizes
                 .iter()
                 .map(|&machines| {
                     let mut cfg = experiment(
@@ -186,32 +227,37 @@ pub fn fig6_pool_size(scale: &Scale) -> FigureSeries {
                         LinkProfile::Lan,
                     );
                     cfg.machines = machines.max(1);
-                    SimulatedPipeline::new(cfg).run().mean_response()
+                    SimulatedPipeline::new(cfg).run()
                 })
                 .collect();
-            (clients as f64, ys)
+            (clients as f64, results)
         })
         .collect();
-    FigureSeries {
+    FigureRuns {
         x_name: "clients".to_string(),
         columns,
-        rows,
+        cells,
     }
 }
 
-/// Figure 7: effect of splitting a 3,200-machine pool into two pools of
-/// 1,600 and four pools of 800, searched concurrently.
-pub fn fig7_splitting(scale: &Scale) -> FigureSeries {
+/// Figure 6: response time as a function of the number of clients for
+/// growing pool sizes (single pool, linear-search scheduler).
+pub fn fig6_pool_size(scale: &Scale) -> FigureSeries {
+    fig6_runs(scale).series()
+}
+
+/// Figure 7 (full measurements): splitting one pool into parts.
+pub fn fig7_runs(scale: &Scale) -> FigureRuns {
     let variants: [(usize, &str); 3] = [(1, "1x whole"), (2, "2x halves"), (4, "4x quarters")];
     let columns: Vec<String> = variants
         .iter()
         .map(|(_, label)| label.to_string())
         .collect();
-    let rows = scale
+    let cells = scale
         .client_counts
         .iter()
         .map(|&clients| {
-            let ys = variants
+            let results = variants
                 .iter()
                 .map(|&(parts, _)| {
                     let topology = if parts == 1 {
@@ -227,32 +273,36 @@ pub fn fig7_splitting(scale: &Scale) -> FigureSeries {
                         LinkProfile::Lan,
                     ))
                     .run()
-                    .mean_response()
                 })
                 .collect();
-            (clients as f64, ys)
+            (clients as f64, results)
         })
         .collect();
-    FigureSeries {
+    FigureRuns {
         x_name: "clients".to_string(),
         columns,
-        rows,
+        cells,
     }
 }
 
-/// Figure 8: effect of replicating the pool (1, 2 and 4 concurrent
-/// scheduling processes over the same machine set, instance-specific bias).
-pub fn fig8_replication(scale: &Scale) -> FigureSeries {
+/// Figure 7: effect of splitting a 3,200-machine pool into two pools of
+/// 1,600 and four pools of 800, searched concurrently.
+pub fn fig7_splitting(scale: &Scale) -> FigureSeries {
+    fig7_runs(scale).series()
+}
+
+/// Figure 8 (full measurements): replicated scheduling processes.
+pub fn fig8_runs(scale: &Scale) -> FigureRuns {
     let replica_counts = [1usize, 2, 4];
     let columns: Vec<String> = replica_counts
         .iter()
         .map(|r| format!("processes={r}"))
         .collect();
-    let rows = scale
+    let cells = scale
         .client_counts
         .iter()
         .map(|&clients| {
-            let ys = replica_counts
+            let results = replica_counts
                 .iter()
                 .map(|&replicas| {
                     SimulatedPipeline::new(experiment(
@@ -263,17 +313,22 @@ pub fn fig8_replication(scale: &Scale) -> FigureSeries {
                         LinkProfile::Lan,
                     ))
                     .run()
-                    .mean_response()
                 })
                 .collect();
-            (clients as f64, ys)
+            (clients as f64, results)
         })
         .collect();
-    FigureSeries {
+    FigureRuns {
         x_name: "clients".to_string(),
         columns,
-        rows,
+        cells,
     }
+}
+
+/// Figure 8: effect of replicating the pool (1, 2 and 4 concurrent
+/// scheduling processes over the same machine set, instance-specific bias).
+pub fn fig8_replication(scale: &Scale) -> FigureSeries {
+    fig8_runs(scale).series()
 }
 
 /// Figure 9: distribution of CPU times of PUNCH runs — one-second bins over

@@ -398,6 +398,26 @@ impl Window {
         *permits -= 1;
     }
 
+    /// Acquires a permit, giving up at `deadline`.  Returns whether a
+    /// permit was taken — the deadline-bounded backpressure batch
+    /// submission applies instead of blocking indefinitely.
+    fn acquire_deadline(&self, deadline: Instant) -> bool {
+        let mut permits = self.permits.lock().expect("window lock");
+        while *permits == 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timeout) = self
+                .available
+                .wait_timeout(permits, deadline - now)
+                .expect("window lock");
+            permits = guard;
+        }
+        *permits -= 1;
+        true
+    }
+
     fn release(&self) {
         *self.permits.lock().expect("window lock") += 1;
         self.available.notify_one();
@@ -479,18 +499,47 @@ pub struct LiveBackend {
     next: AtomicU64,
     pending: Mutex<HashMap<u64, crossbeam::channel::Receiver<QueryOutcome>>>,
     window: Window,
+    batch_deadline: Duration,
     examined: AtomicU64,
 }
 
 impl LiveBackend {
-    fn new(pipeline: LivePipeline, window: usize) -> Self {
+    fn new(pipeline: LivePipeline, window: usize, batch_deadline: Duration) -> Self {
         LiveBackend {
             pipeline,
             brand: next_backend_brand(),
             next: AtomicU64::new(0),
             pending: Mutex::new(HashMap::new()),
             window: Window::new(window),
+            batch_deadline,
             examined: AtomicU64::new(0),
+        }
+    }
+
+    /// One deadline-bounded batch submission step: waits for a window
+    /// permit until `deadline`, then launches the query.
+    fn submit_until(&self, query: Query, deadline: Instant) -> Result<Ticket, AllocationError> {
+        if !self.window.acquire_deadline(deadline) {
+            return Err(AllocationError::Internal(format!(
+                "batch backpressure deadline of {:?} elapsed with the in-flight \
+                 window of {} still full; redeem outstanding tickets, raise \
+                 PipelineBuilder::window, or raise PipelineBuilder::batch_deadline",
+                self.batch_deadline, self.window.capacity
+            )));
+        }
+        match self.pipeline.submit_async(query) {
+            Ok(rx) => {
+                let id = self.next.fetch_add(1, Ordering::Relaxed);
+                self.pending.lock().insert(id, rx);
+                Ok(Ticket {
+                    brand: self.brand,
+                    id,
+                })
+            }
+            Err(e) => {
+                self.window.release();
+                Err(e)
+            }
         }
     }
 
@@ -528,24 +577,35 @@ impl ResourceManager for LiveBackend {
         }
     }
 
-    /// A batch that cannot fit in the in-flight window alongside the
-    /// tickets already outstanding is rejected up front: a single-threaded
-    /// client could otherwise block forever in the middle of the batch,
-    /// holding tickets it can never redeem.  (With concurrent submitters
-    /// the check is best-effort — another thread redeeming tickets will
-    /// unblock an over-admitted batch.)
+    /// Deadline-bounded backpressure: a batch larger than the free window
+    /// waits up to [`PipelineBuilder::batch_deadline`] for permits freed by
+    /// concurrent redeemers instead of being rejected outright (and instead
+    /// of blocking a single-threaded client forever mid-batch, holding
+    /// tickets it can never redeem).  On deadline expiry the tickets
+    /// already issued for the batch are settled internally and their
+    /// allocations released — no window permit or machine claim leaks —
+    /// and the error reports the window state.  Federated daemons forward
+    /// their batches here unchanged, so both daemon modes share these
+    /// semantics.
     fn submit_batch(&self, queries: Vec<Query>) -> Result<Vec<Ticket>, AllocationError> {
-        let requested = queries.len();
-        let in_flight = self.pending.lock().len();
-        if requested + in_flight > self.window.capacity {
-            return Err(AllocationError::Internal(format!(
-                "batch of {requested} with {in_flight} tickets already in flight exceeds \
-                 the in-flight window of {}; redeem tickets first or raise \
-                 PipelineBuilder::window",
-                self.window.capacity
-            )));
+        let deadline = Instant::now() + self.batch_deadline;
+        let mut tickets = Vec::with_capacity(queries.len());
+        for query in queries {
+            match self.submit_until(query, deadline) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(e) => {
+                    for ticket in tickets {
+                        if let Ok(allocations) = self.wait(ticket) {
+                            for a in &allocations {
+                                let _ = self.release(a);
+                            }
+                        }
+                    }
+                    return Err(e);
+                }
+            }
         }
-        submit_batch_cancelling(self, queries)
+        Ok(tickets)
     }
 
     fn wait(&self, ticket: Ticket) -> QueryOutcome {
@@ -874,6 +934,7 @@ impl<D: BaselineDispatcher> ResourceManager for BaselineBackend<D> {
 pub struct PipelineBuilder {
     config: PipelineConfig,
     window: usize,
+    batch_deadline: Duration,
     database: Option<SharedDatabase>,
     domains: Vec<(String, SharedDatabase)>,
     server: ServerConfig,
@@ -892,6 +953,7 @@ impl PipelineBuilder {
         PipelineBuilder {
             config: PipelineConfig::default(),
             window: 32,
+            batch_deadline: Duration::from_secs(30),
             database: None,
             domains: Vec::new(),
             server: ServerConfig::default(),
@@ -984,6 +1046,15 @@ impl PipelineBuilder {
         self
     }
 
+    /// How long a live-backend batch submission may wait for in-flight
+    /// window permits before giving up (deadline-bounded backpressure;
+    /// default 30 s).  Both the plain and the federated daemon apply this
+    /// bound to over-window `SubmitBatch` requests.
+    pub fn batch_deadline(mut self, deadline: Duration) -> Self {
+        self.batch_deadline = deadline;
+        self
+    }
+
     /// How a served daemon drives session I/O: the event-driven reactor
     /// (default) or the legacy thread per session.  Only affects
     /// [`PipelineBuilder::serve`] / [`PipelineBuilder::serve_federated`].
@@ -1071,10 +1142,12 @@ impl PipelineBuilder {
 
     /// Builds the live (threaded) backend.
     pub fn build_live(self) -> Result<LiveBackend, AllocationError> {
+        let batch_deadline = self.batch_deadline;
         let (config, window, domains) = self.take_domains()?;
         Ok(LiveBackend::new(
             LivePipeline::start_federated(config, domains),
             window,
+            batch_deadline,
         ))
     }
 
@@ -1343,16 +1416,63 @@ mod tests {
     }
 
     #[test]
-    fn oversized_live_batches_are_rejected_not_deadlocked() {
-        let manager = builder(300, 22).window(2).build_live().unwrap();
+    fn oversized_live_batches_fail_after_the_deadline_not_deadlock() {
+        let manager = builder(300, 22)
+            .window(2)
+            .batch_deadline(Duration::from_millis(100))
+            .build_live()
+            .unwrap();
+        // No concurrent redeemer: the over-window batch waits out the
+        // deadline, settles what it issued, and reports the window state.
+        let started = Instant::now();
         let err = manager
             .submit_batch(vec![Query::paper_example(); 3])
             .unwrap_err();
         assert!(matches!(err, AllocationError::Internal(_)));
-        // A batch that fits goes through.
+        assert!(
+            started.elapsed() >= Duration::from_millis(100),
+            "the batch must backpressure until the deadline, not reject outright"
+        );
+        // Nothing leaked: a batch that fits still goes through afterwards.
         let tickets = manager
             .submit_batch(vec![Query::paper_example(); 2])
             .unwrap();
+        for ticket in tickets {
+            let allocations = manager.wait(ticket).unwrap();
+            manager.release(&allocations[0]).unwrap();
+        }
+        manager.shutdown().unwrap();
+    }
+
+    #[test]
+    fn oversized_live_batch_completes_when_a_redeemer_frees_the_window() {
+        let manager = std::sync::Arc::new(
+            builder(300, 26)
+                .window(2)
+                .batch_deadline(Duration::from_secs(10))
+                .build_live()
+                .unwrap(),
+        );
+        // Fill the window, then submit an over-window batch while another
+        // thread redeems the blockers: the batch must ride the freed
+        // permits instead of failing.
+        let blockers = manager
+            .submit_batch(vec![Query::paper_example(); 2])
+            .unwrap();
+        let redeemer = {
+            let manager = manager.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                for ticket in blockers {
+                    let allocations = manager.wait(ticket).unwrap();
+                    manager.release(&allocations[0]).unwrap();
+                }
+            })
+        };
+        let tickets = manager
+            .submit_batch(vec![Query::paper_example(); 2])
+            .unwrap();
+        redeemer.join().unwrap();
         for ticket in tickets {
             let allocations = manager.wait(ticket).unwrap();
             manager.release(&allocations[0]).unwrap();

@@ -1054,6 +1054,30 @@ impl ResourceManager for FederatedBackend {
         Ok(Ticket::from_parts(self.brand, id))
     }
 
+    /// Batches forward to the inner backend's own batch submission, so an
+    /// over-window batch gets the same deadline-bounded backpressure on a
+    /// federated daemon as on a plain one (the default per-query path
+    /// would block in the window with no bound).  Every issued ticket
+    /// still records its query text for later delegation.
+    fn submit_batch(
+        &self,
+        queries: Vec<actyp_query::Query>,
+    ) -> Result<Vec<Ticket>, AllocationError> {
+        let rendered: Vec<String> = queries.iter().map(|q| q.to_string()).collect();
+        let inner = self.inner.submit_batch(queries)?;
+        Ok(inner
+            .into_iter()
+            .zip(rendered)
+            .map(|(inner, query)| {
+                let id = self.next.fetch_add(1, Ordering::Relaxed);
+                self.tickets
+                    .lock()
+                    .insert(id, PendingTicket { inner, query });
+                Ticket::from_parts(self.brand, id)
+            })
+            .collect())
+    }
+
     fn wait(&self, ticket: Ticket) -> QueryOutcome {
         let pending = self.take_ticket(ticket)?;
         let outcome = self.inner.wait(pending.inner);

@@ -48,7 +48,8 @@ use std::process::ExitCode;
 
 use actyp_grid::{FleetSpec, SyntheticFleet};
 use actyp_pipeline::{
-    BackendKind, FederationConfig, PipelineBuilder, PollerKind, SessionMode, StageAddress,
+    BackendKind, FederationConfig, PipelineBuilder, PollerKind, ResourceManager, SessionMode,
+    StageAddress,
 };
 
 const USAGE: &str = "\
@@ -76,7 +77,10 @@ usage: ypd [--listen HOST:PORT] [--backend KIND] [--machines N] [--seed N]
                        (default: $ACTYP_YPD_DOMAIN; required with --peer)
   --peer HOST:PORT     peer daemon to delegate unsatisfiable queries to
                        (repeatable; default: $ACTYP_YPD_PEERS, comma separated)
-  --ttl N              delegation time-to-live granted to queries (default: 8)";
+  --ttl N              delegation time-to-live granted to queries (default: 8)
+  --stats-interval N   print a machine-readable stats line every N seconds
+                       (the line load generators and the bench harness scrape;
+                       0 disables, the default)";
 
 #[derive(Debug, PartialEq)]
 struct Config {
@@ -95,6 +99,7 @@ struct Config {
     domain: Option<String>,
     peers: Vec<StageAddress>,
     ttl: u32,
+    stats_interval: u64,
 }
 
 impl Default for Config {
@@ -115,6 +120,7 @@ impl Default for Config {
             domain: None,
             peers: Vec::new(),
             ttl: 8,
+            stats_interval: 0,
         }
     }
 }
@@ -253,6 +259,12 @@ fn parse_args(
                     .parse()
                     .map_err(|_| format!("--ttl: invalid hop count `{raw}`"))?;
             }
+            "--stats-interval" => {
+                let raw = value("--stats-interval")?;
+                config.stats_interval = raw
+                    .parse()
+                    .map_err(|_| format!("--stats-interval: invalid seconds `{raw}`"))?;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -353,6 +365,10 @@ fn main() -> ExitCode {
         ),
     }
 
+    if config.stats_interval > 0 {
+        spawn_stats_reporter(server.local_addr(), config.stats_interval);
+    }
+
     match server.join() {
         Ok(()) => {
             println!("ypd: drained cleanly");
@@ -363,6 +379,44 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Periodically prints the daemon's lifetime counters as one
+/// machine-readable line, by polling its own wire endpoint the way any
+/// client would (so the numbers are exactly what a remote observer sees,
+/// and no side channel into the backend is needed).  The reporter ends
+/// with the daemon: once the drain closes its connection the thread exits.
+fn spawn_stats_reporter(addr: StageAddress, interval_secs: u64) {
+    std::thread::spawn(move || {
+        let backend = match PipelineBuilder::remote(&addr) {
+            Ok(backend) => backend,
+            Err(e) => {
+                eprintln!("ypd: stats reporter could not connect: {e}");
+                return;
+            }
+        };
+        let interval = std::time::Duration::from_secs(interval_secs);
+        loop {
+            std::thread::sleep(interval);
+            let stats = backend.stats();
+            println!(
+                "ypd: stats requests={} fragments={} allocations={} failures={} \
+                 delegations={} forwards={} delegations_out={} delegations_in={} \
+                 releases={} records_examined={} in_flight={}",
+                stats.requests,
+                stats.fragments,
+                stats.allocations,
+                stats.failures,
+                stats.delegations,
+                stats.forwards,
+                stats.delegations_out,
+                stats.delegations_in,
+                stats.releases,
+                stats.records_examined,
+                stats.in_flight
+            );
+        }
+    });
 }
 
 #[cfg(test)]
@@ -526,6 +580,16 @@ mod tests {
         assert!(parse_args(args(&[]), env)
             .unwrap_err()
             .contains("ACTYP_YPD_WORKERS"));
+    }
+
+    #[test]
+    fn stats_interval_parses_and_rejects_garbage() {
+        let config = parse_args(args(&["--stats-interval", "30"]), no_env()).unwrap();
+        assert_eq!(config.stats_interval, 30);
+        assert_eq!(Config::default().stats_interval, 0, "disabled by default");
+        assert!(parse_args(args(&["--stats-interval", "soon"]), no_env())
+            .unwrap_err()
+            .contains("invalid seconds"));
     }
 
     #[test]

@@ -856,3 +856,57 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn over_window_batches_backpressure_with_a_deadline_on_a_federated_daemon() {
+    // The federated daemon used to diverge from the plain one here: its
+    // batch path fell through to per-query submission, which blocks in the
+    // live window with no bound.  Both modes now share the inner backend's
+    // deadline-bounded backpressure (plain-daemon half of this regression
+    // pair lives in tests/remote_backend.rs).
+    let deadline = std::time::Duration::from_millis(150);
+    let (server, _backend) = PipelineBuilder::new()
+        .database(homogeneous_db("sun", 300, 42))
+        .window(2)
+        .batch_deadline(deadline)
+        .serve_federated(
+            &StageAddress::new("127.0.0.1", 0),
+            BackendKind::Live,
+            FederationConfig {
+                domain: "solo".to_string(),
+                ttl: 4,
+                peers: Vec::new(),
+            },
+        )
+        .expect("federated daemon starts");
+    let remote = RemoteBackend::connect(&server.local_addr()).expect("connect");
+    let query = actyp_query::parse_query("punch.rsrc.arch = sun\n").unwrap();
+
+    let started = std::time::Instant::now();
+    let err = remote.submit_batch(vec![query.clone(); 4]).unwrap_err();
+    match &err {
+        AllocationError::Internal(message) => {
+            assert!(
+                message.contains("backpressure"),
+                "unexpected error: {message}"
+            )
+        }
+        other => panic!("expected deadline-bounded backpressure failure, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() >= deadline,
+        "the federated daemon must backpressure until the deadline, not block unboundedly"
+    );
+
+    // The batch path still issues delegable tickets: a fitting batch
+    // settles, and nothing leaked in the window.
+    let tickets = remote.submit_batch(vec![query; 2]).unwrap();
+    for ticket in tickets {
+        let allocations = remote.wait(ticket).unwrap();
+        remote.release(&allocations[0]).unwrap();
+    }
+
+    remote.halt_daemon().unwrap();
+    remote.shutdown().unwrap();
+    server.join().expect("daemon drains");
+}

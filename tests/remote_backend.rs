@@ -203,3 +203,51 @@ fn two_remote_clients_hit_the_same_daemon() {
     second.shutdown().unwrap();
     server.join().unwrap();
 }
+
+#[test]
+fn over_window_batches_backpressure_with_a_deadline_on_a_plain_daemon() {
+    // Both daemon modes (plain here, federated in tests/federation.rs)
+    // must apply the same deadline-bounded backpressure to an over-window
+    // SubmitBatch instead of rejecting it outright.
+    let deadline = std::time::Duration::from_millis(150);
+    let server = builder(300, 41)
+        .window(2)
+        .batch_deadline(deadline)
+        .serve(&loopback(), BackendKind::Live)
+        .expect("loopback ypd starts");
+    let remote = PipelineBuilder::remote(&server.local_addr()).expect("connect");
+
+    // Over-window batch, no concurrent redeemer: the daemon holds the
+    // batch until the deadline, settles what it issued, and reports the
+    // window state instead of rejecting up front or deadlocking.
+    let started = std::time::Instant::now();
+    let err = remote
+        .submit_batch(vec![Query::paper_example(); 4])
+        .unwrap_err();
+    match &err {
+        AllocationError::Internal(message) => {
+            assert!(
+                message.contains("backpressure"),
+                "unexpected error: {message}"
+            )
+        }
+        other => panic!("expected deadline-bounded backpressure failure, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() >= deadline,
+        "the daemon must backpressure until the deadline, not reject outright"
+    );
+
+    // Nothing leaked server-side: a batch that fits still settles.
+    let tickets = remote
+        .submit_batch(vec![Query::paper_example(); 2])
+        .unwrap();
+    for ticket in tickets {
+        let allocations = remote.wait(ticket).unwrap();
+        remote.release(&allocations[0]).unwrap();
+    }
+
+    server.halt();
+    remote.shutdown().unwrap();
+    server.join().expect("daemon drains");
+}
