@@ -256,6 +256,7 @@ fn bench_federated_delegation(c: &mut Criterion) {
                     domain: domain.to_string(),
                     ttl: 8,
                     peers,
+                    ..FederationConfig::default()
                 },
             )
             .expect("federated loopback ypd starts")

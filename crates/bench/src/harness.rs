@@ -32,10 +32,10 @@ use std::time::{Duration, Instant};
 
 use actyp_grid::{FleetSpec, SyntheticFleet};
 use actyp_pipeline::{
-    BackendKind, PipelineBuilder, RemoteBackend, ResourceManager, ServerConfig, ServerHandle,
-    SessionMode, StageAddress,
+    BackendKind, FederatedBackend, FederationConfig, PipelineBuilder, RemoteBackend,
+    ResourceManager, ServerConfig, ServerHandle, SessionMode, StageAddress,
 };
-use actyp_simnet::Rng;
+use actyp_simnet::{Rng, SampleSet};
 use actyp_workload::CpuTimeDistribution;
 
 use crate::json::{self, Json};
@@ -56,6 +56,7 @@ pub const TOPICS: &[&str] = &[
     "saturation_pipelining",
     "saturation_idle",
     "saturation_backends",
+    "routing",
 ];
 
 /// How a topic's numbers were obtained, which decides how [`compare`]
@@ -663,6 +664,156 @@ fn saturation_backends(scale: &Scale) -> Result<BenchArtifact, String> {
     ))
 }
 
+/// WAN routing sweep: hops-to-first-allocation and delegation latency
+/// for a query only one of the entry daemon's three peers can satisfy,
+/// under three regimes of the learned routing plane.
+///
+/// * `cache-off` — the route cache is disabled and everything the entry
+///   learned about the satisfying domain is forgotten between queries
+///   (via [`FederatedBackend::retire_domain`]): every query is the
+///   paper's baseline TTL-bounded chain walk through both decoys.
+/// * `cache-on-cold` — the cache is enabled but the learned state is
+///   likewise dropped between queries: the walk pays the same hops,
+///   measuring that the learning itself costs nothing.
+/// * `cache-on-warm` — state is kept: every repeat query rides the
+///   learned route straight to the satisfying domain in one hop.
+///
+/// The peers are real daemons on loopback; the periodic gossip tick is
+/// off so the regimes differ only in the learned state under test.
+fn routing(scale: &Scale) -> Result<BenchArtifact, String> {
+    let iterations = if scale_label(scale) == "quick" {
+        30
+    } else {
+        200
+    };
+    const QUERY: &str = "punch.rsrc.arch = hp\n";
+    const TARGET: &str = "upc";
+
+    let spawn_peer = |domain: &str, arch: &str, seed: u64| {
+        PipelineBuilder::new()
+            .database(
+                SyntheticFleet::new(FleetSpec::homogeneous(64, arch, 512), seed)
+                    .generate()
+                    .into_shared(),
+            )
+            .ttl(8)
+            .serve_federated(
+                &StageAddress::new("127.0.0.1", 0),
+                BackendKind::Embedded,
+                FederationConfig {
+                    domain: domain.to_string(),
+                    ttl: 8,
+                    peers: Vec::new(),
+                    gossip_interval: Duration::ZERO,
+                    ..FederationConfig::default()
+                },
+            )
+            .map(|(handle, _)| handle)
+            .map_err(|e| format!("peer {domain}: {e}"))
+    };
+    // Two sun-only decoys ahead of the hp target in link order, so the
+    // unlearned walk burns two hops before the satisfying domain.
+    let decoy_a = spawn_peer("decoy-a", "sun", 0xB1)?;
+    let decoy_b = spawn_peer("decoy-b", "sun", 0xB2)?;
+    let target = spawn_peer(TARGET, "hp", 0xB3)?;
+
+    let entry = |route_cache: bool| {
+        PipelineBuilder::new()
+            .database(
+                SyntheticFleet::new(FleetSpec::homogeneous(64, "sun", 512), 0xB0)
+                    .generate()
+                    .into_shared(),
+            )
+            .ttl(8)
+            .build_federated(
+                BackendKind::Embedded,
+                FederationConfig {
+                    domain: "purdue".to_string(),
+                    ttl: 8,
+                    peers: vec![
+                        decoy_a.local_addr(),
+                        decoy_b.local_addr(),
+                        target.local_addr(),
+                    ],
+                    gossip_interval: Duration::ZERO,
+                    route_cache,
+                },
+            )
+            .map_err(|e| format!("entry daemon: {e}"))
+    };
+
+    let measure = |fed: &FederatedBackend, series: &str, forget: bool| {
+        // Prime outside the measurement: dials the links, creates the hp
+        // pool on the target, and (when keeping state) learns the route.
+        let primed = fed
+            .submit_text_wait(QUERY)
+            .map_err(|e| format!("{series} prime: {e}"))?;
+        fed.release(&primed[0])
+            .map_err(|e| format!("{series} prime release: {e}"))?;
+        if forget {
+            fed.retire_domain(TARGET);
+        }
+        let mut latencies = SampleSet::new();
+        let mut hops_total = 0u64;
+        let started = Instant::now();
+        for _ in 0..iterations {
+            let submitted = Instant::now();
+            let allocations = fed
+                .submit_text_wait(QUERY)
+                .map_err(|e| format!("{series}: {e}"))?;
+            latencies.record(submitted.elapsed().as_secs_f64());
+            let chain = fed
+                .last_chain()
+                .ok_or_else(|| format!("{series}: no chain recorded"))?;
+            hops_total += chain.visited.len().saturating_sub(1) as u64;
+            fed.release(&allocations[0])
+                .map_err(|e| format!("{series} release: {e}"))?;
+            if forget {
+                fed.retire_domain(TARGET);
+            }
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        Ok::<BenchPoint, String>(BenchPoint {
+            series: series.to_string(),
+            x: hops_total as f64 / iterations as f64,
+            throughput: if elapsed > 0.0 {
+                iterations as f64 / elapsed
+            } else {
+                0.0
+            },
+            mean: latencies.mean(),
+            p50: latencies.quantile(0.50),
+            p95: latencies.quantile(0.95),
+            p99: latencies.quantile(0.99),
+        })
+    };
+
+    let mut points = Vec::new();
+    let off = entry(false)?;
+    points.push(measure(&off, "cache-off", true)?);
+    off.shutdown()
+        .map_err(|e| format!("cache-off drain: {e}"))?;
+    let cold = entry(true)?;
+    points.push(measure(&cold, "cache-on-cold", true)?);
+    cold.shutdown()
+        .map_err(|e| format!("cache-on-cold drain: {e}"))?;
+    let warm = entry(true)?;
+    points.push(measure(&warm, "cache-on-warm", false)?);
+    warm.shutdown()
+        .map_err(|e| format!("cache-on-warm drain: {e}"))?;
+
+    for peer in [decoy_a, decoy_b, target] {
+        peer.halt();
+        peer.join().map_err(|e| format!("peer drain: {e}"))?;
+    }
+    Ok(measured_artifact(
+        "routing",
+        scale,
+        "hops_to_first_allocation",
+        points,
+    ))
+}
+
 /// Runs one topic to its artifact.  Unknown topics are an `Err`, so CLI
 /// typos fail loudly instead of silently emitting nothing.
 pub fn run_topic(topic: &str, scale: &Scale) -> Result<BenchArtifact, String> {
@@ -676,6 +827,7 @@ pub fn run_topic(topic: &str, scale: &Scale) -> Result<BenchArtifact, String> {
         "saturation_pipelining" => saturation_pipelining(scale),
         "saturation_idle" => saturation_idle(scale),
         "saturation_backends" => saturation_backends(scale),
+        "routing" => routing(scale),
         other => Err(format!(
             "unknown topic `{other}` (expected one of: {})",
             TOPICS.join(", ")

@@ -177,6 +177,11 @@ fn snapshot_from_engine(
         releases: stats.releases,
         records_examined,
         in_flight,
+        gossip_deltas_in: 0,
+        gossip_deltas_out: 0,
+        route_hits: 0,
+        route_misses: 0,
+        peer_redials: 0,
     }
 }
 
@@ -917,6 +922,11 @@ impl<D: BaselineDispatcher> ResourceManager for BaselineBackend<D> {
             releases: self.releases.load(Ordering::Relaxed),
             records_examined: self.dispatcher.lock().records_examined(),
             in_flight: self.tickets.len(),
+            gossip_deltas_in: 0,
+            gossip_deltas_out: 0,
+            route_hits: 0,
+            route_misses: 0,
+            peer_redials: 0,
         }
     }
 

@@ -33,6 +33,7 @@ pub struct PoolInstanceRecord {
 pub struct LocalDirectoryService {
     pools: BTreeMap<String, Vec<PoolInstanceRecord>>,
     pool_managers: Vec<String>,
+    generation: u64,
 }
 
 /// Shared handle to a directory.
@@ -66,10 +67,14 @@ impl LocalDirectoryService {
         let before = self.pool_managers.len();
         self.pool_managers.retain(|m| m != name);
         let removed = self.pool_managers.len() != before;
+        let instances_before = self.instance_count();
         self.pools.retain(|_, entries| {
             entries.retain(|r| r.manager != name);
             !entries.is_empty()
         });
+        if removed || self.instance_count() != instances_before {
+            self.generation += 1;
+        }
         removed
     }
 
@@ -88,6 +93,7 @@ impl LocalDirectoryService {
         } else {
             entry.push(record);
         }
+        self.generation += 1;
     }
 
     /// Removes a pool instance (pool destroyed or its host failed).
@@ -99,6 +105,9 @@ impl LocalDirectoryService {
                 let removed = entries.len() != before;
                 if entries.is_empty() {
                     self.pools.remove(pool);
+                }
+                if removed {
+                    self.generation += 1;
                 }
                 removed
             }
@@ -139,6 +148,14 @@ impl LocalDirectoryService {
     /// Iterates over every registered pool name.
     pub fn pool_names(&self) -> impl Iterator<Item = &String> {
         self.pools.keys()
+    }
+
+    /// A counter bumped on every mutation that changes the registered
+    /// pool set.  The gossip plane polls it to decide cheaply whether the
+    /// local advertisement log needs refreshing before a frame ships —
+    /// unchanged generation means no directory diff is needed.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 }
 
@@ -251,6 +268,33 @@ mod tests {
             dir.pool_managers(),
             &["pm-a".to_string(), "pm-b".to_string()]
         );
+    }
+
+    #[test]
+    fn generation_bumps_only_on_pool_set_changes() {
+        let mut dir = LocalDirectoryService::new();
+        let g0 = dir.generation();
+        dir.register_pool(record("p", 0, "pm-a"));
+        let g1 = dir.generation();
+        assert!(g1 > g0);
+
+        // A lookup does not bump it.
+        let _ = dir.instances("p");
+        assert_eq!(dir.generation(), g1);
+
+        // A no-op unregister does not bump it.
+        assert!(!dir.unregister_pool("p", 9));
+        assert_eq!(dir.generation(), g1);
+
+        assert!(dir.unregister_pool("p", 0));
+        assert!(dir.generation() > g1);
+
+        // Dropping a manager that hosted records bumps it too.
+        dir.register_pool_manager("pm-a");
+        dir.register_pool(record("q", 0, "pm-a"));
+        let g2 = dir.generation();
+        dir.unregister_pool_manager("pm-a");
+        assert!(dir.generation() > g2);
     }
 
     #[test]

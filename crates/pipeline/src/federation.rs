@@ -45,14 +45,16 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use actyp_proto::{
-    read_server_frame, write_frame, ClientFrame, RequestId, ServerFrame, MIN_SUPPORTED_VERSION,
-    PROTOCOL_VERSION,
+    read_server_frame, write_frame, AdvertDelta, AdvertVersion, ClientFrame, RequestId,
+    ServerFrame, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 
 use crate::allocation::{Allocation, AllocationError};
 use crate::api::{QueryOutcome, ResourceManager, StatsSnapshot, Ticket};
 use crate::directory::{LocalDirectoryService, PoolInstanceRecord, SharedDirectory};
+use crate::gossip::{GossipEvent, GossipPlane};
 use crate::message::{RoutingState, StageAddress};
+use crate::query_manager::RouteCache;
 
 /// How long to wait for a peer daemon to accept a TCP connection.
 const PEER_CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
@@ -317,6 +319,11 @@ impl MuxConn {
     }
 }
 
+/// What a fresh peer handshake yields: the multiplexed connection, the
+/// pools the peer advertised, and the gossip deltas it piggybacked on
+/// its `PoolsSynced` reply.
+type PeerHandshake = (Arc<MuxConn>, Vec<String>, Vec<AdvertDelta>);
+
 /// A pooled connection to one peer daemon: lazily established, reused
 /// (concurrently — see [`MuxConn`]) across delegations, re-established
 /// after failures.
@@ -343,6 +350,8 @@ struct PeerAdvertisement {
     domain: String,
     pools: Vec<String>,
     previous_domain: Option<String>,
+    /// Advertisement-log deltas piggybacked on the `PoolsSynced` reply.
+    deltas: Vec<AdvertDelta>,
 }
 
 impl PeerLink {
@@ -362,7 +371,8 @@ impl PeerLink {
         &self,
         my_domain: &str,
         my_pools: Vec<String>,
-    ) -> Result<(Arc<MuxConn>, Vec<String>), String> {
+        my_have: Vec<AdvertVersion>,
+    ) -> Result<PeerHandshake, String> {
         let mut addrs = (self.addr.host.as_str(), self.addr.port)
             .to_socket_addrs()
             .map_err(|e| format!("resolve {}: {e}", self.addr))?;
@@ -421,16 +431,24 @@ impl PeerLink {
         let reader = std::thread::spawn(move || run_link_reader(reader_conn, read_stream));
         *conn.reader.lock() = Some(reader);
 
-        // Pool-sync rides the mux like every later request.
+        // Pool-sync rides the mux like every later request.  The `have`
+        // vector tells the peer what this daemon already holds, so its
+        // `PoolsSynced` reply piggybacks exactly the missing deltas.
         let reply = conn.request(|corr| ClientFrame::SyncPools {
             corr,
             domain: my_domain.to_string(),
             pools: my_pools,
+            have: my_have,
         });
         match reply {
-            Ok(ServerFrame::PoolsSynced { domain, pools, .. }) => {
+            Ok(ServerFrame::PoolsSynced {
+                domain,
+                pools,
+                deltas,
+                ..
+            }) => {
                 *conn.domain.lock() = domain;
-                Ok((conn, pools))
+                Ok((conn, pools, deltas))
             }
             Ok(ServerFrame::Error { error, .. }) => {
                 conn.shutdown();
@@ -454,7 +472,7 @@ impl PeerLink {
     fn ensure_conn(
         &self,
         my_domain: &str,
-        my_pools: impl FnOnce() -> Vec<String>,
+        my_sync: impl FnOnce() -> (Vec<String>, Vec<AdvertVersion>),
     ) -> Result<(Arc<MuxConn>, Option<PeerAdvertisement>), String> {
         let mut slot = self.conn.lock();
         if let Some(conn) = &*slot {
@@ -477,7 +495,8 @@ impl PeerLink {
                 ));
             }
         }
-        let (conn, pools) = match self.connect(my_domain, my_pools()) {
+        let (pools, have) = my_sync();
+        let (conn, pools, deltas) = match self.connect(my_domain, pools, have) {
             Ok(established) => established,
             Err(e) => {
                 *self.last_connect_failure.lock() = Some(std::time::Instant::now());
@@ -495,6 +514,7 @@ impl PeerLink {
             domain: learned,
             pools,
             previous_domain,
+            deltas,
         });
         *slot = Some(conn.clone());
         Ok((conn, fresh))
@@ -508,10 +528,10 @@ impl PeerLink {
     fn with_conn<R>(
         &self,
         my_domain: &str,
-        my_pools: impl FnOnce() -> Vec<String>,
+        my_sync: impl FnOnce() -> (Vec<String>, Vec<AdvertVersion>),
         f: impl FnOnce(&MuxConn) -> Result<R, String>,
     ) -> Result<(R, Option<PeerAdvertisement>), String> {
-        let (conn, fresh) = self.ensure_conn(my_domain, my_pools)?;
+        let (conn, fresh) = self.ensure_conn(my_domain, my_sync)?;
         match f(&conn) {
             Ok(value) => Ok((value, fresh)),
             Err(e) => {
@@ -605,6 +625,25 @@ pub struct FederationConfig {
     pub ttl: u32,
     /// Addresses of the peer daemons queries may be delegated to.
     pub peers: Vec<StageAddress>,
+    /// Period of the anti-entropy gossip tick that pushes advertisement
+    /// deltas over idle peer links.  [`Duration::ZERO`] disables the
+    /// tick — deltas then travel only by piggybacking on request traffic.
+    pub gossip_interval: Duration,
+    /// Whether the learned one-hop routing cache is consulted (disabling
+    /// it is the baseline of the routing benchmark).
+    pub route_cache: bool,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            domain: String::new(),
+            ttl: 8,
+            peers: Vec::new(),
+            gossip_interval: Duration::from_secs(1),
+            route_cache: true,
+        }
+    }
 }
 
 /// A ticket issued by the federated wrapper: the inner backend's ticket
@@ -652,6 +691,20 @@ pub struct FederatedBackend {
     /// never collide with outbound link indices — or each other, which
     /// would let one inbound peer's records overwrite another's.
     inbound_instances: Mutex<HashMap<String, u32>>,
+    /// The anti-entropy gossip plane: this domain's advertisement log,
+    /// every origin learned from peers, and what each peer has acked.
+    gossip: GossipPlane,
+    /// The local-directory generation the gossip log last absorbed, so
+    /// `refresh_gossip` is a counter compare in the common (unchanged)
+    /// case.  Starts at a sentinel no real generation takes, forcing the
+    /// first refresh.
+    gossip_generation: AtomicU64,
+    /// The learned one-hop delegation routes (pool → direct peer domain).
+    route_cache: RouteCache,
+    /// Reconnects of previously established peer links — the count the
+    /// gossip smoke test asserts stays zero while deltas keep healthy
+    /// links fresh.
+    peer_redials: AtomicU64,
     delegations_out: AtomicU64,
     delegations_in: AtomicU64,
     /// Routing state after the most recent delegation chain (tests and
@@ -675,6 +728,8 @@ impl FederatedBackend {
             .enumerate()
             .map(|(i, addr)| PeerLink::new(addr.clone(), i as u32))
             .collect();
+        let gossip = GossipPlane::new(&config.domain);
+        let route_cache = RouteCache::new(config.route_cache);
         FederatedBackend {
             inner,
             config,
@@ -686,6 +741,10 @@ impl FederatedBackend {
             local_directory,
             remote_leases: Mutex::new(HashMap::new()),
             inbound_instances: Mutex::new(HashMap::new()),
+            gossip,
+            gossip_generation: AtomicU64::new(u64::MAX),
+            route_cache,
+            peer_redials: AtomicU64::new(0),
             delegations_out: AtomicU64::new(0),
             delegations_in: AtomicU64::new(0),
             last_chain: Mutex::new(None),
@@ -720,6 +779,200 @@ impl FederatedBackend {
             Some(dir) => dir.read().pool_names().cloned().collect(),
             None => Vec::new(),
         }
+    }
+
+    /// The anti-entropy gossip plane (inspection, and the server's gossip
+    /// tick / frame handlers).
+    pub fn gossip(&self) -> &GossipPlane {
+        &self.gossip
+    }
+
+    /// The learned one-hop delegation-route cache.
+    pub fn route_cache(&self) -> &RouteCache {
+        &self.route_cache
+    }
+
+    /// Reconnects of previously established peer links.
+    pub fn peer_redials(&self) -> u64 {
+        self.peer_redials.load(Ordering::Relaxed)
+    }
+
+    /// The configured anti-entropy period ([`Duration::ZERO`] = no tick).
+    pub fn gossip_interval(&self) -> Duration {
+        self.config.gossip_interval
+    }
+
+    /// Brings the own-origin advertisement log up to date with the local
+    /// directory.  A generation compare makes the unchanged case (every
+    /// call between directory mutations) two atomic loads.
+    pub fn refresh_gossip(&self) {
+        let generation = match &self.local_directory {
+            Some(dir) => dir.read().generation(),
+            None => 0,
+        };
+        if self.gossip_generation.swap(generation, Ordering::Relaxed) != generation {
+            self.gossip.refresh_local(&self.local_pools());
+        }
+    }
+
+    /// The payload every outbound handshake carries: this daemon's pool
+    /// advertisements and its gossip version vector.
+    fn sync_payload(&self) -> (Vec<String>, Vec<AdvertVersion>) {
+        self.refresh_gossip();
+        (self.local_pools(), self.gossip.version_vector())
+    }
+
+    /// Applies inbound advertisement deltas (piggybacked or pushed) and
+    /// folds the resulting events into the peer directory and the route
+    /// cache — the same delta that announces a pool's death retires its
+    /// directory record and kills any cached route to it.
+    pub fn apply_gossip_deltas(&self, deltas: &[AdvertDelta]) {
+        for event in self.gossip.apply(deltas) {
+            match event {
+                GossipEvent::PoolUp { origin, pool } => {
+                    self.register_gossiped_pool(&origin, &pool);
+                }
+                GossipEvent::PoolDown { origin, pool } => {
+                    self.route_cache.invalidate_pool(&pool);
+                    let mut dir = self.peer_directory.write();
+                    let instances: Vec<u32> = dir
+                        .instances(&pool)
+                        .iter()
+                        .filter(|r| r.manager == origin)
+                        .map(|r| r.instance)
+                        .collect();
+                    for instance in instances {
+                        dir.unregister_pool(&pool, instance);
+                    }
+                }
+                GossipEvent::OriginReset { origin } => {
+                    self.route_cache.invalidate_next_hop(&origin);
+                    self.peer_directory.write().unregister_pool_manager(&origin);
+                }
+            }
+        }
+    }
+
+    /// Registers one gossiped pool under its origin domain.  An origin we
+    /// hold a direct link to reuses that link's address and instance
+    /// number (the records delegation actually routes by); any other
+    /// origin gets an inbound-style record — observability and candidate
+    /// preference once a route to it exists.
+    fn register_gossiped_pool(&self, origin: &str, pool: &str) {
+        let (address, instance) = match self.link_for(origin) {
+            Some(link) => (link.addr.clone(), link.index),
+            None => {
+                let instance = {
+                    let mut instances = self.inbound_instances.lock();
+                    let next = u32::MAX - instances.len() as u32;
+                    *instances.entry(origin.to_string()).or_insert(next)
+                };
+                (StageAddress::new(origin.to_string(), 0), instance)
+            }
+        };
+        let mut dir = self.peer_directory.write();
+        dir.register_pool_manager(origin);
+        dir.register_pool(PoolInstanceRecord {
+            pool: pool.to_string(),
+            instance,
+            manager: origin.to_string(),
+            address,
+        });
+    }
+
+    /// Serves an inbound `AdvertDelta` push from `peer`: applies its
+    /// deltas, records its version vector, and returns the reply deltas
+    /// (everything this daemon holds beyond `have`) for the `AdvertAck`.
+    pub fn handle_advert_delta(
+        &self,
+        peer: &str,
+        deltas: &[AdvertDelta],
+        have: &[AdvertVersion],
+    ) -> Vec<AdvertDelta> {
+        self.apply_gossip_deltas(deltas);
+        self.gossip.note_peer_versions(peer, have);
+        self.refresh_gossip();
+        let reply = self.gossip.deltas_since(have);
+        // Optimistic: the peer applies the reply on receipt.  If the ack
+        // is lost with its link, the peer's next push carries a fresh
+        // `have` that corrects this.
+        self.gossip.note_acked(peer, self.gossip.version_vector());
+        reply
+    }
+
+    /// Deltas to piggyback on a reply to `peer` (its acked vector decides
+    /// what is new to it).  Piggybacking never advances the acked state —
+    /// the carrier reply may be lost — so a delta can ship twice;
+    /// application is idempotent.
+    pub fn piggyback_deltas(&self, peer: &str) -> Vec<AdvertDelta> {
+        self.refresh_gossip();
+        self.gossip.deltas_for_peer(peer)
+    }
+
+    /// One anti-entropy exchange with the peer behind `link`: push our
+    /// deltas and version vector, apply what the ack carries back.
+    /// Dials the link if it is down (subject to the redial backoff), so
+    /// the periodic tick also heals the topology.
+    fn gossip_exchange(&self, link: &PeerLink) -> Result<(), String> {
+        let (conn, fresh) = link.ensure_conn(&self.config.domain, || self.sync_payload())?;
+        self.note_fresh_advertisement(link, fresh);
+        let peer = conn.domain();
+        if peer.is_empty() {
+            return Err("peer domain not yet known".to_string());
+        }
+        self.refresh_gossip();
+        let vector = self.gossip.version_vector();
+        let deltas = self.gossip.deltas_for_peer(&peer);
+        let have = vector.clone();
+        let my_domain = self.config.domain.clone();
+        let reply = conn.request(move |corr| ClientFrame::AdvertDelta {
+            corr,
+            domain: my_domain,
+            deltas,
+            have,
+        });
+        match reply {
+            Ok(ServerFrame::AdvertAck { deltas, .. }) => {
+                // The peer applied everything up to `vector` before
+                // answering.
+                self.gossip.note_acked(&peer, vector);
+                self.apply_gossip_deltas(&deltas);
+                Ok(())
+            }
+            Ok(other) => {
+                link.retire(&conn);
+                Err(format!("expected AdvertAck, got {other:?}"))
+            }
+            Err(e) => {
+                link.retire(&conn);
+                Err(e)
+            }
+        }
+    }
+
+    /// One round of the anti-entropy tick: an exchange with every peer
+    /// link.  Failures are per-link and non-fatal (a dead peer is in
+    /// redial backoff; the next round retries).
+    pub fn gossip_tick(&self) {
+        if self.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        for link in &self.links {
+            let _ = self.gossip_exchange(link);
+        }
+    }
+
+    /// Retires everything held under a peer's *old* domain name after it
+    /// re-advertised as somebody else: directory records, gossip origin
+    /// log, acked state, and every learned route through or to it.
+    pub fn retire_domain(&self, old: &str) {
+        for pool in self.gossip.live_pools(old) {
+            self.route_cache.invalidate_pool(&pool);
+        }
+        self.route_cache.invalidate_next_hop(old);
+        self.peer_directory.write().unregister_pool_manager(old);
+        self.gossip.forget_origin(old);
+        self.gossip.retire_peer(old);
     }
 
     /// Records the advertisement of a peer that connected *to us* (its
@@ -897,15 +1150,23 @@ impl FederatedBackend {
     /// peer came back identifying as somebody else.
     fn note_fresh_advertisement(&self, link: &PeerLink, fresh: Option<PeerAdvertisement>) {
         let Some(adv) = fresh else { return };
+        // A link that had a domain before this connect was *re*dialed —
+        // the healthy-link regime the gossip plane exists to preserve
+        // never pays this.
+        if adv.previous_domain.is_some() {
+            self.peer_redials.fetch_add(1, Ordering::Relaxed);
+        }
         match &adv.previous_domain {
             Some(previous) if previous != &adv.domain => {
-                self.peer_directory
-                    .write()
-                    .unregister_pool_manager(previous);
+                // The peer came back identifying as a different domain:
+                // retire the old name wholesale (directory records,
+                // gossip origin, learned routes).
+                self.retire_domain(previous);
             }
             _ => {}
         }
         self.record_peer_advertisement(&adv.domain, &adv.pools, link.addr.clone(), link.index);
+        self.apply_gossip_deltas(&adv.deltas);
     }
 }
 
@@ -931,7 +1192,7 @@ impl PeerDelegator for FederatedBackend {
                 None => {
                     let ensured = link.with_conn(
                         &self.config.domain,
-                        || self.local_pools(),
+                        || self.sync_payload(),
                         |conn| Ok(conn.domain()),
                     );
                     match ensured {
@@ -956,6 +1217,22 @@ impl PeerDelegator for FederatedBackend {
             }
         }
         preferred.extend(rest);
+        // The learned route cache is a pure *reordering* on top of the
+        // candidate list: a remembered next hop for a pool the query maps
+        // to is moved to the front.  Membership never changes, so every
+        // TTL/visited invariant of the uncached walk holds as-is, and a
+        // stale hit costs at most one wasted first probe.
+        if !wanted.is_empty() && self.route_cache.enabled() {
+            let learned = wanted
+                .iter()
+                .find_map(|pool| self.route_cache.next_hop(pool));
+            if let Some(hop) = learned {
+                if let Some(pos) = preferred.iter().position(|d| *d == hop) {
+                    let hop = preferred.remove(pos);
+                    preferred.insert(0, hop);
+                }
+            }
+        }
         preferred
     }
 
@@ -973,7 +1250,7 @@ impl PeerDelegator for FederatedBackend {
         let visited = state.visited.clone();
         let sent = link.with_conn(
             &self.config.domain,
-            || self.local_pools(),
+            || self.sync_payload(),
             |conn| {
                 conn.request(|corr| ClientFrame::Delegate {
                     corr,
@@ -994,17 +1271,22 @@ impl PeerDelegator for FederatedBackend {
                 outcome,
                 ttl,
                 visited,
+                deltas,
                 ..
             } => {
                 // Counted only for delegations a peer actually served, so
                 // the stat measures real WAN traffic, not dial attempts.
                 self.delegations_out.fetch_add(1, Ordering::Relaxed);
+                // Advertisement news piggybacked on the reply.
+                self.apply_gossip_deltas(&deltas);
                 if let Ok(allocations) = &outcome {
                     // Remember which domain every remote allocation must be
-                    // released through.
+                    // released through; the next repeat query for the same
+                    // pool goes straight to this hop.
                     let mut leases = self.remote_leases.lock();
                     for allocation in allocations {
                         leases.insert(allocation.access_key.0.clone(), domain.to_string());
+                        self.route_cache.learn(&allocation.pool, domain);
                     }
                 }
                 Ok((outcome, RoutingState { ttl, visited }))
@@ -1036,6 +1318,10 @@ impl PeerDelegator for FederatedBackend {
             link.disconnect();
         }
         self.peer_directory.write().unregister_pool_manager(domain);
+        // Routes through the dead hop are unusable, and what it acked is
+        // moot — after the redial the handshake resyncs from scratch.
+        self.route_cache.invalidate_next_hop(domain);
+        self.gossip.retire_peer(domain);
     }
 }
 
@@ -1145,7 +1431,7 @@ impl ResourceManager for FederatedBackend {
         };
         let sent = link.with_conn(
             &self.config.domain,
-            || self.local_pools(),
+            || self.sync_payload(),
             |conn| {
                 conn.request(|corr| ClientFrame::Release {
                     corr,
@@ -1186,6 +1472,11 @@ impl ResourceManager for FederatedBackend {
         stats.delegations_out = self.delegations_out.load(Ordering::Relaxed);
         stats.delegations_in = self.delegations_in.load(Ordering::Relaxed);
         stats.in_flight = self.tickets.lock().len();
+        stats.gossip_deltas_in = self.gossip.deltas_in();
+        stats.gossip_deltas_out = self.gossip.deltas_out();
+        stats.route_hits = self.route_cache.hits();
+        stats.route_misses = self.route_cache.misses();
+        stats.peer_redials = self.peer_redials.load(Ordering::Relaxed);
         stats
     }
 

@@ -56,6 +56,7 @@ pub mod api;
 pub mod directory;
 pub mod engine;
 pub mod federation;
+pub mod gossip;
 pub mod live;
 pub mod message;
 pub mod pool_manager;
@@ -73,12 +74,13 @@ pub use engine::{Engine, EngineStats, PipelineConfig};
 pub use federation::{
     is_delegable, run_chain, FederatedBackend, FederationConfig, PeerDelegator, PeerUnavailable,
 };
+pub use gossip::{AdvertLog, GossipEvent, GossipPlane};
 pub use live::LivePipeline;
 pub use message::{
     AddressParseError, FragmentTag, RequestId, RequestIdGenerator, RoutingState, StageAddress,
 };
 pub use pool_manager::{HandleOutcome, InstanceSelection, PoolManager, PoolManagerConfig};
-pub use query_manager::{PoolManagerSelection, QueryManager, ReintegrationPolicy};
+pub use query_manager::{PoolManagerSelection, QueryManager, ReintegrationPolicy, RouteCache};
 pub use reactor::PollerKind;
 pub use remote::{
     serve, serve_federated, serve_federated_with, serve_with, RemoteBackend, ServerConfig,

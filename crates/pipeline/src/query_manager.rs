@@ -214,6 +214,99 @@ impl QueryManager {
     }
 }
 
+/// A learned delegation-routing cache.
+///
+/// The query-manager stage decides *where* a query goes; in the federated
+/// deployment the options are the local backend or a TTL-bounded
+/// delegation walk across peer domains.  The cache remembers, per pool
+/// name (the pool name embeds the query signature, so equal-signature
+/// repeat queries share an entry), which *directly linked* peer domain
+/// satisfied the query last time — repeat WAN queries then go straight to
+/// the satisfying domain in one hop instead of re-walking the chain.
+///
+/// The cache is advisory only: a hit *reorders* the delegation candidate
+/// list, it never bypasses the TTL or the visited-domain check, so every
+/// invariant of the uncached walk holds by construction.  Entries are
+/// invalidated by the same gossip deltas that announce pool death
+/// ([`crate::gossip::GossipEvent::PoolDown`]) and by peer-link failure.
+#[derive(Debug)]
+pub struct RouteCache {
+    enabled: bool,
+    routes: parking_lot::Mutex<std::collections::HashMap<String, String>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl RouteCache {
+    /// A cache; when `enabled` is false every lookup misses silently and
+    /// nothing is learned (the baseline for the routing benchmark).
+    pub fn new(enabled: bool) -> Self {
+        RouteCache {
+            enabled,
+            routes: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Whether learning/lookup are active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records that `pool` was satisfied by way of direct peer
+    /// `next_hop`.
+    pub fn learn(&self, pool: &str, next_hop: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.routes
+            .lock()
+            .insert(pool.to_string(), next_hop.to_string());
+    }
+
+    /// The learned next hop for `pool`, counting a hit or miss.
+    pub fn next_hop(&self, pool: &str) -> Option<String> {
+        if !self.enabled {
+            return None;
+        }
+        let learned = self.routes.lock().get(pool).cloned();
+        match learned {
+            Some(hop) => {
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Some(hop)
+            }
+            None => {
+                self.misses
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Drops the route for `pool` (the gossip plane announced its
+    /// death).
+    pub fn invalidate_pool(&self, pool: &str) {
+        self.routes.lock().remove(pool);
+    }
+
+    /// Drops every route through `next_hop` (its peer link failed or its
+    /// domain was retired).
+    pub fn invalidate_next_hop(&self, next_hop: &str) {
+        self.routes.lock().retain(|_, hop| hop != next_hop);
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,5 +472,41 @@ mod tests {
             .reintegrate(results, ReintegrationPolicy::All)
             .unwrap_err();
         assert_eq!(err, AllocationError::TtlExpired);
+    }
+
+    #[test]
+    fn route_cache_learns_hits_and_invalidates() {
+        let cache = RouteCache::new(true);
+        assert_eq!(cache.next_hop("arch,==/sun"), None);
+        assert_eq!(cache.misses(), 1);
+
+        cache.learn("arch,==/sun", "cern");
+        assert_eq!(cache.next_hop("arch,==/sun"), Some("cern".to_string()));
+        assert_eq!(cache.hits(), 1);
+
+        cache.invalidate_pool("arch,==/sun");
+        assert_eq!(cache.next_hop("arch,==/sun"), None);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn route_cache_invalidation_by_next_hop_sweeps_every_route_through_it() {
+        let cache = RouteCache::new(true);
+        cache.learn("arch,==/sun", "cern");
+        cache.learn("arch,==/hp", "cern");
+        cache.learn("arch,==/sgi", "upc");
+        cache.invalidate_next_hop("cern");
+        assert_eq!(cache.next_hop("arch,==/sun"), None);
+        assert_eq!(cache.next_hop("arch,==/hp"), None);
+        assert_eq!(cache.next_hop("arch,==/sgi"), Some("upc".to_string()));
+    }
+
+    #[test]
+    fn disabled_route_cache_neither_learns_nor_counts() {
+        let cache = RouteCache::new(false);
+        cache.learn("arch,==/sun", "cern");
+        assert_eq!(cache.next_hop("arch,==/sun"), None);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
     }
 }

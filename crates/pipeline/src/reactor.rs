@@ -30,9 +30,14 @@
 //!   one of these instead of spawning a thread per request, which is what
 //!   keeps the daemon's thread count independent of its session count.
 //!
+//! * [`TimerWheel`] — a tiny deadline list the I/O threads consult to cap
+//!   their poll timeout.  The reactor server uses it for the periodic
+//!   closing-session sweep and for the anti-entropy gossip tick, so
+//!   neither needs a dedicated thread.
+//!
 //! Everything here is deliberately minimal: level-triggered readiness
-//! only, one registration per fd, no timer wheel — the session engine in
-//! [`crate::remote`] supplies the rest.
+//! only, one registration per fd — the session engine in [`crate::remote`]
+//! supplies the rest.
 
 use std::io;
 use std::time::Duration;
@@ -688,6 +693,101 @@ impl WorkerPool {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+/// One armed timer: an opaque id, its next deadline, and — for periodic
+/// timers — the interval at which it re-arms itself.
+#[derive(Debug, Clone)]
+struct Timer {
+    id: u64,
+    deadline: std::time::Instant,
+    period: Option<Duration>,
+}
+
+/// A deliberately small deadline list ("wheel" by role, not by data
+/// structure — a handful of timers per I/O thread never justifies
+/// hierarchical buckets).  The I/O loop calls [`TimerWheel::poll_timeout`]
+/// to cap its poll interval, then [`TimerWheel::expired`] after each
+/// wakeup; periodic timers re-arm themselves, skipping intervals the
+/// thread slept through so a stalled loop does not replay a burst of
+/// stale ticks.
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    timers: Vec<Timer>,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms a one-shot timer `after` from now.  Re-arming an id replaces
+    /// its previous registration.
+    pub fn add(&mut self, id: u64, after: Duration) {
+        self.timers.retain(|t| t.id != id);
+        self.timers.push(Timer {
+            id,
+            deadline: std::time::Instant::now() + after,
+            period: None,
+        });
+    }
+
+    /// Arms a periodic timer firing every `period`, first in one `period`
+    /// from now.  Re-arming an id replaces its previous registration.
+    pub fn add_periodic(&mut self, id: u64, period: Duration) {
+        self.timers.retain(|t| t.id != id);
+        self.timers.push(Timer {
+            id,
+            deadline: std::time::Instant::now() + period,
+            period: Some(period),
+        });
+    }
+
+    /// Disarms a timer; unknown ids are ignored.
+    pub fn remove(&mut self, id: u64) {
+        self.timers.retain(|t| t.id != id);
+    }
+
+    /// How long a poll may block without overshooting the next deadline:
+    /// the time to the earliest deadline, clamped to at most `cap`.
+    pub fn poll_timeout(&self, cap: Duration) -> Duration {
+        let now = std::time::Instant::now();
+        self.timers
+            .iter()
+            .map(|t| t.deadline.saturating_duration_since(now))
+            .min()
+            .map_or(cap, |next| next.min(cap))
+    }
+
+    /// Pops every timer due at `now`, returning their ids.  Periodic
+    /// timers are rescheduled relative to their own deadline (not `now`),
+    /// advancing past any intervals that elapsed while the thread was
+    /// busy; one-shot timers are removed.
+    pub fn expired(&mut self, now: std::time::Instant) -> Vec<u64> {
+        let mut due = Vec::new();
+        self.timers.retain_mut(|timer| {
+            if timer.deadline > now {
+                return true;
+            }
+            due.push(timer.id);
+            match timer.period {
+                Some(period) => {
+                    timer.deadline += period;
+                    while timer.deadline <= now {
+                        timer.deadline += period;
+                    }
+                    true
+                }
+                None => false,
+            }
+        });
+        due
+    }
+}
+
 #[cfg(all(test, unix))]
 mod tests {
     use super::*;
@@ -857,5 +957,61 @@ mod tests {
         let panics = pool.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 21, "all jobs ran");
         assert_eq!(panics, 1, "the panic was counted, not lost");
+    }
+
+    #[test]
+    fn timer_wheel_caps_poll_timeout_at_next_deadline() {
+        let mut wheel = TimerWheel::new();
+        let cap = Duration::from_millis(500);
+        assert_eq!(wheel.poll_timeout(cap), cap, "empty wheel polls full cap");
+
+        wheel.add(1, Duration::from_millis(50));
+        assert!(wheel.poll_timeout(cap) <= Duration::from_millis(50));
+
+        // An already-due timer clamps the timeout to zero, never negative.
+        wheel.add(2, Duration::ZERO);
+        assert_eq!(wheel.poll_timeout(cap), Duration::ZERO);
+    }
+
+    #[test]
+    fn timer_wheel_one_shot_fires_once() {
+        let mut wheel = TimerWheel::new();
+        wheel.add(7, Duration::ZERO);
+        let now = std::time::Instant::now();
+        assert_eq!(wheel.expired(now), vec![7]);
+        assert!(wheel.expired(now + Duration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn timer_wheel_periodic_reschedules_and_skips_missed_intervals() {
+        let mut wheel = TimerWheel::new();
+        let period = Duration::from_millis(10);
+        wheel.add_periodic(3, period);
+        let armed = std::time::Instant::now();
+
+        // Fires at its first deadline.
+        assert_eq!(wheel.expired(armed + period), vec![3]);
+        // Not due again immediately after.
+        assert!(wheel.expired(armed + period).is_empty());
+        // A long stall yields ONE firing, with the deadline advanced past
+        // every missed interval rather than replaying them.
+        assert_eq!(wheel.expired(armed + period * 10), vec![3]);
+        assert!(wheel
+            .expired(armed + period * 10 + Duration::from_millis(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn timer_wheel_rearm_replaces_and_remove_disarms() {
+        let mut wheel = TimerWheel::new();
+        wheel.add(5, Duration::ZERO);
+        wheel.add(5, Duration::from_secs(60));
+        assert!(
+            wheel.expired(std::time::Instant::now()).is_empty(),
+            "re-arming replaced the due registration"
+        );
+        wheel.add(6, Duration::ZERO);
+        wheel.remove(6);
+        assert!(wheel.expired(std::time::Instant::now()).is_empty());
     }
 }

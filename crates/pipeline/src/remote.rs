@@ -51,10 +51,13 @@
 //! starve the redemptions (or the releases clients interleave with them)
 //! that would free those very permits.  Completions
 //! are posted back to the owning session's write queue and the I/O thread
-//! is woken to flush them.  The daemon's thread count is therefore
-//! *independent of its session count*: accept + I/O pool + two worker
-//! lanes + the hosted backend, whether two clients are connected or two
-//! thousand.
+//! is woken to flush them.  The listener itself is one more readiness
+//! source on the first I/O thread — there is no dedicated accept thread —
+//! and that thread's timer wheel also drives the periodic anti-entropy
+//! gossip tick for a federated daemon.  The daemon's thread count is
+//! therefore *independent of its session count*: the I/O pool + three
+//! worker lanes + the hosted backend, whether two clients are connected
+//! or two thousand.
 //!
 //! [`SessionMode::ThreadPerSession`] keeps the legacy deployment — one OS
 //! thread per connected session plus a per-request worker thread for every
@@ -197,6 +200,9 @@ struct ServerShared {
     /// Sessions that panicked and were reaped before [`ServerHandle::join`]
     /// ran; counted so the panic still surfaces at join time.
     reaped_panics: AtomicU64,
+    /// Legacy mode's anti-entropy gossip thread (reactor mode drives the
+    /// tick from an I/O thread's timer wheel instead).  Taken at join.
+    gossip: Mutex<Option<JoinHandle<()>>>,
     /// The reactor session engine, when [`SessionMode::Reactor`] is
     /// active; `None` in thread-per-session mode.  Taken at join time.
     #[cfg(unix)]
@@ -259,6 +265,11 @@ impl ServerHandle {
         if let Some(handle) = self.accept.lock().take() {
             if handle.join().is_err() {
                 problems.push("ypd accept loop panicked".to_string());
+            }
+        }
+        if let Some(handle) = self.shared.gossip.lock().take() {
+            if handle.join().is_err() {
+                problems.push("ypd gossip thread panicked".to_string());
             }
         }
         // Reactor engine teardown: the I/O threads exit once every session
@@ -384,18 +395,56 @@ fn serve_inner(
         wake_addr,
         sessions: Mutex::new(Vec::new()),
         reaped_panics: AtomicU64::new(0),
+        gossip: Mutex::new(None),
         #[cfg(unix)]
         reactor: Mutex::new(None),
     });
 
-    // Stand the reactor engine up before the listener opens: where a
-    // poller exists, reactor mode is honoured or fails loudly; a platform
-    // with no poller at all falls back to thread-per-session.
+    // Reactor mode: the listener is handed to the engine itself — the
+    // first I/O thread polls it as one more readiness source, so there is
+    // no dedicated accept thread — and the same thread's timer wheel
+    // drives the anti-entropy gossip tick.  Where a poller exists reactor
+    // mode is honoured or fails loudly; a platform with no poller at all
+    // falls back to thread-per-session below.
     #[cfg(unix)]
     if config.mode == SessionMode::Reactor {
-        let engine = ReactorEngine::start(&shared, &config)
+        let engine = ReactorEngine::start(&shared, &config, listener)
             .map_err(|e| AllocationError::Network(format!("reactor setup: {e}")))?;
         *shared.reactor.lock() = Some(engine);
+        return Ok(ServerHandle {
+            addr: local,
+            shared,
+            accept: Mutex::new(None),
+        });
+    }
+
+    // Legacy mode: the periodic gossip tick gets a thread of its own,
+    // sleeping in short slices so a drain ends it promptly.
+    if let Some(federation) = &shared.federation {
+        let interval = federation.gossip_interval();
+        if interval > Duration::ZERO {
+            let federation = federation.clone();
+            let gossip_shared = shared.clone();
+            let handle = std::thread::Builder::new()
+                .name("ypd-gossip".to_string())
+                .spawn(move || loop {
+                    let mut remaining = interval;
+                    while remaining > Duration::ZERO {
+                        if gossip_shared.draining.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let slice = remaining.min(Duration::from_millis(200));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                    if gossip_shared.draining.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    federation.gossip_tick();
+                })
+                .map_err(|e| AllocationError::Network(format!("gossip thread: {e}")))?;
+            *shared.gossip.lock() = Some(handle);
+        }
     }
 
     let accept_shared = shared.clone();
@@ -407,12 +456,6 @@ fn serve_inner(
             let stream = match stream {
                 Ok(stream) => stream,
                 Err(_) => continue,
-            };
-            // Reactor mode: hand the socket to an I/O thread (round
-            // robin) and keep accepting.  Otherwise: the legacy thread
-            // per session.
-            let Some(stream) = try_dispatch_reactor(&accept_shared, stream) else {
-                continue;
             };
             let session_shared = accept_shared.clone();
             let handle = std::thread::spawn(move || run_session(session_shared, stream));
@@ -442,25 +485,6 @@ fn serve_inner(
     })
 }
 
-/// Routes an accepted socket to the reactor engine when one is running.
-/// Returns the socket back when the daemon is in thread-per-session mode.
-#[cfg(unix)]
-fn try_dispatch_reactor(shared: &Arc<ServerShared>, stream: TcpStream) -> Option<TcpStream> {
-    let guard = shared.reactor.lock();
-    match &*guard {
-        Some(engine) => {
-            engine.dispatch(stream);
-            None
-        }
-        None => Some(stream),
-    }
-}
-
-#[cfg(not(unix))]
-fn try_dispatch_reactor(_shared: &Arc<ServerShared>, stream: TcpStream) -> Option<TcpStream> {
-    Some(stream)
-}
-
 // ---------------------------------------------------------------------------
 // The reactor session engine
 // ---------------------------------------------------------------------------
@@ -474,7 +498,7 @@ fn try_dispatch_reactor(_shared: &Arc<ServerShared>, stream: TcpStream) -> Optio
 #[cfg(unix)]
 mod engine {
     use super::*;
-    use crate::reactor::{Event, Interest, Poller, Waker, WorkerPool};
+    use crate::reactor::{Event, Interest, Poller, TimerWheel, Waker, WorkerPool};
     use actyp_proto::{WireDecode, MAX_FRAME_LEN};
     use std::collections::HashSet;
     use std::io::{Read, Write};
@@ -482,6 +506,17 @@ mod engine {
 
     /// Poller token reserved for the I/O thread's waker pipe.
     const WAKE_TOKEN: u64 = u64::MAX;
+
+    /// Poller token reserved for the daemon's listening socket (registered
+    /// on the first I/O thread only).
+    const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+    /// Timer-wheel id of the periodic closing-session sweep.
+    const SWEEP_TIMER: u64 = 1;
+
+    /// Timer-wheel id of the periodic anti-entropy gossip tick (armed on
+    /// the listener thread of a federated daemon only).
+    const GOSSIP_TIMER: u64 = 2;
 
     /// Upper bound on queued-but-unsent reply bytes before the session
     /// stops *reading*: a client that pipelines requests without draining
@@ -663,50 +698,95 @@ mod engine {
         Redeem,
     }
 
-    /// One I/O thread's handle: where the accept loop sends new sockets,
-    /// and the doorbell that wakes the thread to collect them.
+    /// One I/O thread's handle: where accepted sockets are sent, and the
+    /// doorbell that wakes the thread to collect them.
     pub(super) struct IoHandle {
-        tx: Sender<TcpStream>,
+        /// Held (not used) so the thread's socket channel stays connected
+        /// even after the listener thread — which owns the dispatching
+        /// clones — has exited during a drain.
+        _tx: Sender<TcpStream>,
         pub(super) notify: Arc<IoNotify>,
         pub(super) thread: JoinHandle<()>,
+    }
+
+    /// The first I/O thread's extra duty: the daemon's listening socket,
+    /// registered with that thread's poller as one more readiness source.
+    /// Ready connections are accepted nonblockingly and dealt round robin
+    /// to every I/O thread (itself included) over the same channels the
+    /// old dedicated accept thread used — folding the accept loop into
+    /// the reactor removes one always-blocked thread per daemon.
+    pub(super) struct ListenerRole {
+        listener: TcpListener,
+        targets: Vec<(Sender<TcpStream>, Arc<IoNotify>)>,
+        next: usize,
     }
 
     /// The running reactor: I/O threads, worker lanes, teardown tracker.
     pub(super) struct ReactorEngine {
         pub(super) io: Vec<IoHandle>,
-        next_io: AtomicUsize,
         pub(super) pools: Arc<Pools>,
     }
 
     impl ReactorEngine {
         /// Spawns the worker lanes and `config.io_threads` I/O threads,
-        /// each with its own poller and waker.
+        /// each with its own poller and waker.  The listener rides the
+        /// first thread.
         pub(super) fn start(
             shared: &Arc<ServerShared>,
             config: &ServerConfig,
+            listener: TcpListener,
         ) -> std::io::Result<ReactorEngine> {
+            listener.set_nonblocking(true)?;
             let pools = Arc::new(Pools {
                 submit: WorkerPool::new("ypd-submit", config.workers),
                 redeem: WorkerPool::new("ypd-redeem", config.workers),
                 teardown: WorkerPool::new("ypd-teardown", config.workers),
             });
-            let mut io: Vec<IoHandle> = Vec::new();
-            for i in 0..config.io_threads.max(1) {
-                let started = config.poller.create().and_then(|poller| {
+            // Every thread's poller, doorbell and socket channel exist
+            // before any thread starts: the listener thread needs the
+            // full target list for round-robin dispatch.
+            let mut parts = Vec::new();
+            let created: std::io::Result<()> = (|| {
+                for _ in 0..config.io_threads.max(1) {
+                    let poller = config.poller.create()?;
                     let notify = Arc::new(IoNotify::new()?);
                     let (tx, rx) = unbounded::<TcpStream>();
-                    let thread = std::thread::Builder::new()
-                        .name(format!("ypd-io-{i}"))
-                        .spawn({
-                            let shared = shared.clone();
-                            let pools = pools.clone();
-                            let notify = notify.clone();
-                            move || io_thread_main(shared, pools, rx, notify, poller)
-                        })?;
-                    Ok(IoHandle { tx, notify, thread })
+                    parts.push((poller, notify, tx, rx));
+                }
+                Ok(())
+            })();
+            if let Err(e) = created {
+                pools.submit.shutdown();
+                pools.redeem.shutdown();
+                pools.teardown.shutdown();
+                return Err(e);
+            }
+            let targets: Vec<(Sender<TcpStream>, Arc<IoNotify>)> = parts
+                .iter()
+                .map(|(_, notify, tx, _)| (tx.clone(), notify.clone()))
+                .collect();
+            let mut listener = Some(listener);
+            let mut io: Vec<IoHandle> = Vec::new();
+            for (i, (poller, notify, tx, rx)) in parts.into_iter().enumerate() {
+                let role = listener.take().map(|listener| ListenerRole {
+                    listener,
+                    targets: targets.clone(),
+                    next: 0,
                 });
-                match started {
-                    Ok(handle) => io.push(handle),
+                let spawned = std::thread::Builder::new()
+                    .name(format!("ypd-io-{i}"))
+                    .spawn({
+                        let shared = shared.clone();
+                        let pools = pools.clone();
+                        let notify = notify.clone();
+                        move || io_thread_main(shared, pools, rx, notify, poller, role)
+                    });
+                match spawned {
+                    Ok(thread) => io.push(IoHandle {
+                        _tx: tx,
+                        notify,
+                        thread,
+                    }),
                     Err(e) => {
                         // Unwind the threads already spawned: flag the
                         // drain so they exit, then report the failure.
@@ -723,20 +803,7 @@ mod engine {
                     }
                 }
             }
-            Ok(ReactorEngine {
-                io,
-                next_io: AtomicUsize::new(0),
-                pools,
-            })
-        }
-
-        /// Assigns an accepted socket to an I/O thread, round robin.
-        pub(super) fn dispatch(&self, stream: TcpStream) {
-            let index = self.next_io.fetch_add(1, Ordering::Relaxed) % self.io.len();
-            let io = &self.io[index];
-            if io.tx.send(stream).is_ok() {
-                io.notify.wake();
-            }
+            Ok(ReactorEngine { io, pools })
         }
     }
 
@@ -861,36 +928,58 @@ mod engine {
         });
     }
 
-    /// One I/O thread: polls its sessions' sockets, parses frames,
-    /// dispatches work, flushes write queues, and retires sessions.
+    /// One I/O thread: polls its sessions' sockets (plus, on the first
+    /// thread, the daemon's listener), parses frames, dispatches work,
+    /// flushes write queues, fires its timers, and retires sessions.
     fn io_thread_main(
         shared: Arc<ServerShared>,
         pools: Arc<Pools>,
         incoming: Receiver<TcpStream>,
         notify: Arc<IoNotify>,
         mut poller: Box<dyn Poller>,
+        mut role: Option<ListenerRole>,
     ) {
         // If waker registration fails the thread still functions — the
         // poll interval bounds how stale a wakeup can go.
         let _ = poller.register(notify.waker.read_fd(), WAKE_TOKEN, Interest::READ);
+        if let Some(role) = &role {
+            let _ = poller.register(role.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ);
+        }
+        let mut wheel = TimerWheel::new();
+        wheel.add_periodic(SWEEP_TIMER, CLOSING_SWEEP_INTERVAL);
+        // The anti-entropy gossip tick is armed on the listener thread
+        // only (exactly one per daemon).  The tick itself runs on the
+        // redeem lane — a peer exchange is bounded peer I/O, never
+        // admission-window blocking — guarded so a round slower than the
+        // interval is skipped, not stacked.
+        let gossip_running = Arc::new(AtomicBool::new(false));
+        if role.is_some() {
+            if let Some(federation) = &shared.federation {
+                let interval = federation.gossip_interval();
+                if interval > Duration::ZERO {
+                    wheel.add_periodic(GOSSIP_TIMER, interval);
+                }
+            }
+        }
         let mut sessions: HashMap<u64, ReactorSession> = HashMap::new();
         let mut next_token: u64 = 0;
         let mut events: Vec<Event> = Vec::new();
         let mut touched: Vec<u64> = Vec::new();
-        let mut last_closing_sweep = std::time::Instant::now();
         loop {
             if shared.draining.load(Ordering::SeqCst) && sessions.is_empty() {
                 break;
             }
-            if poller.poll(&mut events, Some(IO_POLL_INTERVAL)).is_err() {
+            let timeout = wheel.poll_timeout(IO_POLL_INTERVAL);
+            if poller.poll(&mut events, Some(timeout)).is_err() {
                 // A failing poller must not hot-loop the thread.
                 std::thread::sleep(Duration::from_millis(5));
             }
             notify.waker.drain();
             touched.clear();
 
-            // New connections from the accept loop (refused once a drain
-            // began — the listener race can hand over a late socket).
+            // New connections dealt over from the listener thread
+            // (refused once a drain began — the dispatch race can hand
+            // over a late socket).
             while let Ok(stream) = incoming.try_recv() {
                 if shared.draining.load(Ordering::SeqCst) {
                     let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -910,6 +999,12 @@ mod engine {
             // Socket readiness.
             for event in events.iter().copied() {
                 if event.token == WAKE_TOKEN {
+                    continue;
+                }
+                if event.token == LISTENER_TOKEN {
+                    if let Some(role) = role.as_mut() {
+                        accept_ready(&shared, role);
+                    }
                     continue;
                 }
                 let Some(session) = sessions.get_mut(&event.token) else {
@@ -936,15 +1031,35 @@ mod engine {
                 }
             }
 
-            // Closing sessions whose clients went quiet produce no events
-            // of their own; sweep them periodically so the
-            // CLOSE_FLUSH_GRACE deadline is actually observed.
-            if last_closing_sweep.elapsed() >= CLOSING_SWEEP_INTERVAL {
-                last_closing_sweep = std::time::Instant::now();
-                for (token, session) in sessions.iter() {
-                    if matches!(session.phase, Phase::Closing) {
-                        touched.push(*token);
+            // Timers.  The closing sweep touches sessions whose stalled
+            // clients produce no events of their own, so the
+            // CLOSE_FLUSH_GRACE deadline is actually observed; the gossip
+            // timer queues one anti-entropy round.
+            for timer in wheel.expired(std::time::Instant::now()) {
+                match timer {
+                    SWEEP_TIMER => {
+                        for (token, session) in sessions.iter() {
+                            if matches!(session.phase, Phase::Closing) {
+                                touched.push(*token);
+                            }
+                        }
                     }
+                    GOSSIP_TIMER => {
+                        if shared.draining.load(Ordering::SeqCst) {
+                            continue;
+                        }
+                        if let Some(federation) = &shared.federation {
+                            if !gossip_running.swap(true, Ordering::SeqCst) {
+                                let federation = federation.clone();
+                                let guard = gossip_running.clone();
+                                pools.redeem.execute(move || {
+                                    federation.gossip_tick();
+                                    guard.store(false, Ordering::SeqCst);
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
                 }
             }
 
@@ -962,6 +1077,32 @@ mod engine {
             touched.dedup();
             for token in touched.iter().copied() {
                 refresh_session(&shared, &pools, &mut *poller, &mut sessions, token);
+            }
+        }
+    }
+
+    /// Drains every connection the listener has ready: during a drain
+    /// each is refused outright; otherwise it is dealt to the next I/O
+    /// thread round robin and that thread's doorbell rung.  The
+    /// `begin_drain` dummy connection lands here too — accepted, dropped,
+    /// and thereby done waking the poll.
+    fn accept_ready(shared: &Arc<ServerShared>, role: &mut ListenerRole) {
+        loop {
+            match role.listener.accept() {
+                Ok((stream, _)) => {
+                    if shared.draining.load(Ordering::SeqCst) {
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        continue;
+                    }
+                    let (tx, notify) = &role.targets[role.next % role.targets.len()];
+                    role.next = role.next.wrapping_add(1);
+                    if tx.send(stream).is_ok() {
+                        notify.wake();
+                    }
+                }
+                Err(e) if would_block(&e) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
             }
         }
     }
@@ -1296,13 +1437,21 @@ mod engine {
                 let job_state = state.clone();
                 spawn_job(pools, Lane::Submit, &state, corr, move || {
                     let (outcome, routing) = federation.handle_delegate(&query, ttl, visited);
-                    job_state.deliver_delegated(corr, outcome, routing);
+                    // Piggyback whatever gossip the delegating peer has
+                    // not acknowledged yet on the reply it is already
+                    // waiting for — a free anti-entropy round.
+                    let deltas = match job_state.peer_domain.lock().clone() {
+                        Some(peer) => federation.piggyback_deltas(&peer),
+                        None => Vec::new(),
+                    };
+                    job_state.deliver_delegated(corr, outcome, routing, deltas);
                 });
             }
             ClientFrame::SyncPools {
                 corr,
                 domain,
                 pools: advertised,
+                have,
             } => match &shared.federation {
                 None => state.send(&ServerFrame::Error {
                     corr,
@@ -1311,11 +1460,39 @@ mod engine {
                     ),
                 }),
                 Some(federation) => {
+                    note_peer_session_domain(shared, &state, &domain);
                     federation.record_inbound_advertisement(&domain, &advertised);
+                    federation.gossip().note_peer_versions(&domain, &have);
+                    federation.refresh_gossip();
+                    let deltas = federation.gossip().deltas_since(&have);
                     state.send(&ServerFrame::PoolsSynced {
                         corr,
                         domain: federation.domain().to_string(),
                         pools: federation.local_pools(),
+                        deltas,
+                    });
+                }
+            },
+            ClientFrame::AdvertDelta {
+                corr,
+                domain,
+                deltas,
+                have,
+            } => match &shared.federation {
+                None => state.send(&ServerFrame::Error {
+                    corr,
+                    error: AllocationError::Protocol(
+                        "this daemon is not federated (no --domain/--peer)".to_string(),
+                    ),
+                }),
+                Some(federation) => {
+                    // Inline: applying deltas is pure in-memory state.
+                    note_peer_session_domain(shared, &state, &domain);
+                    let reply = federation.handle_advert_delta(&domain, &deltas, &have);
+                    state.send(&ServerFrame::AdvertAck {
+                        corr,
+                        domain: federation.domain().to_string(),
+                        deltas: reply,
                     });
                 }
             },
@@ -1470,6 +1647,12 @@ struct SessionState {
     submit_jobs: AtomicUsize,
     /// Blocking requests in flight on the redeem lane (reactor mode).
     redeem_jobs: AtomicUsize,
+    /// The federation domain the peer on this session advertised (via
+    /// `SyncPools` or `AdvertDelta`); `None` on ordinary client sessions.
+    /// Keyed per session so gossip piggybacking knows who it is talking
+    /// to, and so a re-advertisement under a *different* name retires the
+    /// old domain.
+    peer_domain: Mutex<Option<String>>,
 }
 
 impl SessionState {
@@ -1481,6 +1664,7 @@ impl SessionState {
             next_ticket: AtomicU64::new(0),
             submit_jobs: AtomicUsize::new(0),
             redeem_jobs: AtomicUsize::new(0),
+            peer_domain: Mutex::new(None),
         })
     }
 
@@ -1530,6 +1714,7 @@ impl SessionState {
         corr: RequestId,
         outcome: crate::api::QueryOutcome,
         state: crate::message::RoutingState,
+        deltas: Vec<actyp_proto::AdvertDelta>,
     ) {
         if let Ok(allocations) = &outcome {
             let mut leases = self.leases.lock();
@@ -1542,7 +1727,25 @@ impl SessionState {
             outcome,
             ttl: state.ttl,
             visited: state.visited,
+            deltas,
         });
+    }
+}
+
+/// Records which federation domain the peer on this session speaks for.
+/// A session that re-advertises under a *new* name is a daemon restarted
+/// into a different identity on a still-open connection: everything held
+/// under the old domain — directory records, gossip origin log, learned
+/// routes — is retired atomically, instead of lingering as a routable
+/// ghost beside the new name.
+fn note_peer_session_domain(shared: &ServerShared, state: &SessionState, domain: &str) {
+    let previous = state.peer_domain.lock().replace(domain.to_string());
+    if let Some(previous) = previous {
+        if previous != domain {
+            if let Some(federation) = &shared.federation {
+                federation.retire_domain(&previous);
+            }
+        }
     }
 }
 
@@ -1795,7 +1998,13 @@ fn run_session(shared: Arc<ServerShared>, mut stream: TcpStream) {
                 let state = state.clone();
                 submit_workers.push(std::thread::spawn(move || {
                     let (outcome, routing) = federation.handle_delegate(&query, ttl, visited);
-                    state.deliver_delegated(corr, outcome, routing);
+                    // Piggyback unacknowledged gossip on the reply the
+                    // delegating peer is already waiting for.
+                    let deltas = match state.peer_domain.lock().clone() {
+                        Some(peer) => federation.piggyback_deltas(&peer),
+                        None => Vec::new(),
+                    };
+                    state.deliver_delegated(corr, outcome, routing, deltas);
                 }));
             }
             // A peer daemon advertising its domain and pool names; answer
@@ -1804,6 +2013,7 @@ fn run_session(shared: Arc<ServerShared>, mut stream: TcpStream) {
                 corr,
                 domain,
                 pools,
+                have,
             } => match &shared.federation {
                 None => state.send(&ServerFrame::Error {
                     corr,
@@ -1816,11 +2026,40 @@ fn run_session(shared: Arc<ServerShared>, mut stream: TcpStream) {
                     // the address is unknown on an inbound connection, so
                     // delegation candidates still come from outbound links
                     // only.
+                    note_peer_session_domain(&shared, &state, &domain);
                     federation.record_inbound_advertisement(&domain, &pools);
+                    federation.gossip().note_peer_versions(&domain, &have);
+                    federation.refresh_gossip();
+                    let deltas = federation.gossip().deltas_since(&have);
                     state.send(&ServerFrame::PoolsSynced {
                         corr,
                         domain: federation.domain().to_string(),
                         pools: federation.local_pools(),
+                        deltas,
+                    });
+                }
+            },
+            // An anti-entropy push from a peer daemon.  Inline: applying
+            // deltas is pure in-memory state.
+            ClientFrame::AdvertDelta {
+                corr,
+                domain,
+                deltas,
+                have,
+            } => match &shared.federation {
+                None => state.send(&ServerFrame::Error {
+                    corr,
+                    error: AllocationError::Protocol(
+                        "this daemon is not federated (no --domain/--peer)".to_string(),
+                    ),
+                }),
+                Some(federation) => {
+                    note_peer_session_domain(&shared, &state, &domain);
+                    let reply = federation.handle_advert_delta(&domain, &deltas, &have);
+                    state.send(&ServerFrame::AdvertAck {
+                        corr,
+                        domain: federation.domain().to_string(),
+                        deltas: reply,
                     });
                 }
             },
@@ -2022,7 +2261,8 @@ pub(crate) fn corr_of(frame: &ServerFrame) -> Option<RequestId> {
         | ServerFrame::Ack { corr }
         | ServerFrame::Error { corr, .. }
         | ServerFrame::Delegated { corr, .. }
-        | ServerFrame::PoolsSynced { corr, .. } => Some(*corr),
+        | ServerFrame::PoolsSynced { corr, .. }
+        | ServerFrame::AdvertAck { corr, .. } => Some(*corr),
     }
 }
 

@@ -38,13 +38,22 @@ use crate::wire::{DecodeError, EncodeError, Reader, WireDecode, WireEncode};
 /// [`ServerFrame::PoolsSynced`] for pool-advertisement exchange between
 /// peered daemons — and extended the [`StatsSnapshot`] wire layout with
 /// the federation counters.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// Version 3 added the anti-entropy gossip plane:
+/// [`ClientFrame::AdvertDelta`] / [`ServerFrame::AdvertAck`] carry
+/// versioned advertisement-log deltas ([`AdvertDelta`]) between peered
+/// daemons, the delegation and pool-sync replies piggyback the same
+/// deltas on traffic already flowing, and the [`StatsSnapshot`] layout
+/// gained the gossip and route-cache counters.
+pub const PROTOCOL_VERSION: u16 = 3;
 
-/// Oldest protocol version this build still speaks.  Version 2 changed
-/// the layout of [`StatsSnapshot`] (not only added frames), so a v1 peer
-/// would mis-decode every `StatsReply`; honest negotiation refuses it at
-/// the hello instead of desynchronising mid-session.
-pub const MIN_SUPPORTED_VERSION: u16 = 2;
+/// Oldest protocol version this build still speaks.  Versions 2 and 3
+/// each changed the layout of [`StatsSnapshot`] (not only added frames),
+/// so an older peer would mis-decode every `StatsReply` — and a v2 peer
+/// would also mis-decode the delta fields v3 appends to `Delegated`,
+/// `SyncPools` and `PoolsSynced`.  Honest negotiation refuses the
+/// connection at the hello instead of desynchronising mid-session.
+pub const MIN_SUPPORTED_VERSION: u16 = 3;
 
 /// Hard upper bound on one frame's body length (16 MiB).  A peer declaring
 /// more is protocol-violating; the connection should be dropped.
@@ -60,6 +69,120 @@ pub fn negotiate(client_min: u16, client_max: u16) -> Option<u16> {
 
 /// The outcome payload of a redeemed ticket, as carried on the wire.
 pub type WireOutcome = Result<Vec<Allocation>, AllocationError>;
+
+/// One event in a domain's advertisement log: at sequence number `seq`
+/// the origin domain's pool `pool` came up (`alive`) or went away
+/// (`!alive`).  Protocol version 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvertEntry {
+    /// Position in the origin's log; strictly increasing per origin
+    /// within one epoch.
+    pub seq: u64,
+    /// Full pool name (`signature/identifier`).
+    pub pool: String,
+    /// `true` when the pool came up, `false` when it was retired.
+    pub alive: bool,
+}
+
+/// A slice of one origin domain's versioned advertisement log.
+///
+/// Receivers apply entries whose `seq` is beyond what they already hold
+/// for `(origin, epoch)`; a higher `epoch` (the origin restarted)
+/// invalidates everything previously known about the origin.  A delta
+/// with `full` set carries the origin's complete live pool set — pools
+/// the receiver holds for that origin but that are absent from the delta
+/// are dead (the origin compacted its log past the receiver's floor).
+/// Protocol version 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvertDelta {
+    /// The domain whose log this is a slice of (not necessarily the
+    /// sender: daemons relay third-party origins transitively).
+    pub origin: String,
+    /// The origin's log epoch; bumped when the origin restarts.
+    pub epoch: u64,
+    /// The origin's log head (highest sequence assigned) as of this
+    /// delta.  For a `full` snapshot this is the horizon the live set is
+    /// complete up to — it can exceed every entry's `seq`, since entries
+    /// record when each pool *came up*, not the deaths compacted away
+    /// after.
+    pub head: u64,
+    /// Log entries, in increasing `seq` order.
+    pub entries: Vec<AdvertEntry>,
+    /// `true` when `entries` is the origin's complete live set rather
+    /// than an incremental tail.
+    pub full: bool,
+}
+
+/// What one daemon holds of one origin's advertisement log — the version
+/// vectors exchanged so peers ship only the missing tail.  Protocol
+/// version 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvertVersion {
+    /// The origin domain.
+    pub origin: String,
+    /// The epoch of the origin's log the holder has.
+    pub epoch: u64,
+    /// Highest sequence number the holder has applied in that epoch.
+    pub seq: u64,
+}
+
+impl WireEncode for AdvertEntry {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        self.seq.encode(out)?;
+        self.pool.encode(out)?;
+        self.alive.encode(out)
+    }
+}
+
+impl WireDecode for AdvertEntry {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(AdvertEntry {
+            seq: u64::decode(r)?,
+            pool: String::decode(r)?,
+            alive: bool::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for AdvertDelta {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        self.origin.encode(out)?;
+        self.epoch.encode(out)?;
+        self.head.encode(out)?;
+        self.entries.encode(out)?;
+        self.full.encode(out)
+    }
+}
+
+impl WireDecode for AdvertDelta {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(AdvertDelta {
+            origin: String::decode(r)?,
+            epoch: u64::decode(r)?,
+            head: u64::decode(r)?,
+            entries: Vec::<AdvertEntry>::decode(r)?,
+            full: bool::decode(r)?,
+        })
+    }
+}
+
+impl WireEncode for AdvertVersion {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        self.origin.encode(out)?;
+        self.epoch.encode(out)?;
+        self.seq.encode(out)
+    }
+}
+
+impl WireDecode for AdvertVersion {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(AdvertVersion {
+            origin: String::decode(r)?,
+            epoch: u64::decode(r)?,
+            seq: u64::decode(r)?,
+        })
+    }
+}
 
 /// Frames a client sends to a `ypd` daemon.
 #[derive(Debug, Clone, PartialEq)]
@@ -156,6 +279,26 @@ pub enum ClientFrame {
         domain: String,
         /// Full pool names the advertising daemon currently hosts.
         pools: Vec<String>,
+        /// The sender's advertisement-log version vector, so the reply's
+        /// piggybacked deltas carry only what the sender lacks.  Protocol
+        /// version 3.
+        have: Vec<AdvertVersion>,
+    },
+    /// Anti-entropy exchange between peered daemons: the sender ships the
+    /// advertisement-log deltas it believes the receiver lacks together
+    /// with its own version vector; the receiver applies them and answers
+    /// [`ServerFrame::AdvertAck`] with the deltas the *sender* lacks —
+    /// one round syncs both directions.  Sent by the periodic gossip tick
+    /// on idle peer links.  Protocol version 3.
+    AdvertDelta {
+        /// Correlation id echoed by the response.
+        corr: RequestId,
+        /// The sending daemon's domain name.
+        domain: String,
+        /// Log slices the sender believes the receiver lacks.
+        deltas: Vec<AdvertDelta>,
+        /// The sender's advertisement-log version vector.
+        have: Vec<AdvertVersion>,
     },
 }
 
@@ -244,6 +387,10 @@ pub enum ServerFrame {
         /// Every domain visited once the receiver's chain finished
         /// (superset of the request's list).
         visited: Vec<String>,
+        /// Advertisement-log deltas piggybacked on the reply — news rides
+        /// on traffic already flowing, the periodic anti-entropy exchange
+        /// corrects anything missed.  Protocol version 3.
+        deltas: Vec<AdvertDelta>,
     },
     /// Answers [`ClientFrame::SyncPools`] with the receiving daemon's own
     /// advertisement.  Protocol version 2.
@@ -254,6 +401,21 @@ pub enum ServerFrame {
         domain: String,
         /// Full pool names the receiving daemon currently hosts.
         pools: Vec<String>,
+        /// Advertisement-log deltas beyond the request's `have` vector —
+        /// a fresh link learns third-party origins in the same handshake.
+        /// Protocol version 3.
+        deltas: Vec<AdvertDelta>,
+    },
+    /// Answers [`ClientFrame::AdvertDelta`]: the receiver's domain name
+    /// and the log slices the requester lacks, judged against the
+    /// request's `have` vector.  Protocol version 3.
+    AdvertAck {
+        /// Correlation id of the `AdvertDelta` this answers.
+        corr: RequestId,
+        /// The answering daemon's domain name.
+        domain: String,
+        /// Log slices the requester lacks.
+        deltas: Vec<AdvertDelta>,
     },
 }
 
@@ -326,11 +488,25 @@ impl WireEncode for ClientFrame {
                 corr,
                 domain,
                 pools,
+                have,
             } => {
                 out.push(10);
                 corr.encode(out)?;
                 domain.encode(out)?;
                 pools.encode(out)?;
+                have.encode(out)?;
+            }
+            ClientFrame::AdvertDelta {
+                corr,
+                domain,
+                deltas,
+                have,
+            } => {
+                out.push(11);
+                corr.encode(out)?;
+                domain.encode(out)?;
+                deltas.encode(out)?;
+                have.encode(out)?;
             }
         }
         Ok(())
@@ -384,6 +560,13 @@ impl WireDecode for ClientFrame {
                 corr: RequestId::decode(r)?,
                 domain: String::decode(r)?,
                 pools: Vec::<String>::decode(r)?,
+                have: Vec::<AdvertVersion>::decode(r)?,
+            },
+            11 => ClientFrame::AdvertDelta {
+                corr: RequestId::decode(r)?,
+                domain: String::decode(r)?,
+                deltas: Vec::<AdvertDelta>::decode(r)?,
+                have: Vec::<AdvertVersion>::decode(r)?,
             },
             tag => {
                 return Err(DecodeError::BadTag {
@@ -452,22 +635,36 @@ impl WireEncode for ServerFrame {
                 outcome,
                 ttl,
                 visited,
+                deltas,
             } => {
                 out.push(11);
                 corr.encode(out)?;
                 outcome.encode(out)?;
                 ttl.encode(out)?;
                 visited.encode(out)?;
+                deltas.encode(out)?;
             }
             ServerFrame::PoolsSynced {
                 corr,
                 domain,
                 pools,
+                deltas,
             } => {
                 out.push(12);
                 corr.encode(out)?;
                 domain.encode(out)?;
                 pools.encode(out)?;
+                deltas.encode(out)?;
+            }
+            ServerFrame::AdvertAck {
+                corr,
+                domain,
+                deltas,
+            } => {
+                out.push(13);
+                corr.encode(out)?;
+                domain.encode(out)?;
+                deltas.encode(out)?;
             }
         }
         Ok(())
@@ -520,11 +717,18 @@ impl WireDecode for ServerFrame {
                 outcome: WireOutcome::decode(r)?,
                 ttl: u32::decode(r)?,
                 visited: Vec::<String>::decode(r)?,
+                deltas: Vec::<AdvertDelta>::decode(r)?,
             },
             12 => ServerFrame::PoolsSynced {
                 corr: RequestId::decode(r)?,
                 domain: String::decode(r)?,
                 pools: Vec::<String>::decode(r)?,
+                deltas: Vec::<AdvertDelta>::decode(r)?,
+            },
+            13 => ServerFrame::AdvertAck {
+                corr: RequestId::decode(r)?,
+                domain: String::decode(r)?,
+                deltas: Vec::<AdvertDelta>::decode(r)?,
             },
             tag => {
                 return Err(DecodeError::BadTag {
@@ -660,7 +864,7 @@ mod tests {
 
     #[test]
     fn negotiation_picks_the_highest_common_version() {
-        assert_eq!(negotiate(2, 2), Some(2));
+        assert_eq!(negotiate(3, 3), Some(3));
         assert_eq!(negotiate(1, 99), Some(PROTOCOL_VERSION));
         assert_eq!(
             negotiate(MIN_SUPPORTED_VERSION, PROTOCOL_VERSION),
@@ -668,12 +872,15 @@ mod tests {
         );
         // A client that only speaks future versions is rejected.
         assert_eq!(negotiate(PROTOCOL_VERSION + 1, PROTOCOL_VERSION + 5), None);
-        // A client that only speaks retired versions is rejected: v2
-        // changed the StatsSnapshot layout, so serving a v1 client would
-        // desynchronise its decoder mid-session.
+        // A client that only speaks retired versions is rejected: v2 and
+        // v3 each changed the StatsSnapshot layout (and v3 the delegation
+        // reply layout), so serving an older client would desynchronise
+        // its decoder mid-session.
         assert_eq!(negotiate(1, 1), None);
+        assert_eq!(negotiate(2, 2), None);
+        assert_eq!(negotiate(1, 2), None);
         // An inverted range is rejected.
-        assert_eq!(negotiate(3, 2), None);
+        assert_eq!(negotiate(4, 3), None);
     }
 
     #[test]
@@ -707,6 +914,34 @@ mod tests {
                 corr: RequestId(6),
                 domain: "purdue".to_string(),
                 pools: vec!["arch,==/sun".to_string()],
+                have: vec![AdvertVersion {
+                    origin: "upc".to_string(),
+                    epoch: 4,
+                    seq: 17,
+                }],
+            },
+            ClientFrame::AdvertDelta {
+                corr: RequestId(7),
+                domain: "purdue".to_string(),
+                deltas: vec![AdvertDelta {
+                    origin: "purdue".to_string(),
+                    epoch: 2,
+                    head: 6,
+                    entries: vec![
+                        AdvertEntry {
+                            seq: 5,
+                            pool: "arch,==/sun".to_string(),
+                            alive: true,
+                        },
+                        AdvertEntry {
+                            seq: 6,
+                            pool: "arch,==/sgi".to_string(),
+                            alive: false,
+                        },
+                    ],
+                    full: false,
+                }],
+                have: vec![],
             },
         ];
         let mut stream = Vec::new();
@@ -746,17 +981,41 @@ mod tests {
                 outcome: Ok(vec![allocation()]),
                 ttl: 2,
                 visited: vec!["purdue".to_string(), "upc".to_string()],
+                deltas: vec![AdvertDelta {
+                    origin: "upc".to_string(),
+                    epoch: 1,
+                    head: 1,
+                    entries: vec![AdvertEntry {
+                        seq: 1,
+                        pool: "arch,==/hp".to_string(),
+                        alive: true,
+                    }],
+                    full: true,
+                }],
             },
             ServerFrame::Delegated {
                 corr: RequestId(7),
                 outcome: Err(AllocationError::TtlExpired),
                 ttl: 0,
                 visited: vec!["purdue".to_string()],
+                deltas: vec![],
             },
             ServerFrame::PoolsSynced {
                 corr: RequestId(8),
                 domain: "upc".to_string(),
                 pools: vec!["arch,==/hp".to_string(), "arch,==/sun".to_string()],
+                deltas: vec![],
+            },
+            ServerFrame::AdvertAck {
+                corr: RequestId(9),
+                domain: "upc".to_string(),
+                deltas: vec![AdvertDelta {
+                    origin: "cern".to_string(),
+                    epoch: 3,
+                    head: 0,
+                    entries: vec![],
+                    full: false,
+                }],
             },
         ];
         let mut stream = Vec::new();

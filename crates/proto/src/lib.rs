@@ -29,6 +29,12 @@
 //!   its remaining TTL and the visited-domain list between peered daemons,
 //!   and [`ClientFrame::SyncPools`] / [`ServerFrame::PoolsSynced`]
 //!   exchange pool advertisements so peers learn each other's pool names.
+//!   Version 3 adds the anti-entropy gossip plane:
+//!   [`ClientFrame::AdvertDelta`] / [`ServerFrame::AdvertAck`] exchange
+//!   versioned advertisement-log deltas ([`AdvertDelta`], [`AdvertEntry`],
+//!   [`AdvertVersion`]), and the same deltas piggyback on `Delegated` and
+//!   `PoolsSynced` replies so directory news rides on traffic already
+//!   flowing.
 //!
 //! The protocol deliberately carries queries in the native key/value *text*
 //! form: the query language is the paper's client-facing interface, its
@@ -44,8 +50,9 @@ pub mod types;
 pub mod wire;
 
 pub use frames::{
-    negotiate, read_client_frame, read_frame_body, read_server_frame, write_frame, ClientFrame,
-    FrameError, ServerFrame, WireOutcome, MAX_FRAME_LEN, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+    negotiate, read_client_frame, read_frame_body, read_server_frame, write_frame, AdvertDelta,
+    AdvertEntry, AdvertVersion, ClientFrame, FrameError, ServerFrame, WireOutcome, MAX_FRAME_LEN,
+    MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 pub use types::{
     AddressParseError, Allocation, AllocationError, RequestId, RequestIdGenerator, SessionKey,

@@ -440,6 +440,22 @@ pub struct StatsSnapshot {
     pub records_examined: u64,
     /// Tickets submitted but not yet redeemed.
     pub in_flight: usize,
+    /// Advertisement-log deltas applied from peers — piggybacked on
+    /// delegation traffic or pulled by the anti-entropy tick (federated
+    /// daemons only).
+    pub gossip_deltas_in: u64,
+    /// Advertisement-log deltas shipped to peers (federated daemons only).
+    pub gossip_deltas_out: u64,
+    /// Delegations routed straight to a cached satisfying domain
+    /// (federated daemons only).
+    pub route_hits: u64,
+    /// Delegations that fell back to the TTL-bounded chain walk because no
+    /// cached route existed (federated daemons only).
+    pub route_misses: u64,
+    /// Peer links re-dialed after a previously-established connection
+    /// dropped.  Zero on a healthy federation — gossip keeps directories
+    /// fresh without tearing links down.
+    pub peer_redials: u64,
 }
 
 impl WireEncode for StatsSnapshot {
@@ -454,7 +470,12 @@ impl WireEncode for StatsSnapshot {
         self.delegations_in.encode(out)?;
         self.releases.encode(out)?;
         self.records_examined.encode(out)?;
-        (self.in_flight as u64).encode(out)
+        (self.in_flight as u64).encode(out)?;
+        self.gossip_deltas_in.encode(out)?;
+        self.gossip_deltas_out.encode(out)?;
+        self.route_hits.encode(out)?;
+        self.route_misses.encode(out)?;
+        self.peer_redials.encode(out)
     }
 }
 
@@ -472,6 +493,11 @@ impl WireDecode for StatsSnapshot {
             releases: u64::decode(r)?,
             records_examined: u64::decode(r)?,
             in_flight: u64::decode(r)? as usize,
+            gossip_deltas_in: u64::decode(r)?,
+            gossip_deltas_out: u64::decode(r)?,
+            route_hits: u64::decode(r)?,
+            route_misses: u64::decode(r)?,
+            peer_redials: u64::decode(r)?,
         })
     }
 }
@@ -599,6 +625,11 @@ mod tests {
             releases: 7,
             records_examined: 8,
             in_flight: 9,
+            gossip_deltas_in: 12,
+            gossip_deltas_out: 13,
+            route_hits: 14,
+            route_misses: 15,
+            peer_redials: 16,
         };
         assert_eq!(
             StatsSnapshot::from_wire_bytes(&s.to_wire_bytes().unwrap()).unwrap(),

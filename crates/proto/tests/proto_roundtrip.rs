@@ -8,8 +8,8 @@ use proptest::prelude::*;
 
 use actyp_grid::MachineId;
 use actyp_proto::{
-    Allocation, AllocationError, ClientFrame, EncodeError, RequestId, ServerFrame, SessionKey,
-    StatsSnapshot, WireDecode, WireEncode, MAX_SEQUENCE_LEN,
+    AdvertDelta, AdvertEntry, AdvertVersion, Allocation, AllocationError, ClientFrame, EncodeError,
+    RequestId, ServerFrame, SessionKey, StatsSnapshot, WireDecode, WireEncode, MAX_SEQUENCE_LEN,
 };
 
 fn text_strategy() -> impl Strategy<Value = String> {
@@ -81,23 +81,60 @@ fn stats_strategy() -> impl Strategy<Value = StatsSnapshot> {
         releases: seed / 3,
         records_examined: seed.wrapping_mul(17),
         in_flight: (seed % 1024) as usize,
+        gossip_deltas_in: seed % 29,
+        gossip_deltas_out: seed % 31,
+        route_hits: seed % 37,
+        route_misses: seed % 41,
+        peer_redials: seed % 43,
     })
 }
 
+fn advert_version_strategy() -> impl Strategy<Value = AdvertVersion> {
+    (text_strategy(), 0u64..1 << 20, 0u64..1 << 20).prop_map(|(origin, epoch, seq)| AdvertVersion {
+        origin,
+        epoch,
+        seq,
+    })
+}
+
+fn advert_delta_strategy() -> impl Strategy<Value = AdvertDelta> {
+    (
+        text_strategy(),
+        0u64..1 << 20,
+        0u64..1 << 20,
+        prop::collection::vec((0u64..1 << 20, text_strategy(), prop::bool::ANY), 0..4),
+        prop::bool::ANY,
+    )
+        .prop_map(|(origin, epoch, head, entries, full)| AdvertDelta {
+            origin,
+            epoch,
+            head,
+            entries: entries
+                .into_iter()
+                .map(|(seq, pool, alive)| AdvertEntry { seq, pool, alive })
+                .collect(),
+            full,
+        })
+}
+
 /// Every [`ClientFrame`] variant, driven by a variant selector so each of
-/// the eleven shapes is generated.
+/// the twelve shapes is generated.
 fn client_frame_strategy() -> impl Strategy<Value = ClientFrame> {
     (
-        (0u8..11, 0u64..1 << 32, text_strategy()),
+        (0u8..12, 0u64..1 << 32, text_strategy()),
         (
             prop::collection::vec(text_strategy(), 0..5),
             0u64..1 << 20,
             prop::option::of(0u64..100_000),
             allocation_strategy(),
         ),
+        (
+            prop::collection::vec(advert_delta_strategy(), 0..3),
+            prop::collection::vec(advert_version_strategy(), 0..3),
+        ),
     )
         .prop_map(
-            |((variant, corr, query), (queries, ticket, deadline, allocation))| {
+            |((variant, corr, query), (queries, ticket, deadline, allocation), (deltas, have))| {
                 let corr = RequestId(corr);
                 match variant {
                     0 => ClientFrame::Hello {
@@ -122,10 +159,17 @@ fn client_frame_strategy() -> impl Strategy<Value = ClientFrame> {
                         ttl: (ticket % 32) as u32,
                         visited: queries,
                     },
-                    _ => ClientFrame::SyncPools {
+                    10 => ClientFrame::SyncPools {
                         corr,
                         domain: query,
                         pools: queries,
+                        have,
+                    },
+                    _ => ClientFrame::AdvertDelta {
+                        corr,
+                        domain: query,
+                        deltas,
+                        have,
                     },
                 }
             },
@@ -135,7 +179,7 @@ fn client_frame_strategy() -> impl Strategy<Value = ClientFrame> {
 /// Every [`ServerFrame`] variant.
 fn server_frame_strategy() -> impl Strategy<Value = ServerFrame> {
     (
-        (0u8..13, 0u64..1 << 32, text_strategy()),
+        (0u8..14, 0u64..1 << 32, text_strategy()),
         (
             0u64..1 << 20,
             prop::collection::vec(0u64..1 << 20, 0..6),
@@ -146,13 +190,14 @@ fn server_frame_strategy() -> impl Strategy<Value = ServerFrame> {
         (
             prop::bool::ANY,
             prop::collection::vec(text_strategy(), 0..4),
+            prop::collection::vec(advert_delta_strategy(), 0..3),
         ),
     )
         .prop_map(
             |(
                 (variant, corr, message),
                 (ticket, tickets, allocations, error, stats),
-                (ok, names),
+                (ok, names, deltas),
             )| {
                 let corr = RequestId(corr);
                 match variant {
@@ -177,11 +222,18 @@ fn server_frame_strategy() -> impl Strategy<Value = ServerFrame> {
                         outcome: if ok { Ok(allocations) } else { Err(error) },
                         ttl: (ticket % 32) as u32,
                         visited: names,
+                        deltas,
                     },
-                    _ => ServerFrame::PoolsSynced {
+                    12 => ServerFrame::PoolsSynced {
                         corr,
                         domain: message,
                         pools: names,
+                        deltas,
+                    },
+                    _ => ServerFrame::AdvertAck {
+                        corr,
+                        domain: message,
+                        deltas,
                     },
                 }
             },

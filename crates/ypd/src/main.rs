@@ -57,6 +57,7 @@ usage: ypd [--listen HOST:PORT] [--backend KIND] [--machines N] [--seed N]
            [--arch NAME] [--query-managers N] [--pool-managers N] [--window N]
            [--sessions MODE] [--io-threads N] [--workers N] [--poller KIND]
            [--domain NAME] [--peer HOST:PORT]... [--ttl N]
+           [--gossip-interval MS] [--no-route-cache] [--stats-interval N]
 
   --listen HOST:PORT   address to bind (default: $ACTYP_YPD_LISTEN or 127.0.0.1:7411)
   --backend KIND       embedded | live | central-queue | matchmaker (default: live)
@@ -78,6 +79,12 @@ usage: ypd [--listen HOST:PORT] [--backend KIND] [--machines N] [--seed N]
   --peer HOST:PORT     peer daemon to delegate unsatisfiable queries to
                        (repeatable; default: $ACTYP_YPD_PEERS, comma separated)
   --ttl N              delegation time-to-live granted to queries (default: 8)
+  --gossip-interval MS anti-entropy gossip period in milliseconds; each round
+                       pushes advertisement-log deltas to every peer over the
+                       standing links (0 disables the periodic tick, leaving
+                       only piggybacked deltas; default: 1000)
+  --no-route-cache     disable the learned one-hop delegation route cache
+                       (every WAN query walks the TTL-bounded peer chain)
   --stats-interval N   print a machine-readable stats line every N seconds
                        (the line load generators and the bench harness scrape;
                        0 disables, the default)";
@@ -99,6 +106,8 @@ struct Config {
     domain: Option<String>,
     peers: Vec<StageAddress>,
     ttl: u32,
+    gossip_interval_ms: u64,
+    route_cache: bool,
     stats_interval: u64,
 }
 
@@ -120,6 +129,8 @@ impl Default for Config {
             domain: None,
             peers: Vec::new(),
             ttl: 8,
+            gossip_interval_ms: 1_000,
+            route_cache: true,
             stats_interval: 0,
         }
     }
@@ -259,6 +270,13 @@ fn parse_args(
                     .parse()
                     .map_err(|_| format!("--ttl: invalid hop count `{raw}`"))?;
             }
+            "--gossip-interval" => {
+                let raw = value("--gossip-interval")?;
+                config.gossip_interval_ms = raw
+                    .parse()
+                    .map_err(|_| format!("--gossip-interval: invalid milliseconds `{raw}`"))?;
+            }
+            "--no-route-cache" => config.route_cache = false,
             "--stats-interval" => {
                 let raw = value("--stats-interval")?;
                 config.stats_interval = raw
@@ -331,6 +349,8 @@ fn main() -> ExitCode {
                     domain: domain.clone(),
                     ttl: config.ttl,
                     peers: config.peers.clone(),
+                    gossip_interval: std::time::Duration::from_millis(config.gossip_interval_ms),
+                    route_cache: config.route_cache,
                 },
             )
             .map(|(handle, _backend)| handle),
@@ -402,7 +422,9 @@ fn spawn_stats_reporter(addr: StageAddress, interval_secs: u64) {
             println!(
                 "ypd: stats requests={} fragments={} allocations={} failures={} \
                  delegations={} forwards={} delegations_out={} delegations_in={} \
-                 releases={} records_examined={} in_flight={}",
+                 releases={} records_examined={} in_flight={} \
+                 gossip_deltas_in={} gossip_deltas_out={} route_hits={} \
+                 route_misses={} peer_redials={}",
                 stats.requests,
                 stats.fragments,
                 stats.allocations,
@@ -413,7 +435,12 @@ fn spawn_stats_reporter(addr: StageAddress, interval_secs: u64) {
                 stats.delegations_in,
                 stats.releases,
                 stats.records_examined,
-                stats.in_flight
+                stats.in_flight,
+                stats.gossip_deltas_in,
+                stats.gossip_deltas_out,
+                stats.route_hits,
+                stats.route_misses,
+                stats.peer_redials
             );
         }
     });
@@ -473,6 +500,9 @@ mod tests {
                 "127.0.0.1:7423",
                 "--ttl",
                 "5",
+                "--gossip-interval",
+                "250",
+                "--no-route-cache",
             ]),
             no_env(),
         )
@@ -498,6 +528,16 @@ mod tests {
             ]
         );
         assert_eq!(config.ttl, 5);
+        assert_eq!(config.gossip_interval_ms, 250);
+        assert!(!config.route_cache);
+    }
+
+    #[test]
+    fn gossip_interval_rejects_garbage() {
+        let err = parse_args(args(&["--gossip-interval", "soon"]), no_env()).unwrap_err();
+        assert!(err.contains("--gossip-interval"), "{err}");
+        let err = parse_args(args(&["--gossip-interval"]), no_env()).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn spawn_domain(
                 domain: domain.to_string(),
                 ttl: 8,
                 peers,
+                ..FederationConfig::default()
             },
         )
         .expect("federated reactor daemon starts");

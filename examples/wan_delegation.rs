@@ -47,6 +47,7 @@ fn spawn_domain(domain: &str, arch: &str, seed: u64, peers: Vec<StageAddress>) -
                 domain: domain.to_string(),
                 ttl: 8,
                 peers,
+                ..FederationConfig::default()
             },
         )
         .expect("federated daemon starts");

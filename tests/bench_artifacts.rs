@@ -139,10 +139,12 @@ fn committed_artifacts_parse_and_cover_every_topic() {
             "{topic} must be committed at quick scale"
         );
         assert!(!artifact.points.is_empty(), "{topic} has no points");
-        let expected_kind = if topic.starts_with("saturation") {
-            ArtifactKind::Measured
-        } else {
+        // Figure topics replay the simulator; everything else times a
+        // real daemon over loopback (saturation sweeps, routing).
+        let expected_kind = if topic.starts_with("fig") {
             ArtifactKind::Simulated
+        } else {
+            ArtifactKind::Measured
         };
         assert_eq!(artifact.kind, expected_kind, "{topic}");
     }

@@ -55,6 +55,8 @@ fn spawn_domain(
                 domain: domain.to_string(),
                 ttl,
                 peers,
+                gossip_interval: std::time::Duration::ZERO,
+                ..FederationConfig::default()
             },
         )
         .expect("federated daemon starts")
@@ -349,6 +351,7 @@ fn parallel_delegations_multiplex_on_one_peer_link() {
                     corr,
                     domain: "upc".to_string(),
                     pools: Vec::new(),
+                    deltas: Vec::new(),
                 },
             )
             .unwrap(),
@@ -385,6 +388,7 @@ fn parallel_delegations_multiplex_on_one_peer_link() {
                     outcome: Err(error),
                     ttl: ttl.saturating_sub(1),
                     visited,
+                    deltas: Vec::new(),
                 },
             )
             .unwrap();
@@ -401,6 +405,8 @@ fn parallel_delegations_multiplex_on_one_peer_link() {
                 domain: "purdue".to_string(),
                 ttl: 8,
                 peers: vec![StageAddress::new("127.0.0.1", fake_addr.port())],
+                gossip_interval: std::time::Duration::ZERO,
+                ..FederationConfig::default()
             },
         )
         .unwrap();
@@ -501,6 +507,7 @@ fn redialed_peer_link_resyncs_pool_advertisements() {
                         corr,
                         domain: "upc".to_string(),
                         pools,
+                        deltas: Vec::new(),
                     },
                 )
                 .unwrap(),
@@ -532,6 +539,7 @@ fn redialed_peer_link_resyncs_pool_advertisements() {
                         outcome: Err(AllocationError::NoneAvailable),
                         ttl: ttl.saturating_sub(1),
                         visited,
+                        deltas: Vec::new(),
                     },
                 )
                 .unwrap();
@@ -547,6 +555,8 @@ fn redialed_peer_link_resyncs_pool_advertisements() {
                 domain: "purdue".to_string(),
                 ttl: 8,
                 peers: vec![StageAddress::new("127.0.0.1", fake_addr.port())],
+                gossip_interval: std::time::Duration::ZERO,
+                ..FederationConfig::default()
             },
         )
         .unwrap();
@@ -599,6 +609,8 @@ fn concurrent_delegations_to_the_same_peer_all_settle() {
                 domain: "purdue".to_string(),
                 ttl: 8,
                 peers: vec![srv_b.local_addr()],
+                gossip_interval: std::time::Duration::ZERO,
+                ..FederationConfig::default()
             },
         )
         .unwrap();
@@ -876,6 +888,8 @@ fn over_window_batches_backpressure_with_a_deadline_on_a_federated_daemon() {
                 domain: "solo".to_string(),
                 ttl: 4,
                 peers: Vec::new(),
+                gossip_interval: std::time::Duration::ZERO,
+                ..FederationConfig::default()
             },
         )
         .expect("federated daemon starts");

@@ -93,6 +93,8 @@ fn two_hundred_idle_sessions_hold_no_extra_threads() {
                     domain: domain.to_string(),
                     ttl: 8,
                     peers: Vec::new(),
+                    gossip_interval: std::time::Duration::ZERO,
+                    ..FederationConfig::default()
                 },
             )
             .unwrap()
@@ -108,6 +110,8 @@ fn two_hundred_idle_sessions_hold_no_extra_threads() {
                 domain: "purdue".to_string(),
                 ttl: 8,
                 peers: vec![peer_a.local_addr(), peer_b.local_addr()],
+                gossip_interval: std::time::Duration::ZERO,
+                ..FederationConfig::default()
             },
         )
         .unwrap();
