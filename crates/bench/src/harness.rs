@@ -737,6 +737,7 @@ fn routing(scale: &Scale) -> Result<BenchArtifact, String> {
                     ],
                     gossip_interval: Duration::ZERO,
                     route_cache,
+                    ..FederationConfig::default()
                 },
             )
             .map_err(|e| format!("entry daemon: {e}"))

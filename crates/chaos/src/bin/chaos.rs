@@ -1,0 +1,249 @@
+//! The chaos harness CLI.
+//!
+//! ```text
+//! chaos list
+//! chaos show --scenario NAME
+//! chaos sim  --scenario NAME [--seed N] [--runs N] [--print-log]
+//! chaos sim  --suite quick|full
+//! chaos sim  --file PATH [...]
+//! chaos live --scenario NAME [--ypd PATH] [--base-port P] [--time-scale F]
+//! ```
+//!
+//! `sim` runs a scenario `--runs` times (default 2) and requires every
+//! run to produce the identical digest — determinism is asserted on every
+//! invocation, not just in the test suite.  Exit status is nonzero on any
+//! invariant violation or digest mismatch.  `live` replays the same spec
+//! against a fleet of real daemons: in-process by default, external
+//! processes with `--ypd`.
+
+use std::process::ExitCode;
+
+use actyp_chaos::{by_name, catalog, run_live, run_sim, LiveOptions, Scenario, SimReport};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("show") => show(&argv[1..]),
+        Some("sim") => sim(&argv[1..]),
+        Some("live") => live(&argv[1..]),
+        _ => {
+            eprintln!("usage: chaos <list|show|sim|live> [options]");
+            eprintln!("  chaos list");
+            eprintln!("  chaos show --scenario NAME");
+            eprintln!("  chaos sim  --scenario NAME [--seed N] [--runs N] [--print-log]");
+            eprintln!("  chaos sim  --suite quick|full [--runs N]");
+            eprintln!("  chaos sim  --file PATH [--seed N] [--runs N] [--print-log]");
+            eprintln!("  chaos live --scenario NAME [--ypd PATH] [--base-port P] [--time-scale F]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--flag value` lookup.
+fn opt(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn list() -> ExitCode {
+    for scenario in catalog() {
+        println!(
+            "{:<24} seed={:<4} domains={:<4} duration={:>6}ms  faults={} workloads={}",
+            scenario.name,
+            scenario.seed,
+            scenario.domains,
+            scenario.duration_ms,
+            scenario.faults.len(),
+            scenario.workloads.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Loads the scenario named by `--scenario` or `--file`, applying a
+/// `--seed` override.
+fn load(args: &[String]) -> Result<Scenario, String> {
+    let mut scenario = if let Some(path) = opt(args, "--file") {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+        Scenario::parse(&text)?
+    } else if let Some(name) = opt(args, "--scenario") {
+        by_name(&name).ok_or_else(|| {
+            format!("no scenario named `{name}` (run `chaos list` for the catalog)")
+        })?
+    } else {
+        return Err("pass --scenario NAME or --file PATH".to_string());
+    };
+    if let Some(seed) = opt(args, "--seed") {
+        scenario.seed = seed.parse().map_err(|e| format!("--seed {seed}: {e}"))?;
+    }
+    Ok(scenario)
+}
+
+fn show(args: &[String]) -> ExitCode {
+    match load(args) {
+        Ok(scenario) => {
+            print!("{}", scenario.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("chaos show: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn sim(args: &[String]) -> ExitCode {
+    let runs: u32 = match opt(args, "--runs").map(|r| r.parse()).transpose() {
+        Ok(runs) => runs.unwrap_or(2).max(1),
+        Err(e) => {
+            eprintln!("chaos sim: --runs: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenarios: Vec<Scenario> = if let Some(suite) = opt(args, "--suite") {
+        let all = catalog();
+        match suite.as_str() {
+            "full" => all,
+            "quick" => all.into_iter().filter(|s| s.domains <= 40).collect(),
+            other => {
+                eprintln!("chaos sim: unknown suite `{other}` (quick or full)");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match load(args) {
+            Ok(scenario) => vec![scenario],
+            Err(e) => {
+                eprintln!("chaos sim: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let mut failed = false;
+    for scenario in &scenarios {
+        match sim_one(scenario, runs, flag(args, "--print-log")) {
+            Ok(()) => {}
+            Err(e) => {
+                eprintln!("chaos sim: {}: {e}", scenario.name);
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn sim_one(scenario: &Scenario, runs: u32, print_log: bool) -> Result<(), String> {
+    let mut first: Option<SimReport> = None;
+    for run in 0..runs {
+        let report = run_sim(scenario)?;
+        if let Some(reference) = &first {
+            if report.digest() != reference.digest() {
+                return Err(format!(
+                    "NOT DETERMINISTIC: run {} digest {:016x} != run 0 digest {:016x}",
+                    run,
+                    report.digest(),
+                    reference.digest()
+                ));
+            }
+        } else {
+            first = Some(report);
+        }
+    }
+    let report = first.expect("at least one run");
+    if print_log {
+        println!("{}", report.log.render());
+    }
+    println!(
+        "{:<24} seed={:<4} digest={:016x} runs={runs} events={} submitted={} ok={} err={} \
+         hops={} exchanges={} leases={} [{}]",
+        report.scenario,
+        report.seed,
+        report.digest(),
+        report.log.len(),
+        report.metrics.submitted,
+        report.metrics.settled_ok,
+        report.metrics.settled_err,
+        report.metrics.hops,
+        report.metrics.gossip_exchanges,
+        report.metrics.leases_granted,
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
+    if !report.passed() {
+        for violation in &report.violations {
+            eprintln!("  violation: {violation}");
+        }
+        return Err(format!("{} invariant violations", report.violations.len()));
+    }
+    Ok(())
+}
+
+fn live(args: &[String]) -> ExitCode {
+    let scenario = match load(args) {
+        Ok(scenario) => scenario,
+        Err(e) => {
+            eprintln!("chaos live: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base_port = match opt(args, "--base-port").map(|p| p.parse()).transpose() {
+        Ok(port) => port.unwrap_or(7600),
+        Err(e) => {
+            eprintln!("chaos live: --base-port: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut options = match opt(args, "--ypd") {
+        Some(ypd) => LiveOptions::external(ypd.into(), base_port),
+        None => LiveOptions::in_process(base_port),
+    };
+    if let Some(scale) = opt(args, "--time-scale") {
+        match scale.parse::<f64>() {
+            Ok(scale) if scale > 0.0 => options.time_scale = scale,
+            Ok(_) | Err(_) => {
+                eprintln!("chaos live: --time-scale must be a positive number");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match run_live(&scenario, &options) {
+        Ok(report) => {
+            for event in &report.events {
+                println!("{event}");
+            }
+            println!(
+                "{:<24} submitted={} ok={} refused={} released={} reclaimed={} vanished={} [{}]",
+                report.scenario,
+                report.submitted,
+                report.succeeded,
+                report.failed,
+                report.released,
+                report.reclaimed,
+                report.vanished,
+                if report.passed() { "PASS" } else { "FAIL" }
+            );
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                for violation in &report.violations {
+                    eprintln!("  violation: {violation}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("chaos live: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

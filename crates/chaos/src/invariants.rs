@@ -1,0 +1,375 @@
+//! The federation invariants every chaos run checks continuously.
+//!
+//! These are the promises the routing and gossip planes make regardless of
+//! what the WAN does to them:
+//!
+//! - **TTL strictly decreasing** — every delegation hop consumes at least
+//!   one hop of time-to-live; no reply can re-arm a chain.
+//! - **No revisits** — a domain appears in a chain's visited list at most
+//!   once.
+//! - **Bounded chains** — a chain never takes more hops than the TTL it
+//!   started with.
+//! - **Route cache is advisory** — it may reorder the candidate set, never
+//!   add to it, drop from it, or bypass the TTL/visited discipline.
+//! - **No lease stranded** — every granted allocation ends released by its
+//!   client or reclaimed by session teardown.
+//! - **No ticket lost** — every submission settles (success, failure, or
+//!   teardown), none hangs forever.
+//! - **No resurrection** — a pool retired at its origin never reappears as
+//!   live in any domain's gossip view once the fleet has converged.
+//!
+//! The [`Checker`] accumulates violations as strings; an empty list at the
+//! end of a run is the pass verdict.  The simulator feeds it continuously;
+//! the live executor applies the same vocabulary to a real fleet.
+
+use std::collections::BTreeSet;
+
+use actyp_pipeline::RoutingState;
+
+/// One observed delegation hop: `from` handed the query to `to`, with the
+/// routing TTL sampled before the hop was sent and after the downstream
+/// chain's state was merged back.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    /// Delegating domain.
+    pub from: String,
+    /// Receiving domain.
+    pub to: String,
+    /// TTL before the hop.
+    pub ttl_before: u32,
+    /// TTL after the downstream chain returned.
+    pub ttl_after: u32,
+}
+
+/// Lifecycle of one granted allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Granted, not yet returned.
+    Held,
+    /// Returned by the holding client.
+    Released,
+    /// Reclaimed by session teardown (client vanished or a daemon died).
+    Reclaimed,
+}
+
+/// One granted allocation, tracked from grant to its terminal state.
+#[derive(Debug, Clone)]
+pub struct Lease {
+    /// The session access key (unique per grant).
+    pub key: String,
+    /// Domain that granted the allocation.
+    pub grantor: String,
+    /// Domain whose client holds it.
+    pub origin: String,
+    /// Pool it was granted from.
+    pub pool: String,
+    /// Where it is in its lifecycle.
+    pub state: LeaseState,
+}
+
+/// The ledger of every lease a run granted.  At the end of a run, a lease
+/// still [`LeaseState::Held`] is stranded — the paper's architecture
+/// reclaims *everything* through session teardown, so "stranded" always
+/// means a harness-visible bug.
+#[derive(Debug, Default)]
+pub struct LeaseLedger {
+    leases: Vec<Lease>,
+}
+
+impl LeaseLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a grant, returning the lease's ledger index.
+    pub fn grant(&mut self, key: String, grantor: String, origin: String, pool: String) -> usize {
+        self.leases.push(Lease {
+            key,
+            grantor,
+            origin,
+            pool,
+            state: LeaseState::Held,
+        });
+        self.leases.len() - 1
+    }
+
+    /// Marks a lease released.  Releasing a reclaimed lease is fine (the
+    /// client raced teardown); double-releasing a released one is not.
+    pub fn release(&mut self, index: usize, checker: &mut Checker) {
+        match self.leases[index].state {
+            LeaseState::Held => self.leases[index].state = LeaseState::Released,
+            LeaseState::Reclaimed => {}
+            LeaseState::Released => {
+                checker.violation(format!("lease {} double-released", self.leases[index].key))
+            }
+        }
+    }
+
+    /// Marks every held lease matching `pred` reclaimed, returning how
+    /// many were.
+    pub fn reclaim_where(&mut self, mut pred: impl FnMut(&Lease) -> bool) -> usize {
+        let mut n = 0;
+        for lease in &mut self.leases {
+            if lease.state == LeaseState::Held && pred(lease) {
+                lease.state = LeaseState::Reclaimed;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// The tracked leases.
+    pub fn leases(&self) -> &[Lease] {
+        &self.leases
+    }
+
+    /// How many leases are in the given state.
+    pub fn count(&self, state: LeaseState) -> usize {
+        self.leases.iter().filter(|l| l.state == state).count()
+    }
+
+    /// End-of-run check: no lease stranded.
+    pub fn final_check(&self, checker: &mut Checker) {
+        for lease in &self.leases {
+            if lease.state == LeaseState::Held {
+                checker.violation(format!(
+                    "lease {} stranded: granted by {} from pool {} to a client of {}, \
+                     never released or reclaimed",
+                    lease.key, lease.grantor, lease.pool, lease.origin
+                ));
+            }
+        }
+    }
+}
+
+/// Accumulates invariant violations over one run.
+#[derive(Debug, Default)]
+pub struct Checker {
+    violations: Vec<String>,
+    retired: BTreeSet<(String, String)>,
+}
+
+impl Checker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one violation.
+    pub fn violation(&mut self, message: impl Into<String>) {
+        self.violations.push(message.into());
+    }
+
+    /// Violations recorded so far (empty = run passed).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Marks `(origin, pool)` permanently retired: from now on it must
+    /// never be seen live again anywhere.
+    pub fn note_retired(&mut self, origin: &str, pool: &str) {
+        self.retired.insert((origin.to_string(), pool.to_string()));
+    }
+
+    /// The retired `(origin, pool)` pairs.
+    pub fn retired(&self) -> &BTreeSet<(String, String)> {
+        &self.retired
+    }
+
+    /// Validates one finished delegation chain against the routing
+    /// invariants: TTL strictly decreasing across every hop, hop count
+    /// bounded by the initial TTL, and no domain visited twice.
+    pub fn check_chain(
+        &mut self,
+        label: &str,
+        initial_ttl: u32,
+        hops: &[Hop],
+        final_state: &RoutingState,
+    ) {
+        for hop in hops {
+            if hop.ttl_after >= hop.ttl_before {
+                self.violation(format!(
+                    "{label}: TTL not strictly decreasing on hop {}->{} ({} -> {})",
+                    hop.from, hop.to, hop.ttl_before, hop.ttl_after
+                ));
+            }
+        }
+        if hops.len() as u32 > initial_ttl {
+            self.violation(format!(
+                "{label}: chain took {} hops with an initial TTL of {initial_ttl}",
+                hops.len()
+            ));
+        }
+        let mut seen = BTreeSet::new();
+        for domain in &final_state.visited {
+            if !seen.insert(domain.clone()) {
+                self.violation(format!("{label}: domain {domain} visited twice"));
+            }
+        }
+        if final_state.ttl + final_state.visited.len() as u32 > initial_ttl {
+            self.violation(format!(
+                "{label}: final TTL {} plus {} visits exceeds the initial TTL {initial_ttl}",
+                final_state.ttl,
+                final_state.visited.len()
+            ));
+        }
+    }
+
+    /// Validates a route-cache reorder: the cache may only *permute* the
+    /// candidate set — adding, dropping or substituting a candidate would
+    /// mean it bypassed the directory.
+    pub fn check_reorder(&mut self, label: &str, base: &[String], reordered: &[String]) {
+        let mut a = base.to_vec();
+        let mut b = reordered.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        if a != b {
+            self.violation(format!(
+                "{label}: route cache changed the candidate set ({base:?} -> {reordered:?})"
+            ));
+        }
+    }
+
+    /// Checks a domain's converged gossip view of `origin` against the
+    /// origin's actual live pool set, flagging divergence and any
+    /// resurrection of a retired pool.
+    pub fn check_converged_view(
+        &mut self,
+        observer: &str,
+        origin: &str,
+        observed_live: &[String],
+        actual_live: &[String],
+    ) {
+        let observed: BTreeSet<&String> = observed_live.iter().collect();
+        let actual: BTreeSet<&String> = actual_live.iter().collect();
+        for pool in observed.difference(&actual) {
+            let key = (origin.to_string(), (*pool).clone());
+            if self.retired.contains(&key) {
+                self.violation(format!(
+                    "{observer} resurrected retired pool {pool} of origin {origin}"
+                ));
+            } else {
+                self.violation(format!(
+                    "{observer} believes origin {origin} hosts {pool}, which it does not"
+                ));
+            }
+        }
+        for pool in actual.difference(&observed) {
+            self.violation(format!(
+                "{observer} never converged on pool {pool} of origin {origin}"
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hop(from: &str, to: &str, before: u32, after: u32) -> Hop {
+        Hop {
+            from: from.into(),
+            to: to.into(),
+            ttl_before: before,
+            ttl_after: after,
+        }
+    }
+
+    #[test]
+    fn a_clean_chain_passes() {
+        let mut c = Checker::new();
+        let state = RoutingState {
+            ttl: 5,
+            visited: vec!["a".into(), "b".into(), "c".into()],
+        };
+        c.check_chain(
+            "req-1",
+            8,
+            &[hop("a", "b", 7, 6), hop("b", "c", 6, 5)],
+            &state,
+        );
+        assert!(c.violations().is_empty(), "{:?}", c.violations());
+    }
+
+    #[test]
+    fn a_non_decreasing_ttl_is_flagged() {
+        let mut c = Checker::new();
+        let state = RoutingState {
+            ttl: 7,
+            visited: vec!["a".into(), "b".into()],
+        };
+        c.check_chain("req-2", 8, &[hop("a", "b", 7, 7)], &state);
+        assert!(c
+            .violations()
+            .iter()
+            .any(|v| v.contains("not strictly decreasing")));
+    }
+
+    #[test]
+    fn a_revisit_and_a_ttl_overdraw_are_flagged() {
+        let mut c = Checker::new();
+        let state = RoutingState {
+            ttl: 6,
+            visited: vec!["a".into(), "b".into(), "a".into()],
+        };
+        c.check_chain("req-3", 8, &[], &state);
+        assert!(c.violations().iter().any(|v| v.contains("visited twice")));
+        assert!(c
+            .violations()
+            .iter()
+            .any(|v| v.contains("exceeds the initial TTL")));
+    }
+
+    #[test]
+    fn route_cache_may_permute_but_not_edit_candidates() {
+        let mut c = Checker::new();
+        let base = vec!["x".to_string(), "y".to_string(), "z".to_string()];
+        c.check_reorder(
+            "req-4",
+            &base,
+            &["z".to_string(), "x".to_string(), "y".to_string()],
+        );
+        assert!(c.violations().is_empty());
+        c.check_reorder("req-4", &base, &["z".to_string(), "x".to_string()]);
+        assert_eq!(c.violations().len(), 1);
+    }
+
+    #[test]
+    fn a_stranded_lease_and_a_resurrection_are_flagged() {
+        let mut checker = Checker::new();
+        let mut ledger = LeaseLedger::new();
+        let a = ledger.grant("k1".into(), "d1".into(), "d0".into(), "arch,==/hp".into());
+        let b = ledger.grant("k2".into(), "d2".into(), "d0".into(), "arch,==/sun".into());
+        ledger.release(a, &mut checker);
+        let _ = b; // never released, never reclaimed
+        ledger.final_check(&mut checker);
+        assert!(checker
+            .violations()
+            .iter()
+            .any(|v| v.contains("k2 stranded")));
+
+        checker.note_retired("d3", "arch,==/sgi");
+        checker.check_converged_view("d9", "d3", &["arch,==/sgi".to_string()], &[]);
+        assert!(checker
+            .violations()
+            .iter()
+            .any(|v| v.contains("resurrected")));
+    }
+
+    #[test]
+    fn teardown_reclaim_prevents_stranding_and_release_after_reclaim_is_benign() {
+        let mut checker = Checker::new();
+        let mut ledger = LeaseLedger::new();
+        let idx = ledger.grant("k1".into(), "d1".into(), "d0".into(), "p".into());
+        assert_eq!(ledger.reclaim_where(|l| l.grantor == "d1"), 1);
+        ledger.release(idx, &mut checker); // client raced teardown: fine
+        ledger.final_check(&mut checker);
+        assert!(
+            checker.violations().is_empty(),
+            "{:?}",
+            checker.violations()
+        );
+        assert_eq!(ledger.count(LeaseState::Reclaimed), 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # actyp-chaos — the deterministic WAN chaos harness
+//!
+//! The federation and gossip planes make promises — TTL-bounded loop-free
+//! delegation, session-teardown lease reclamation, anti-entropy
+//! convergence with no resurrection of retired pools — that only get
+//! exercised when the WAN misbehaves.  This crate turns "the WAN
+//! misbehaves" into a reproducible artifact:
+//!
+//! * [`scenario`] — a scenario is *data*: topology, link characteristics,
+//!   fault schedule, workload mix and seed, with a plain-text format that
+//!   round-trips.  A small catalog of named scenarios covers partitions,
+//!   peer flapping, hotspot stampedes, mass client vanish, pool
+//!   retirement/rename waves and deadline-constrained bursts.
+//! * [`plan`] — expands a scenario's workload mix into the ordered
+//!   submission trace both executors replay.
+//! * [`sim`] — the simulated executor: hundreds of domains wired over
+//!   `actyp-simnet`'s event queue, running the *real* delegation chain,
+//!   gossip plane and route cache on virtual time.  Same seed, same run —
+//!   byte-for-byte, digest-checked.
+//! * [`live`] — the live executor: the same scenario spec driven against
+//!   a fleet of real `ypd` daemons (in-process or external binaries) on
+//!   scaled wall-clock time.
+//! * [`invariants`] — the checker both executors feed: no lease stranded,
+//!   no ticket lost, TTL strictly decreasing, no revisits, route cache
+//!   advisory-only, gossip converged with nothing resurrected.
+//! * [`log`] — the order-sensitive event log whose digest is a run's
+//!   identity.
+//!
+//! The `chaos` binary fronts all of it: `chaos list`, `chaos sim`,
+//! `chaos live`.
+
+pub mod invariants;
+pub mod live;
+pub mod log;
+pub mod plan;
+pub mod scenario;
+pub mod sim;
+
+pub use invariants::{Checker, Hop, Lease, LeaseLedger, LeaseState};
+pub use live::{run_live, LiveMode, LiveOptions, LiveReport};
+pub use log::EventLog;
+pub use plan::{submission_plan, PlannedSubmission};
+pub use scenario::{by_name, catalog, Fault, FaultSpec, Scenario, Topology, WorkloadSpec};
+pub use sim::{run_sim, SimMetrics, SimReport};

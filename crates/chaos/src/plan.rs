@@ -1,0 +1,158 @@
+//! The submission plan: a scenario's workload mix expanded into a
+//! concrete, fully ordered list of submissions.
+//!
+//! Both executors run the *same* plan — the simulator replays it on
+//! virtual time, the live executor on scaled wall-clock time — so a
+//! scenario is trace-driven in the strict sense: which client submits
+//! what, where, and when is fixed by `(scenario, seed)` before either
+//! executor starts.  The arrival times come from the workload crate's
+//! generators (open Poisson populations, hot-spot windows), driven by RNG
+//! streams derived from the scenario seed.
+
+use actyp_simnet::Rng;
+use actyp_workload::ClientPopulation;
+
+use crate::scenario::{Scenario, WorkloadSpec};
+
+/// One planned submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedSubmission {
+    /// Submission time, ms from scenario start.
+    pub at_ms: u64,
+    /// Entry domain (the daemon the client talks to).
+    pub origin: usize,
+    /// Architecture the query asks for.
+    pub arch: String,
+    /// How long the client holds its allocation before releasing, ms.
+    pub hold_ms: u64,
+    /// Index of the workload component this submission belongs to.
+    pub workload: usize,
+    /// Settle deadline, ms (deadline-constrained sweeps only).
+    pub deadline_ms: Option<u64>,
+}
+
+/// Expands the scenario's workload mix into the ordered submission list.
+/// Pure function of the scenario (including its seed): every call returns
+/// the identical plan.
+pub fn submission_plan(scenario: &Scenario) -> Vec<PlannedSubmission> {
+    let mut all: Vec<PlannedSubmission> = Vec::new();
+    for (widx, spec) in scenario.workloads.iter().enumerate() {
+        // One derived stream per workload component, so editing one
+        // component never reshuffles another's arrivals.
+        let mut rng = Rng::new(scenario.seed ^ 0x9e37_79b9 ^ ((widx as u64 + 1) << 32));
+        match spec {
+            WorkloadSpec::Background {
+                start_ms,
+                clients,
+                requests_per_client,
+                rate_per_s,
+                arch,
+                hold_ms,
+            } => {
+                let population =
+                    ClientPopulation::open(*clients, *requests_per_client, *rate_per_s);
+                for arrival in population.arrival_times(&mut rng) {
+                    let at_ms = start_ms + arrival.as_nanos() / 1_000_000;
+                    let arch = match arch {
+                        Some(a) => a.clone(),
+                        None => scenario.archs[rng.index(scenario.archs.len())].clone(),
+                    };
+                    all.push(PlannedSubmission {
+                        at_ms,
+                        origin: rng.index(scenario.domains),
+                        arch,
+                        hold_ms: hold(&mut rng, *hold_ms),
+                        workload: widx,
+                        deadline_ms: None,
+                    });
+                }
+            }
+            WorkloadSpec::Hotspot {
+                at_ms,
+                clients,
+                window_ms,
+                arch,
+                hold_ms,
+            } => {
+                for _ in 0..*clients {
+                    all.push(PlannedSubmission {
+                        at_ms: at_ms + rng.below((*window_ms).max(1)),
+                        origin: rng.index(scenario.domains),
+                        arch: arch.clone(),
+                        hold_ms: hold(&mut rng, *hold_ms),
+                        workload: widx,
+                        deadline_ms: None,
+                    });
+                }
+            }
+            WorkloadSpec::Burst {
+                at_ms,
+                jobs,
+                deadline_ms,
+                budget: _,
+                arch,
+                hold_ms,
+            } => {
+                for job in 0..*jobs {
+                    // Sweeps submit in quick succession, not all at one
+                    // instant: a short deterministic stagger per job.
+                    all.push(PlannedSubmission {
+                        at_ms: at_ms + job as u64 * 25 + rng.below(25),
+                        origin: rng.index(scenario.domains),
+                        arch: arch.clone(),
+                        hold_ms: hold(&mut rng, *hold_ms),
+                        workload: widx,
+                        deadline_ms: Some(*deadline_ms),
+                    });
+                }
+            }
+        }
+    }
+    // Submissions past the scenario horizon are dropped (the run would
+    // end before they settle); the rest are replayed in time order, ties
+    // broken by workload-component order so the sort is total.
+    all.retain(|s| s.at_ms < scenario.duration_ms);
+    all.sort_by(|a, b| a.at_ms.cmp(&b.at_ms).then(a.workload.cmp(&b.workload)));
+    all
+}
+
+/// Exponential hold times around the spec's mean, floored at 1ms.
+fn hold(rng: &mut Rng, mean_ms: u64) -> u64 {
+    (rng.exponential(mean_ms.max(1) as f64) as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    #[test]
+    fn the_plan_is_a_pure_function_of_the_scenario() {
+        let s = scenario::wan_partition_stampede();
+        assert_eq!(submission_plan(&s), submission_plan(&s));
+    }
+
+    #[test]
+    fn changing_the_seed_changes_the_plan() {
+        let mut s = scenario::trio_flap();
+        let a = submission_plan(&s);
+        s.seed ^= 1;
+        assert_ne!(a, submission_plan(&s));
+    }
+
+    #[test]
+    fn the_plan_is_sorted_bounded_and_targets_valid_domains() {
+        let s = scenario::wan_partition_stampede();
+        let plan = submission_plan(&s);
+        assert!(!plan.is_empty());
+        assert!(plan.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert!(plan.iter().all(|p| p.at_ms < s.duration_ms));
+        assert!(plan.iter().all(|p| p.origin < s.domains));
+        assert!(plan.iter().all(|p| s.archs.contains(&p.arch)));
+        // Burst jobs carry their deadline, the rest carry none.
+        for p in &plan {
+            let is_burst = matches!(s.workloads[p.workload], WorkloadSpec::Burst { .. });
+            assert_eq!(p.deadline_ms.is_some(), is_burst);
+        }
+    }
+}

@@ -1,0 +1,921 @@
+//! Declarative chaos scenarios.
+//!
+//! A scenario is *data*: the federated topology, the per-link WAN
+//! characteristics, a fault schedule, a workload mix and a seed.  Nothing
+//! in it names an executor — the same spec drives the deterministic
+//! simulator ([`crate::sim`]) and the live `ypd` fleet ([`crate::live`]),
+//! which is what lets a failure found in simulation be replayed against
+//! real daemons (and vice versa).
+//!
+//! Scenarios render to and parse from a line-based text format so they can
+//! live in files, ride in bug reports, and be diffed.  The round trip is
+//! exact: `parse(render(s)) == s`.
+
+use actyp_simnet::Rng;
+
+/// How the domains are wired together.  Every edge peers both endpoints
+/// at each other (links in the federation are symmetric TCP sessions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// Domain `i` peers `i±1` modulo the domain count.
+    Ring,
+    /// A ring plus `k` seeded random chords per domain — the small-world
+    /// shape a WAN federation grows into.
+    Chords(usize),
+    /// Domain 0 peers every other domain.
+    Star,
+    /// Every domain peers every other domain.
+    Full,
+    /// Domain `i` peers `i±1` without the wrap-around edge.
+    Line,
+}
+
+impl Topology {
+    /// The undirected edge list for `domains` domains.  Chord placement
+    /// draws from its own RNG stream derived from `seed`, so the wiring
+    /// is a pure function of `(topology, domains, seed)`.
+    pub fn edges(&self, domains: usize, seed: u64) -> Vec<(usize, usize)> {
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let push = |a: usize, b: usize, edges: &mut Vec<(usize, usize)>| {
+            if a == b {
+                return;
+            }
+            let e = (a.min(b), a.max(b));
+            if !edges.contains(&e) {
+                edges.push(e);
+            }
+        };
+        match self {
+            Topology::Ring | Topology::Chords(_) => {
+                for i in 0..domains {
+                    push(i, (i + 1) % domains, &mut edges);
+                }
+                if let Topology::Chords(k) = self {
+                    let mut rng = Rng::new(seed ^ 0xc0de);
+                    for i in 0..domains {
+                        for _ in 0..*k {
+                            push(i, rng.index(domains), &mut edges);
+                        }
+                    }
+                }
+            }
+            Topology::Star => {
+                for i in 1..domains {
+                    push(0, i, &mut edges);
+                }
+            }
+            Topology::Full => {
+                for i in 0..domains {
+                    for j in (i + 1)..domains {
+                        push(i, j, &mut edges);
+                    }
+                }
+            }
+            Topology::Line => {
+                for i in 1..domains {
+                    push(i - 1, i, &mut edges);
+                }
+            }
+        }
+        edges.sort_unstable();
+        edges
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Topology::Ring => "ring".to_string(),
+            Topology::Chords(k) => format!("chords {k}"),
+            Topology::Star => "star".to_string(),
+            Topology::Full => "full".to_string(),
+            Topology::Line => "line".to_string(),
+        }
+    }
+
+    fn parse(rest: &str) -> Result<Self, String> {
+        let mut it = rest.split_whitespace();
+        match it.next() {
+            Some("ring") => Ok(Topology::Ring),
+            Some("star") => Ok(Topology::Star),
+            Some("full") => Ok(Topology::Full),
+            Some("line") => Ok(Topology::Line),
+            Some("chords") => {
+                let k = it
+                    .next()
+                    .ok_or("chords needs a per-domain chord count")?
+                    .parse()
+                    .map_err(|_| "chords count must be an integer".to_string())?;
+                Ok(Topology::Chords(k))
+            }
+            other => Err(format!("unknown topology {other:?}")),
+        }
+    }
+}
+
+/// One scheduled adversarial event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The named domain dies: its daemon stops, its sessions tear down, leases
+    /// it granted are reclaimed, leases its clients held are released.
+    Kill(usize),
+    /// A previously killed domain comes back — same pools, fresh gossip
+    /// epoch, empty caches.
+    Restart(usize),
+    /// The WAN splits: domains `< split` can no longer reach domains
+    /// `>= split` (direct links across the cut drop).
+    Partition(usize),
+    /// The partition heals.
+    Heal,
+    /// One direct link goes down (peer flapping, half one flap).
+    LinkDown(usize, usize),
+    /// The link comes back.
+    LinkUp(usize, usize),
+    /// `RetirePools(domain, n)`: the domain retires its first `n` pools —
+    /// gossip must propagate the death and never resurrect them.
+    RetirePools(usize, usize),
+    /// `RenamePools(domain, n)`: the old names are retired
+    /// and a successor pool appears in the same domain.
+    RenamePools(usize, usize),
+    /// Every client holding leases vanishes with the given probability (%) —
+    /// session teardown must reclaim every lease they held.
+    VanishClients(u8),
+}
+
+/// A fault and when it strikes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Milliseconds from scenario start.
+    pub at_ms: u64,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// One component of the workload mix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// An open Poisson population submitting from random entry domains.
+    /// `arch = None` means each request targets a seeded-random
+    /// architecture.
+    Background {
+        /// Start offset, ms.
+        start_ms: u64,
+        /// Clients in the population.
+        clients: usize,
+        /// Requests each client issues.
+        requests_per_client: usize,
+        /// Aggregate arrival rate, requests per second.
+        rate_per_s: f64,
+        /// Target architecture (`None` = any).
+        arch: Option<String>,
+        /// Mean lease hold time, ms.
+        hold_ms: u64,
+    },
+    /// The paper's hot spot: a class of students submitting the *same*
+    /// query within a short window, all hammering one pool name.
+    Hotspot {
+        /// Window start, ms.
+        at_ms: u64,
+        /// Students in the class.
+        clients: usize,
+        /// Submission window length, ms.
+        window_ms: u64,
+        /// The one architecture the whole class wants.
+        arch: String,
+        /// Mean lease hold time, ms.
+        hold_ms: u64,
+    },
+    /// A deadline/budget-constrained parameter sweep (Nimrod/G-style):
+    /// `jobs` submissions, each expected to settle within `deadline_ms`,
+    /// with at most `budget` allocations granted to the sweep in total.
+    Burst {
+        /// Sweep start, ms.
+        at_ms: u64,
+        /// Jobs in the sweep.
+        jobs: usize,
+        /// Per-job settle deadline, ms.
+        deadline_ms: u64,
+        /// Allocation budget for the whole sweep.
+        budget: u32,
+        /// Target architecture.
+        arch: String,
+        /// Mean lease hold time, ms.
+        hold_ms: u64,
+    },
+}
+
+/// A complete scenario: everything two executors need to reproduce the
+/// same run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Unique name (the catalog key and the repro handle).
+    pub name: String,
+    /// Master seed: every random choice in a run derives from it.
+    pub seed: u64,
+    /// Number of administrative domains.
+    pub domains: usize,
+    /// How they are wired.
+    pub topology: Topology,
+    /// Architectures assigned round-robin: domain `i` hosts one pool of
+    /// `archs[i % archs.len()]` machines.
+    pub archs: Vec<String>,
+    /// Delegation time-to-live granted to queries.
+    pub ttl: u32,
+    /// Concurrent allocations each domain's pool can hold.
+    pub pool_capacity: u32,
+    /// Anti-entropy gossip period, ms.
+    pub gossip_interval_ms: u64,
+    /// Peer health-probe period, ms (live fleets only; the simulator's
+    /// delegation failures prune eagerly).
+    pub probe_interval_ms: u64,
+    /// Base one-way link latency, ms.
+    pub link_latency_ms: f64,
+    /// Uniform jitter on top of the base latency, ms.
+    pub link_jitter_ms: f64,
+    /// Link bandwidth, MB/s (serialisation delay for large frames).
+    pub link_bandwidth_mb_s: f64,
+    /// Scenario length, ms: workload and faults all land before this;
+    /// gossip keeps ticking until it so the fleet can converge.
+    pub duration_ms: u64,
+    /// The fault schedule, sorted by time.
+    pub faults: Vec<FaultSpec>,
+    /// The workload mix.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl Scenario {
+    /// The architecture domain `i` hosts.
+    pub fn arch_of(&self, domain: usize) -> &str {
+        &self.archs[domain % self.archs.len()]
+    }
+
+    /// The full pool name domain `i` initially hosts (the same
+    /// `signature/identifier` shape the pipeline's pool manager builds
+    /// for an architecture-constrained query).
+    pub fn pool_of(&self, domain: usize) -> String {
+        format!("arch,==/{}", self.arch_of(domain))
+    }
+
+    /// Domain `i`'s name, identical across executors.
+    pub fn domain_name(&self, domain: usize) -> String {
+        format!("d{domain:03}")
+    }
+
+    /// The undirected peer edges of this scenario's topology.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        self.topology.edges(self.domains, self.seed)
+    }
+
+    /// Basic shape validation shared by both executors.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.domains < 2 {
+            return Err("a federation scenario needs at least 2 domains".to_string());
+        }
+        if self.archs.is_empty() {
+            return Err("at least one architecture is required".to_string());
+        }
+        if self.ttl == 0 {
+            return Err("ttl must be positive".to_string());
+        }
+        if self.pool_capacity == 0 {
+            return Err("pool capacity must be positive".to_string());
+        }
+        for f in &self.faults {
+            let domain = match f.fault {
+                Fault::Kill(d)
+                | Fault::Restart(d)
+                | Fault::RetirePools(d, _)
+                | Fault::RenamePools(d, _) => Some(d),
+                Fault::LinkDown(a, b) | Fault::LinkUp(a, b) => Some(a.max(b)),
+                Fault::Partition(split) => {
+                    if split == 0 || split >= self.domains {
+                        return Err(format!(
+                            "partition split {split} must fall strictly inside 0..{}",
+                            self.domains
+                        ));
+                    }
+                    None
+                }
+                Fault::Heal | Fault::VanishClients(_) => None,
+            };
+            if let Some(d) = domain {
+                if d >= self.domains {
+                    return Err(format!(
+                        "fault names domain {d}, but only {} exist",
+                        self.domains
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the scenario in the text format [`Scenario::parse`] reads.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "name {}", self.name);
+        let _ = writeln!(out, "seed {}", self.seed);
+        let _ = writeln!(out, "domains {}", self.domains);
+        let _ = writeln!(out, "topology {}", self.topology.render());
+        let _ = writeln!(out, "archs {}", self.archs.join(","));
+        let _ = writeln!(out, "ttl {}", self.ttl);
+        let _ = writeln!(out, "pool-capacity {}", self.pool_capacity);
+        let _ = writeln!(out, "gossip-interval-ms {}", self.gossip_interval_ms);
+        let _ = writeln!(out, "probe-interval-ms {}", self.probe_interval_ms);
+        let _ = writeln!(out, "link-latency-ms {}", self.link_latency_ms);
+        let _ = writeln!(out, "link-jitter-ms {}", self.link_jitter_ms);
+        let _ = writeln!(out, "link-bandwidth-mb-s {}", self.link_bandwidth_mb_s);
+        let _ = writeln!(out, "duration-ms {}", self.duration_ms);
+        for f in &self.faults {
+            let body = match &f.fault {
+                Fault::Kill(d) => format!("kill {d}"),
+                Fault::Restart(d) => format!("restart {d}"),
+                Fault::Partition(split) => format!("partition {split}"),
+                Fault::Heal => "heal".to_string(),
+                Fault::LinkDown(a, b) => format!("link-down {a} {b}"),
+                Fault::LinkUp(a, b) => format!("link-up {a} {b}"),
+                Fault::RetirePools(d, n) => format!("retire-pools {d} {n}"),
+                Fault::RenamePools(d, n) => format!("rename-pools {d} {n}"),
+                Fault::VanishClients(p) => format!("vanish-clients {p}"),
+            };
+            let _ = writeln!(out, "fault {} {}", f.at_ms, body);
+        }
+        for w in &self.workloads {
+            let body = match w {
+                WorkloadSpec::Background {
+                    start_ms,
+                    clients,
+                    requests_per_client,
+                    rate_per_s,
+                    arch,
+                    hold_ms,
+                } => format!(
+                    "background start={start_ms} clients={clients} requests={requests_per_client} \
+                     rate={rate_per_s} arch={} hold={hold_ms}",
+                    arch.as_deref().unwrap_or("any")
+                ),
+                WorkloadSpec::Hotspot {
+                    at_ms,
+                    clients,
+                    window_ms,
+                    arch,
+                    hold_ms,
+                } => format!(
+                    "hotspot at={at_ms} clients={clients} window={window_ms} arch={arch} \
+                     hold={hold_ms}"
+                ),
+                WorkloadSpec::Burst {
+                    at_ms,
+                    jobs,
+                    deadline_ms,
+                    budget,
+                    arch,
+                    hold_ms,
+                } => format!(
+                    "burst at={at_ms} jobs={jobs} deadline={deadline_ms} budget={budget} \
+                     arch={arch} hold={hold_ms}"
+                ),
+            };
+            let _ = writeln!(out, "workload {body}");
+        }
+        out
+    }
+
+    /// Parses the text format.  Unknown keys are errors (a typo must not
+    /// silently change what a repro runs).
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        let mut s = Scenario {
+            name: String::new(),
+            seed: 0,
+            domains: 0,
+            topology: Topology::Ring,
+            archs: Vec::new(),
+            ttl: 8,
+            pool_capacity: 8,
+            gossip_interval_ms: 1000,
+            probe_interval_ms: 0,
+            link_latency_ms: 40.0,
+            link_jitter_ms: 8.0,
+            link_bandwidth_mb_s: 4.0,
+            duration_ms: 10_000,
+            faults: Vec::new(),
+            workloads: Vec::new(),
+        };
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+            let rest = rest.trim();
+            let fail = |m: String| format!("line {}: {m}", lineno + 1);
+            match key {
+                "name" => s.name = rest.to_string(),
+                "seed" => s.seed = rest.parse().map_err(|_| fail("bad seed".into()))?,
+                "domains" => s.domains = rest.parse().map_err(|_| fail("bad domains".into()))?,
+                "topology" => s.topology = Topology::parse(rest).map_err(fail)?,
+                "archs" => {
+                    s.archs = rest
+                        .split(',')
+                        .map(|a| a.trim().to_string())
+                        .filter(|a| !a.is_empty())
+                        .collect()
+                }
+                "ttl" => s.ttl = rest.parse().map_err(|_| fail("bad ttl".into()))?,
+                "pool-capacity" => {
+                    s.pool_capacity = rest.parse().map_err(|_| fail("bad pool capacity".into()))?
+                }
+                "gossip-interval-ms" => {
+                    s.gossip_interval_ms = rest
+                        .parse()
+                        .map_err(|_| fail("bad gossip interval".into()))?
+                }
+                "probe-interval-ms" => {
+                    s.probe_interval_ms = rest
+                        .parse()
+                        .map_err(|_| fail("bad probe interval".into()))?
+                }
+                "link-latency-ms" => {
+                    s.link_latency_ms = rest.parse().map_err(|_| fail("bad latency".into()))?
+                }
+                "link-jitter-ms" => {
+                    s.link_jitter_ms = rest.parse().map_err(|_| fail("bad jitter".into()))?
+                }
+                "link-bandwidth-mb-s" => {
+                    s.link_bandwidth_mb_s =
+                        rest.parse().map_err(|_| fail("bad bandwidth".into()))?
+                }
+                "duration-ms" => {
+                    s.duration_ms = rest.parse().map_err(|_| fail("bad duration".into()))?
+                }
+                "fault" => s.faults.push(parse_fault(rest).map_err(fail)?),
+                "workload" => s.workloads.push(parse_workload(rest).map_err(fail)?),
+                other => return Err(fail(format!("unknown key `{other}`"))),
+            }
+        }
+        if s.name.is_empty() {
+            return Err("scenario has no name".to_string());
+        }
+        if s.domains == 0 {
+            return Err("scenario has no domains".to_string());
+        }
+        s.validate()?;
+        Ok(s)
+    }
+}
+
+fn parse_fault(rest: &str) -> Result<FaultSpec, String> {
+    let mut it = rest.split_whitespace();
+    let at_ms: u64 = it
+        .next()
+        .ok_or("fault needs a time")?
+        .parse()
+        .map_err(|_| "bad fault time".to_string())?;
+    let kind = it.next().ok_or("fault needs a kind")?;
+    let mut num = |what: &str| -> Result<usize, String> {
+        it.next()
+            .ok_or(format!("{kind} needs {what}"))?
+            .parse()
+            .map_err(|_| format!("{kind}: bad {what}"))
+    };
+    let fault = match kind {
+        "kill" => Fault::Kill(num("a domain")?),
+        "restart" => Fault::Restart(num("a domain")?),
+        "partition" => Fault::Partition(num("a split index")?),
+        "heal" => Fault::Heal,
+        "link-down" => Fault::LinkDown(num("a domain")?, num("a domain")?),
+        "link-up" => Fault::LinkUp(num("a domain")?, num("a domain")?),
+        "retire-pools" => Fault::RetirePools(num("a domain")?, num("a count")?),
+        "rename-pools" => Fault::RenamePools(num("a domain")?, num("a count")?),
+        "vanish-clients" => Fault::VanishClients(num("a percentage")? as u8),
+        other => return Err(format!("unknown fault `{other}`")),
+    };
+    Ok(FaultSpec { at_ms, fault })
+}
+
+fn parse_workload(rest: &str) -> Result<WorkloadSpec, String> {
+    let mut it = rest.split_whitespace();
+    let kind = it.next().ok_or("workload needs a kind")?.to_string();
+    let mut fields: Vec<(String, String)> = Vec::new();
+    for tok in it {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or(format!("workload field `{tok}` is not key=value"))?;
+        fields.push((k.to_string(), v.to_string()));
+    }
+    let get = |k: &str| -> Result<&str, String> {
+        fields
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+            .ok_or(format!("{kind} workload needs {k}="))
+    };
+    let int = |k: &str| -> Result<u64, String> {
+        get(k)?.parse().map_err(|_| format!("{kind}: bad {k}"))
+    };
+    Ok(match kind.as_str() {
+        "background" => WorkloadSpec::Background {
+            start_ms: int("start")?,
+            clients: int("clients")? as usize,
+            requests_per_client: int("requests")? as usize,
+            rate_per_s: get("rate")?
+                .parse()
+                .map_err(|_| "background: bad rate".to_string())?,
+            arch: match get("arch")? {
+                "any" => None,
+                a => Some(a.to_string()),
+            },
+            hold_ms: int("hold")?,
+        },
+        "hotspot" => WorkloadSpec::Hotspot {
+            at_ms: int("at")?,
+            clients: int("clients")? as usize,
+            window_ms: int("window")?,
+            arch: get("arch")?.to_string(),
+            hold_ms: int("hold")?,
+        },
+        "burst" => WorkloadSpec::Burst {
+            at_ms: int("at")?,
+            jobs: int("jobs")? as usize,
+            deadline_ms: int("deadline")?,
+            budget: int("budget")? as u32,
+            arch: get("arch")?.to_string(),
+            hold_ms: int("hold")?,
+        },
+        other => return Err(format!("unknown workload `{other}`")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The catalog
+// ---------------------------------------------------------------------------
+
+/// The built-in scenario catalog.  Each entry is a named, seeded spec; the
+/// `chaos` binary lists and runs them, CI smokes a subset, and the test
+/// suite pins the acceptance scenario (`wan-partition-stampede`).
+pub fn catalog() -> Vec<Scenario> {
+    vec![
+        trio_flap(),
+        wan_partition_stampede(),
+        retire_rename_wave(),
+        mass_vanish(),
+        deadline_burst(),
+    ]
+}
+
+/// Looks a scenario up by name in the catalog.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    catalog().into_iter().find(|s| s.name == name)
+}
+
+/// Three domains in a star, the centre's two spokes hosting distinct
+/// architectures; one spoke is killed mid-run and later healed.  Small
+/// enough to run against a real `ypd` fleet, adversarial enough to catch a
+/// stranded lease or a directory that never notices the death — this is
+/// the scenario CI drives through *both* executors.
+pub fn trio_flap() -> Scenario {
+    Scenario {
+        name: "trio-flap".to_string(),
+        seed: 11,
+        domains: 3,
+        topology: Topology::Star,
+        archs: vec!["sun".to_string(), "hp".to_string(), "sgi".to_string()],
+        ttl: 4,
+        pool_capacity: 8,
+        gossip_interval_ms: 200,
+        probe_interval_ms: 300,
+        link_latency_ms: 5.0,
+        link_jitter_ms: 1.0,
+        link_bandwidth_mb_s: 10.0,
+        duration_ms: 12_000,
+        faults: vec![
+            FaultSpec {
+                at_ms: 3_000,
+                fault: Fault::Kill(2),
+            },
+            FaultSpec {
+                at_ms: 6_000,
+                fault: Fault::Restart(2),
+            },
+        ],
+        workloads: vec![
+            WorkloadSpec::Background {
+                start_ms: 500,
+                clients: 4,
+                requests_per_client: 3,
+                rate_per_s: 6.0,
+                arch: None,
+                hold_ms: 200,
+            },
+            WorkloadSpec::Burst {
+                at_ms: 1_500,
+                jobs: 5,
+                deadline_ms: 2_500,
+                budget: 5,
+                arch: "hp".to_string(),
+                hold_ms: 200,
+            },
+            // Post-heal: the whole class wants the revived spoke's
+            // architecture — convergence is observable as successes here.
+            WorkloadSpec::Hotspot {
+                at_ms: 8_000,
+                clients: 6,
+                window_ms: 800,
+                arch: "sgi".to_string(),
+                hold_ms: 200,
+            },
+        ],
+    }
+}
+
+/// The acceptance scenario: 120 domains on a chorded ring, a 60/60
+/// partition, a hot-spot stampede *during* the partition and another
+/// after the heal, one domain killed and restarted, and a 40% client
+/// vanish near the end.  Two same-seed runs must produce identical event
+/// logs.
+pub fn wan_partition_stampede() -> Scenario {
+    Scenario {
+        name: "wan-partition-stampede".to_string(),
+        seed: 42,
+        domains: 120,
+        topology: Topology::Chords(2),
+        archs: vec![
+            "sun".to_string(),
+            "hp".to_string(),
+            "sgi".to_string(),
+            "linux".to_string(),
+        ],
+        ttl: 8,
+        pool_capacity: 8,
+        gossip_interval_ms: 2_000,
+        probe_interval_ms: 0,
+        link_latency_ms: 40.0,
+        link_jitter_ms: 8.0,
+        link_bandwidth_mb_s: 4.0,
+        duration_ms: 90_000,
+        faults: vec![
+            FaultSpec {
+                at_ms: 20_000,
+                fault: Fault::Partition(60),
+            },
+            FaultSpec {
+                at_ms: 45_000,
+                fault: Fault::Heal,
+            },
+            FaultSpec {
+                at_ms: 55_000,
+                fault: Fault::Kill(17),
+            },
+            FaultSpec {
+                at_ms: 60_000,
+                fault: Fault::Restart(17),
+            },
+            // Mid-stampede, while leases are actually held: session
+            // teardown has real work to reclaim.
+            FaultSpec {
+                at_ms: 50_500,
+                fault: Fault::VanishClients(40),
+            },
+        ],
+        workloads: vec![
+            WorkloadSpec::Background {
+                start_ms: 1_000,
+                clients: 40,
+                requests_per_client: 4,
+                rate_per_s: 10.0,
+                arch: None,
+                hold_ms: 600,
+            },
+            // The stampede inside the partition: only the hp pools on the
+            // client's side of the cut can serve it.
+            WorkloadSpec::Hotspot {
+                at_ms: 30_000,
+                clients: 80,
+                window_ms: 2_000,
+                arch: "hp".to_string(),
+                hold_ms: 300,
+            },
+            // And again after the heal, when the full fleet is reachable.
+            WorkloadSpec::Hotspot {
+                at_ms: 50_000,
+                clients: 60,
+                window_ms: 1_500,
+                arch: "hp".to_string(),
+                hold_ms: 300,
+            },
+            WorkloadSpec::Burst {
+                at_ms: 25_000,
+                jobs: 25,
+                deadline_ms: 4_000,
+                budget: 15,
+                arch: "sgi".to_string(),
+                hold_ms: 250,
+            },
+        ],
+    }
+}
+
+/// A pool rename/retirement wave across a mid-size ring: gossip must
+/// retire the old names everywhere and never resurrect them, while the
+/// successors become delegable.
+pub fn retire_rename_wave() -> Scenario {
+    let faults = (0..6)
+        .map(|i| FaultSpec {
+            at_ms: 8_000 + i * 1_500,
+            fault: if i % 2 == 0 {
+                Fault::RetirePools(3 * i as usize, 1)
+            } else {
+                Fault::RenamePools(3 * i as usize, 1)
+            },
+        })
+        .collect();
+    Scenario {
+        name: "retire-rename-wave".to_string(),
+        seed: 7,
+        domains: 24,
+        topology: Topology::Ring,
+        archs: vec!["sun".to_string(), "hp".to_string(), "sgi".to_string()],
+        ttl: 8,
+        pool_capacity: 6,
+        gossip_interval_ms: 1_000,
+        probe_interval_ms: 0,
+        link_latency_ms: 20.0,
+        link_jitter_ms: 4.0,
+        link_bandwidth_mb_s: 8.0,
+        duration_ms: 30_000,
+        faults,
+        workloads: vec![WorkloadSpec::Background {
+            start_ms: 1_000,
+            clients: 12,
+            requests_per_client: 4,
+            rate_per_s: 8.0,
+            arch: None,
+            hold_ms: 400,
+        }],
+    }
+}
+
+/// Heavy load, then 70% of the clients vanish at once: every lease they
+/// held must be reclaimed by session teardown — none stranded.
+pub fn mass_vanish() -> Scenario {
+    Scenario {
+        name: "mass-vanish".to_string(),
+        seed: 23,
+        domains: 30,
+        topology: Topology::Chords(1),
+        archs: vec!["sun".to_string(), "hp".to_string()],
+        ttl: 6,
+        pool_capacity: 6,
+        gossip_interval_ms: 1_000,
+        probe_interval_ms: 0,
+        link_latency_ms: 25.0,
+        link_jitter_ms: 5.0,
+        link_bandwidth_mb_s: 6.0,
+        duration_ms: 30_000,
+        faults: vec![FaultSpec {
+            at_ms: 15_000,
+            fault: Fault::VanishClients(70),
+        }],
+        workloads: vec![
+            WorkloadSpec::Background {
+                start_ms: 500,
+                clients: 25,
+                requests_per_client: 5,
+                rate_per_s: 15.0,
+                arch: None,
+                hold_ms: 2_000,
+            },
+            WorkloadSpec::Hotspot {
+                at_ms: 10_000,
+                clients: 30,
+                window_ms: 1_000,
+                arch: "hp".to_string(),
+                hold_ms: 2_500,
+            },
+        ],
+    }
+}
+
+/// Deadline/budget-constrained sweeps racing link flaps: the budget caps
+/// grants, the flapping links force re-routing, and every job still
+/// settles (grant, budget refusal, or failure — never silence).
+pub fn deadline_burst() -> Scenario {
+    Scenario {
+        name: "deadline-burst".to_string(),
+        seed: 31,
+        domains: 40,
+        topology: Topology::Chords(1),
+        archs: vec![
+            "sun".to_string(),
+            "hp".to_string(),
+            "sgi".to_string(),
+            "linux".to_string(),
+        ],
+        ttl: 8,
+        pool_capacity: 4,
+        gossip_interval_ms: 1_500,
+        probe_interval_ms: 0,
+        link_latency_ms: 30.0,
+        link_jitter_ms: 10.0,
+        link_bandwidth_mb_s: 4.0,
+        duration_ms: 40_000,
+        faults: vec![
+            FaultSpec {
+                at_ms: 9_000,
+                fault: Fault::LinkDown(0, 1),
+            },
+            FaultSpec {
+                at_ms: 12_000,
+                fault: Fault::LinkDown(10, 11),
+            },
+            FaultSpec {
+                at_ms: 16_000,
+                fault: Fault::LinkUp(0, 1),
+            },
+            FaultSpec {
+                at_ms: 19_000,
+                fault: Fault::LinkUp(10, 11),
+            },
+        ],
+        workloads: vec![
+            WorkloadSpec::Burst {
+                at_ms: 8_000,
+                jobs: 30,
+                deadline_ms: 3_000,
+                budget: 20,
+                arch: "hp".to_string(),
+                hold_ms: 500,
+            },
+            WorkloadSpec::Burst {
+                at_ms: 18_000,
+                jobs: 30,
+                deadline_ms: 3_000,
+                budget: 12,
+                arch: "linux".to_string(),
+                hold_ms: 500,
+            },
+            WorkloadSpec::Background {
+                start_ms: 1_000,
+                clients: 10,
+                requests_per_client: 4,
+                rate_per_s: 6.0,
+                arch: None,
+                hold_ms: 400,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_scenario_round_trips_through_text() {
+        for scenario in catalog() {
+            let text = scenario.render();
+            let parsed = Scenario::parse(&text)
+                .unwrap_or_else(|e| panic!("{} fails to re-parse: {e}", scenario.name));
+            assert_eq!(parsed, scenario, "{} round trip", scenario.name);
+        }
+    }
+
+    #[test]
+    fn every_catalog_scenario_validates() {
+        for scenario in catalog() {
+            scenario
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+        }
+    }
+
+    #[test]
+    fn topology_edges_are_deterministic_and_symmetric_free() {
+        let a = Topology::Chords(2).edges(50, 9);
+        let b = Topology::Chords(2).edges(50, 9);
+        assert_eq!(a, b);
+        // Sorted, unique, no self-loops, and the ring spine is present.
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.iter().all(|(x, y)| x < y));
+        for i in 0..49 {
+            assert!(a.contains(&(i, i + 1)), "ring edge {i}");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_faults_are_rejected() {
+        assert!(Scenario::parse("name x\ndomains 3\nfrobnicate 9\n").is_err());
+        assert!(parse_fault("100 explode 3").is_err());
+        assert!(parse_fault("oops kill 3").is_err());
+        assert!(parse_workload("background start=0").is_err());
+    }
+
+    #[test]
+    fn partition_split_must_fall_inside_the_domain_range() {
+        let mut s = trio_flap();
+        s.faults.push(FaultSpec {
+            at_ms: 1,
+            fault: Fault::Partition(3),
+        });
+        assert!(s.validate().is_err());
+    }
+}

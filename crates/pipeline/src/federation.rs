@@ -64,10 +64,67 @@ const PEER_CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 /// whole downstream chain.
 const PEER_REPLY_TIMEOUT: Duration = Duration::from_secs(60);
 
-/// How long after a failed connect a link waits before dialing the peer
-/// again, so a dead peer costs one connect timeout per backoff window
-/// instead of one per query.
+/// Reply deadline of one peer health probe.  The probe frame
+/// ([`ClientFrame::Stats`]) is answered inline by the peer's I/O thread —
+/// never queued behind backend work — so a reply slower than this means
+/// the peer or the path to it is dead, not merely loaded.
+const PEER_PROBE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How long after the *first* failed connect a link waits before dialing
+/// the peer again, so a dead peer costs one connect timeout per backoff
+/// window instead of one per query.  Consecutive failures double the
+/// window (up to [`PEER_REDIAL_BACKOFF_MAX`]): the periodic gossip tick
+/// also dials down links, and without the growth a long-dead peer would
+/// cost one full connect timeout per tick interval forever.
 const PEER_REDIAL_BACKOFF: Duration = Duration::from_secs(5);
+
+/// Ceiling of the per-peer redial backoff.  A revived peer is still
+/// noticed within a minute even if it was down for hours — and typically
+/// much sooner, because the revived peer's own outbound links gossip its
+/// pools back to us.
+const PEER_REDIAL_BACKOFF_MAX: Duration = Duration::from_secs(60);
+
+/// Per-peer redial discipline: how long ago the last connect failed and
+/// how long the link must now wait before dialing again.  The wait starts
+/// at [`PEER_REDIAL_BACKOFF`] and doubles per consecutive failure up to
+/// [`PEER_REDIAL_BACKOFF_MAX`]; any successful connect resets it.
+#[derive(Debug, Clone, Copy)]
+struct RedialBackoff {
+    failed_at: Option<std::time::Instant>,
+    wait: Duration,
+}
+
+impl RedialBackoff {
+    fn new() -> Self {
+        RedialBackoff {
+            failed_at: None,
+            wait: PEER_REDIAL_BACKOFF,
+        }
+    }
+
+    /// Whether a dial attempt is permitted at `now`.
+    fn permits(&self, now: std::time::Instant) -> bool {
+        match self.failed_at {
+            Some(failed_at) => now.saturating_duration_since(failed_at) >= self.wait,
+            None => true,
+        }
+    }
+
+    /// Records a failed connect: the next attempt waits twice as long as
+    /// this one did (capped).  The first failure keeps the base wait.
+    fn note_failure(&mut self, now: std::time::Instant) {
+        if self.failed_at.is_some() {
+            self.wait = (self.wait * 2).min(PEER_REDIAL_BACKOFF_MAX);
+        }
+        self.failed_at = Some(now);
+    }
+
+    /// Records a successful connect: the link is healthy, the next
+    /// failure starts from the base wait again.
+    fn note_success(&mut self) {
+        *self = RedialBackoff::new();
+    }
+}
 
 /// Whether a failure may be cured by another administrative domain: the
 /// pool cannot be aggregated here (no matching machine exists in this
@@ -269,6 +326,18 @@ impl MuxConn {
     /// than [`PEER_REPLY_TIMEOUT`] fails the exchange (and the caller
     /// drops the link).
     fn request(&self, build: impl FnOnce(RequestId) -> ClientFrame) -> Result<ServerFrame, String> {
+        self.request_deadline(PEER_REPLY_TIMEOUT, build)
+    }
+
+    /// [`MuxConn::request`] with an explicit reply deadline.  Health
+    /// probes use a much shorter one than delegations: a probe answer is
+    /// computed inline by the peer's I/O thread, so a slow reply means
+    /// the peer (or the path to it) is gone, not busy.
+    fn request_deadline(
+        &self,
+        timeout: Duration,
+        build: impl FnOnce(RequestId) -> ClientFrame,
+    ) -> Result<ServerFrame, String> {
         let corr = RequestId(self.corr.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = crossbeam::channel::unbounded();
         {
@@ -288,12 +357,12 @@ impl MuxConn {
             self.poison(reason.clone());
             return Err(reason);
         }
-        match rx.recv_timeout(PEER_REPLY_TIMEOUT) {
+        match rx.recv_timeout(timeout) {
             Ok(frame) => Ok(frame),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 self.pending.lock().remove(&corr.0);
                 Err(format!(
-                    "no reply from peer `{}` within {PEER_REPLY_TIMEOUT:?}",
+                    "no reply from peer `{}` within {timeout:?}",
                     self.domain()
                 ))
             }
@@ -339,8 +408,10 @@ struct PeerLink {
     /// is needed — in particular by `candidates()`, which must never wait
     /// on a link that is mid-redial.
     last_domain: Mutex<Option<String>>,
-    /// When the last connect attempt failed (for redial backoff).
-    last_connect_failure: Mutex<Option<std::time::Instant>>,
+    /// Per-peer redial backoff: when the last connect attempt failed and
+    /// how long to wait before the next one (exponential under
+    /// consecutive failures, reset by any success).
+    redial: Mutex<RedialBackoff>,
 }
 
 /// A freshly learned peer advertisement (domain name and pool names),
@@ -361,7 +432,7 @@ impl PeerLink {
             index,
             conn: Mutex::new(None),
             last_domain: Mutex::new(None),
-            last_connect_failure: Mutex::new(None),
+            redial: Mutex::new(RedialBackoff::new()),
         }
     }
 
@@ -485,25 +556,24 @@ impl PeerLink {
             stale.shutdown();
         }
         // Redial backoff: a recently failed connect is not repeated, so
-        // every query against a dead peer does not pay the full connect
-        // timeout.
-        if let Some(failed_at) = *self.last_connect_failure.lock() {
-            if failed_at.elapsed() < PEER_REDIAL_BACKOFF {
-                return Err(format!(
-                    "peer {} is in redial backoff after a failed connect",
-                    self.addr
-                ));
-            }
+        // neither queries nor the periodic gossip tick pay a full connect
+        // timeout per attempt against a dead peer — and the window grows
+        // per consecutive failure, so a long-dead peer costs ever less.
+        if !self.redial.lock().permits(std::time::Instant::now()) {
+            return Err(format!(
+                "peer {} is in redial backoff after a failed connect",
+                self.addr
+            ));
         }
         let (pools, have) = my_sync();
         let (conn, pools, deltas) = match self.connect(my_domain, pools, have) {
             Ok(established) => established,
             Err(e) => {
-                *self.last_connect_failure.lock() = Some(std::time::Instant::now());
+                self.redial.lock().note_failure(std::time::Instant::now());
                 return Err(e);
             }
         };
-        *self.last_connect_failure.lock() = None;
+        self.redial.lock().note_success();
         // A redial re-learns the peer's advertisement — a peer that
         // restarted with different pools (or a different domain name)
         // must replace its stale directory records, not be routed to
@@ -632,6 +702,13 @@ pub struct FederationConfig {
     /// Whether the learned one-hop routing cache is consulted (disabling
     /// it is the baseline of the routing benchmark).
     pub route_cache: bool,
+    /// Period of the peer-link health probe (driven off the reactor's
+    /// timer wheel): each round sends a cheap inline-answered frame over
+    /// every *established* link, so a dead peer is noticed and pruned
+    /// from the directory before the next delegation fails against it.
+    /// Probes never dial down links — healing is the gossip tick's job.
+    /// [`Duration::ZERO`] disables probing.
+    pub probe_interval: Duration,
 }
 
 impl Default for FederationConfig {
@@ -642,6 +719,7 @@ impl Default for FederationConfig {
             peers: Vec::new(),
             gossip_interval: Duration::from_secs(1),
             route_cache: true,
+            probe_interval: Duration::from_secs(5),
         }
     }
 }
@@ -960,6 +1038,55 @@ impl FederatedBackend {
         for link in &self.links {
             let _ = self.gossip_exchange(link);
         }
+    }
+
+    /// The configured peer health-probe period ([`Duration::ZERO`] = no
+    /// probing).
+    pub fn probe_interval(&self) -> Duration {
+        self.config.probe_interval
+    }
+
+    /// One health-probe round: every peer link with an *established*
+    /// connection gets a cheap inline-answered request on a short
+    /// deadline; a link that fails it is torn down and its peer pruned
+    /// from the directory ([`PeerDelegator::peer_failed`]), so the next
+    /// delegation never wastes a hop on a dead candidate.  Links without
+    /// a connection are left alone — probes detect death, the gossip
+    /// tick (with its redial backoff) heals.  Returns the number of
+    /// peers the round declared dead.
+    pub fn probe_peers(&self) -> usize {
+        if self.closed.load(Ordering::SeqCst) {
+            return 0;
+        }
+        let mut pruned = 0;
+        for link in &self.links {
+            let Some(conn) = link.conn.lock().clone() else {
+                continue;
+            };
+            let already_dead = conn.dead.lock().is_some();
+            let healthy = !already_dead
+                && matches!(
+                    conn.request_deadline(PEER_PROBE_TIMEOUT, |corr| ClientFrame::Stats { corr }),
+                    Ok(ServerFrame::StatsReply { .. })
+                );
+            if healthy {
+                continue;
+            }
+            link.retire(&conn);
+            let domain = {
+                let name = conn.domain();
+                if name.is_empty() {
+                    link.last_domain.lock().clone().unwrap_or_default()
+                } else {
+                    name
+                }
+            };
+            if !domain.is_empty() {
+                self.peer_failed(&domain);
+            }
+            pruned += 1;
+        }
+        pruned
     }
 
     /// Retires everything held under a peer's *old* domain name after it
@@ -1572,5 +1699,40 @@ mod tests {
         assert!(!is_delegable(&AllocationError::Parse("x".into())));
         assert!(!is_delegable(&AllocationError::UnknownTicket));
         assert!(!is_delegable(&AllocationError::Network("x".into())));
+    }
+
+    #[test]
+    fn redial_backoff_doubles_per_consecutive_failure_and_caps() {
+        let now = std::time::Instant::now();
+        let mut backoff = RedialBackoff::new();
+        assert!(backoff.permits(now), "a never-failed link dials freely");
+        backoff.note_failure(now);
+        assert_eq!(
+            backoff.wait, PEER_REDIAL_BACKOFF,
+            "first failure keeps the base wait"
+        );
+        assert!(!backoff.permits(now), "freshly failed: no immediate redial");
+        assert!(
+            backoff.permits(now + PEER_REDIAL_BACKOFF),
+            "base window elapsed"
+        );
+        backoff.note_failure(now);
+        assert_eq!(backoff.wait, PEER_REDIAL_BACKOFF * 2);
+        assert!(
+            !backoff.permits(now + PEER_REDIAL_BACKOFF),
+            "window doubled"
+        );
+        assert!(backoff.permits(now + PEER_REDIAL_BACKOFF * 2));
+        for _ in 0..16 {
+            backoff.note_failure(now);
+        }
+        assert_eq!(backoff.wait, PEER_REDIAL_BACKOFF_MAX, "growth is capped");
+        backoff.note_success();
+        assert!(backoff.permits(now), "success resets the discipline");
+        backoff.note_failure(now);
+        assert_eq!(
+            backoff.wait, PEER_REDIAL_BACKOFF,
+            "and the wait restarts at base"
+        );
     }
 }

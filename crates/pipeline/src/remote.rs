@@ -418,29 +418,44 @@ fn serve_inner(
         });
     }
 
-    // Legacy mode: the periodic gossip tick gets a thread of its own,
-    // sleeping in short slices so a drain ends it promptly.
+    // Legacy mode: the periodic duties (anti-entropy gossip tick, peer
+    // health probe) share one thread, sleeping in short slices so a
+    // drain ends it promptly.  Reactor mode drives both off the listener
+    // thread's timer wheel instead.
     if let Some(federation) = &shared.federation {
-        let interval = federation.gossip_interval();
-        if interval > Duration::ZERO {
+        let gossip_interval = federation.gossip_interval();
+        let probe_interval = federation.probe_interval();
+        if gossip_interval > Duration::ZERO || probe_interval > Duration::ZERO {
             let federation = federation.clone();
             let gossip_shared = shared.clone();
             let handle = std::thread::Builder::new()
                 .name("ypd-gossip".to_string())
-                .spawn(move || loop {
-                    let mut remaining = interval;
-                    while remaining > Duration::ZERO {
+                .spawn(move || {
+                    let started = std::time::Instant::now();
+                    let mut last_gossip = started;
+                    let mut last_probe = started;
+                    loop {
                         if gossip_shared.draining.load(Ordering::SeqCst) {
                             return;
                         }
-                        let slice = remaining.min(Duration::from_millis(200));
-                        std::thread::sleep(slice);
-                        remaining = remaining.saturating_sub(slice);
+                        std::thread::sleep(Duration::from_millis(50));
+                        if gossip_shared.draining.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let now = std::time::Instant::now();
+                        if gossip_interval > Duration::ZERO
+                            && now.duration_since(last_gossip) >= gossip_interval
+                        {
+                            last_gossip = now;
+                            federation.gossip_tick();
+                        }
+                        if probe_interval > Duration::ZERO
+                            && now.duration_since(last_probe) >= probe_interval
+                        {
+                            last_probe = now;
+                            federation.probe_peers();
+                        }
                     }
-                    if gossip_shared.draining.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    federation.gossip_tick();
                 })
                 .map_err(|e| AllocationError::Network(format!("gossip thread: {e}")))?;
             *shared.gossip.lock() = Some(handle);
@@ -517,6 +532,12 @@ mod engine {
     /// Timer-wheel id of the periodic anti-entropy gossip tick (armed on
     /// the listener thread of a federated daemon only).
     const GOSSIP_TIMER: u64 = 2;
+
+    /// Timer-wheel id of the periodic peer-link health probe (armed on
+    /// the listener thread of a federated daemon only).  Probing off the
+    /// timer wheel notices a dead peer between delegations, so the next
+    /// chain never spends a candidate slot (and a reply timeout) on it.
+    const PROBE_TIMER: u64 = 3;
 
     /// Upper bound on queued-but-unsent reply bytes before the session
     /// stops *reading*: a client that pipelines requests without draining
@@ -953,11 +974,19 @@ mod engine {
         // admission-window blocking — guarded so a round slower than the
         // interval is skipped, not stacked.
         let gossip_running = Arc::new(AtomicBool::new(false));
+        // The health probe follows the same discipline on its own timer:
+        // listener thread only, runs on the redeem lane, skipped (not
+        // stacked) when a round outlasts its interval.
+        let probe_running = Arc::new(AtomicBool::new(false));
         if role.is_some() {
             if let Some(federation) = &shared.federation {
                 let interval = federation.gossip_interval();
                 if interval > Duration::ZERO {
                     wheel.add_periodic(GOSSIP_TIMER, interval);
+                }
+                let probe = federation.probe_interval();
+                if probe > Duration::ZERO {
+                    wheel.add_periodic(PROBE_TIMER, probe);
                 }
             }
         }
@@ -1054,6 +1083,21 @@ mod engine {
                                 let guard = gossip_running.clone();
                                 pools.redeem.execute(move || {
                                     federation.gossip_tick();
+                                    guard.store(false, Ordering::SeqCst);
+                                });
+                            }
+                        }
+                    }
+                    PROBE_TIMER => {
+                        if shared.draining.load(Ordering::SeqCst) {
+                            continue;
+                        }
+                        if let Some(federation) = &shared.federation {
+                            if !probe_running.swap(true, Ordering::SeqCst) {
+                                let federation = federation.clone();
+                                let guard = probe_running.clone();
+                                pools.redeem.execute(move || {
+                                    federation.probe_peers();
                                     guard.store(false, Ordering::SeqCst);
                                 });
                             }

@@ -57,7 +57,8 @@ usage: ypd [--listen HOST:PORT] [--backend KIND] [--machines N] [--seed N]
            [--arch NAME] [--query-managers N] [--pool-managers N] [--window N]
            [--sessions MODE] [--io-threads N] [--workers N] [--poller KIND]
            [--domain NAME] [--peer HOST:PORT]... [--ttl N]
-           [--gossip-interval MS] [--no-route-cache] [--stats-interval N]
+           [--gossip-interval MS] [--probe-interval MS] [--no-route-cache]
+           [--stats-interval N]
 
   --listen HOST:PORT   address to bind (default: $ACTYP_YPD_LISTEN or 127.0.0.1:7411)
   --backend KIND       embedded | live | central-queue | matchmaker (default: live)
@@ -83,6 +84,11 @@ usage: ypd [--listen HOST:PORT] [--backend KIND] [--machines N] [--seed N]
                        pushes advertisement-log deltas to every peer over the
                        standing links (0 disables the periodic tick, leaving
                        only piggybacked deltas; default: 1000)
+  --probe-interval MS  peer-link health-probe period in milliseconds; each
+                       round pings every established peer link on a short
+                       deadline and prunes peers that fail, so dead peers
+                       are noticed between delegations (0 disables;
+                       default: 5000)
   --no-route-cache     disable the learned one-hop delegation route cache
                        (every WAN query walks the TTL-bounded peer chain)
   --stats-interval N   print a machine-readable stats line every N seconds
@@ -107,6 +113,7 @@ struct Config {
     peers: Vec<StageAddress>,
     ttl: u32,
     gossip_interval_ms: u64,
+    probe_interval_ms: u64,
     route_cache: bool,
     stats_interval: u64,
 }
@@ -130,6 +137,7 @@ impl Default for Config {
             peers: Vec::new(),
             ttl: 8,
             gossip_interval_ms: 1_000,
+            probe_interval_ms: 5_000,
             route_cache: true,
             stats_interval: 0,
         }
@@ -276,6 +284,12 @@ fn parse_args(
                     .parse()
                     .map_err(|_| format!("--gossip-interval: invalid milliseconds `{raw}`"))?;
             }
+            "--probe-interval" => {
+                let raw = value("--probe-interval")?;
+                config.probe_interval_ms = raw
+                    .parse()
+                    .map_err(|_| format!("--probe-interval: invalid milliseconds `{raw}`"))?;
+            }
             "--no-route-cache" => config.route_cache = false,
             "--stats-interval" => {
                 let raw = value("--stats-interval")?;
@@ -350,6 +364,7 @@ fn main() -> ExitCode {
                     ttl: config.ttl,
                     peers: config.peers.clone(),
                     gossip_interval: std::time::Duration::from_millis(config.gossip_interval_ms),
+                    probe_interval: std::time::Duration::from_millis(config.probe_interval_ms),
                     route_cache: config.route_cache,
                 },
             )
@@ -502,6 +517,8 @@ mod tests {
                 "5",
                 "--gossip-interval",
                 "250",
+                "--probe-interval",
+                "750",
                 "--no-route-cache",
             ]),
             no_env(),
@@ -529,6 +546,7 @@ mod tests {
         );
         assert_eq!(config.ttl, 5);
         assert_eq!(config.gossip_interval_ms, 250);
+        assert_eq!(config.probe_interval_ms, 750);
         assert!(!config.route_cache);
     }
 
@@ -537,6 +555,16 @@ mod tests {
         let err = parse_args(args(&["--gossip-interval", "soon"]), no_env()).unwrap_err();
         assert!(err.contains("--gossip-interval"), "{err}");
         let err = parse_args(args(&["--gossip-interval"]), no_env()).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn probe_interval_parses_and_rejects_garbage() {
+        let config = parse_args(args(&["--probe-interval", "0"]), no_env()).unwrap();
+        assert_eq!(config.probe_interval_ms, 0, "zero disables probing");
+        let err = parse_args(args(&["--probe-interval", "often"]), no_env()).unwrap_err();
+        assert!(err.contains("--probe-interval"), "{err}");
+        let err = parse_args(args(&["--probe-interval"]), no_env()).unwrap_err();
         assert!(err.contains("requires a value"), "{err}");
     }
 

@@ -305,6 +305,87 @@ fn peer_renaming_its_domain_retires_the_old_domains_pools() {
     fake_peer.join().unwrap();
 }
 
+/// The timer-wheel health probe, over real sockets: daemon A peers at B
+/// with the *gossip tick disabled*, so after the link is established by
+/// one delegation nothing but the probe ever touches it.  B is then
+/// halted.  No client delegates through A again — yet A prunes B's
+/// directory records within a few probe rounds, so the next delegation
+/// would never offer the dead peer as a candidate.
+#[test]
+fn health_probe_prunes_a_dead_peer_between_delegations() {
+    let (srv_b, _fed_b) = PipelineBuilder::new()
+        .database(homogeneous_db("hp", 20, 91))
+        .ttl(8)
+        .serve_federated(
+            &StageAddress::new("127.0.0.1", 0),
+            BackendKind::Embedded,
+            FederationConfig {
+                domain: "upc".to_string(),
+                ttl: 8,
+                peers: vec![],
+                gossip_interval: Duration::ZERO,
+                ..FederationConfig::default()
+            },
+        )
+        .expect("pool host starts");
+    let (srv_a, fed_a) = PipelineBuilder::new()
+        .database(homogeneous_db("sun", 20, 92))
+        .ttl(8)
+        .serve_federated(
+            &StageAddress::new("127.0.0.1", 0),
+            BackendKind::Embedded,
+            FederationConfig {
+                domain: "purdue".to_string(),
+                ttl: 8,
+                peers: vec![srv_b.local_addr()],
+                gossip_interval: Duration::ZERO,
+                probe_interval: Duration::from_millis(150),
+                ..FederationConfig::default()
+            },
+        )
+        .expect("entry daemon starts");
+
+    // One delegation establishes the link and the peer's directory
+    // records; releasing the allocation leaves the link healthy and idle.
+    let client = RemoteBackend::connect(&srv_a.local_addr()).expect("connect to entry");
+    let held = client
+        .submit_text_wait("punch.rsrc.arch = hp\n")
+        .expect("the hp query delegates to the peer");
+    client
+        .release(&held[0])
+        .expect("release routes to the peer");
+    {
+        let dir = fed_a.peer_directory().read();
+        assert!(
+            dir.pool_managers().iter().any(|d| d == "upc"),
+            "the delegation recorded the peer's advertisement"
+        );
+    }
+    let delegations_before = client.stats().delegations_out;
+
+    // Kill the peer.  Nothing queries A from here on: only the probe
+    // timer can notice the death.
+    srv_b.halt();
+    srv_b.join().expect("pool host drains");
+    wait_for("the probe to prune the dead peer", || {
+        !fed_a
+            .peer_directory()
+            .read()
+            .pool_managers()
+            .iter()
+            .any(|d| d == "upc")
+    });
+    assert_eq!(
+        client.stats().delegations_out,
+        delegations_before,
+        "no delegation was spent discovering the death"
+    );
+
+    client.halt_daemon().expect("entry accepts the halt");
+    client.shutdown().expect("clean session shutdown");
+    srv_a.join().expect("entry drains");
+}
+
 // ---------------------------------------------------------------------------
 // Property: gossip convergence over in-memory topologies
 // ---------------------------------------------------------------------------
