@@ -1,0 +1,25 @@
+//! Seeded frame-tags violation: `Query` encodes tag 1 but decodes tag 2.
+
+pub enum ClientFrame {
+    Hello,
+    Query,
+}
+
+fn encode(frame: &ClientFrame, out: &mut Vec<u8>) {
+    match frame {
+        ClientFrame::Hello => {
+            out.push(0);
+        }
+        ClientFrame::Query => {
+            out.push(1);
+        }
+    }
+}
+
+fn decode(tag: u8) -> ClientFrame {
+    match tag {
+        0 => ClientFrame::Hello,
+        2 => ClientFrame::Query, // seeded frame-tags violation (this line)
+        _ => unreachable!(),
+    }
+}

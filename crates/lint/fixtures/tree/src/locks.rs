@@ -1,0 +1,47 @@
+//! Seeded guard-rule violations.  This file is lexed, never compiled:
+//! the idents only need the shapes the rules look for.
+
+fn well_ordered() {
+    let a = alpha.lock();
+    let b = beta.lock();
+    drop(b);
+    drop(a);
+}
+
+fn inverted() {
+    let b = beta.lock();
+    let a = alpha.lock(); // seeded lock-order violation (this line)
+    drop(a);
+    drop(b);
+}
+
+fn blocks_under_guard() {
+    let g = alpha.lock();
+    lane.send(1); // seeded lock-across-blocking violation (this line)
+    drop(g);
+}
+
+fn allowed_block() {
+    let g = alpha.lock();
+    // lint-allow(lock-across-blocking): fixture proves suppression
+    lane.send(2);
+    drop(g);
+}
+
+fn stale_allow() {
+    // lint-allow(lock-order): nothing below violates; must be reported unused
+    let a = alpha.lock();
+    drop(a);
+}
+
+fn released_before_blocking() {
+    let g = alpha.lock();
+    drop(g);
+    lane.send(3);
+}
+
+fn plain_if_condition_is_a_terminating_scope() {
+    if beta.lock().is_empty() {
+        lane.send(4); // guard dropped at the `{` — no finding here
+    }
+}

@@ -1,0 +1,21 @@
+//! Seeded reactor-blocking violation: the blocking call is one hop away
+//! from the entry point, proving the call-graph walk follows edges.
+
+fn io_thread_main() {
+    poll_sessions();
+    drain_lane();
+}
+
+fn poll_sessions() {
+    sessions.try_recv();
+}
+
+fn drain_lane() {
+    let job = lane.recv(); // seeded reactor-blocking violation (this line)
+    run(job);
+}
+
+fn off_reactor_worker() {
+    let job = lane.recv(); // not reachable from the entry: no finding
+    run(job);
+}

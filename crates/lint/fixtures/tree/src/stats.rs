@@ -1,0 +1,18 @@
+//! Seeded stats-fields violation: `completed` never reaches the merge
+//! site, so federation-wide stats would show it as zero forever.
+
+pub struct StatsSnapshot {
+    pub submitted: u64,
+    pub completed: u64, // seeded stats-fields violation anchors here
+}
+
+impl WireEncode for StatsSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        push_u64(out, self.submitted);
+        push_u64(out, self.completed);
+    }
+}
+
+fn merge_snapshot(snapshot: &StatsSnapshot) -> u64 {
+    snapshot.submitted
+}

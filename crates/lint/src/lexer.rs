@@ -1,0 +1,342 @@
+//! A minimal Rust lexer: enough fidelity for line-accurate token
+//! streams (identifiers, punctuation, literals) with comments and
+//! strings handled correctly, which is all the rules need.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime (`'a`) — distinguished so it is never confused with a
+    /// char literal.
+    Lifetime,
+    /// Numeric literal.
+    Number,
+    /// String, raw-string, char, or byte literal (contents dropped).
+    Literal,
+    /// Single punctuation character (`.`, `(`, `{`, `;`, …).
+    Punct,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+}
+
+/// A `// lint-allow(rule): reason` annotation found while lexing.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    /// Line the annotation sits on; it licenses findings on this line
+    /// and the next non-comment line.
+    pub line: usize,
+}
+
+/// A lexed source file: token stream plus the allow-annotations that
+/// were embedded in its comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+}
+
+/// Lexes Rust source, discarding comments (except `lint-allow`
+/// annotations, which are collected) and literal contents.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                scan_allow(&source[start..i], line, &mut out.allows);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                scan_allow(&source[start..i.min(source.len())], line, &mut out.allows);
+            }
+            b'"' => {
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                // r"...", r#"..."#, br"...", b"..." — scan to the close.
+                let mut j = i;
+                if bytes[j] == b'b' {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'r' {
+                    j += 1;
+                    let mut hashes = 0;
+                    while j < bytes.len() && bytes[j] == b'#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    // Opening quote.
+                    j += 1;
+                    loop {
+                        if j >= bytes.len() {
+                            break;
+                        }
+                        if bytes[j] == b'\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if bytes[j] == b'"' {
+                            let mut k = j + 1;
+                            let mut seen = 0;
+                            while k < bytes.len() && bytes[k] == b'#' && seen < hashes {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                } else {
+                    // b"..." plain byte string.
+                    j += 1;
+                    while j < bytes.len() {
+                        match bytes[j] {
+                            b'\\' => j += 2,
+                            b'"' => {
+                                j += 1;
+                                break;
+                            }
+                            b'\n' => {
+                                line += 1;
+                                j += 1;
+                            }
+                            _ => j += 1,
+                        }
+                    }
+                }
+                i = j;
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime or char literal.  A lifetime is `'ident` not
+                // followed by a closing quote.
+                if is_lifetime(bytes, i) {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: source[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            _ if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // Stop a number at `..` (range) so punct stays intact.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    match bytes.get(j) {
+        Some(b'r') => {
+            let mut k = j + 1;
+            while bytes.get(k) == Some(&b'#') {
+                k += 1;
+            }
+            bytes.get(k) == Some(&b'"')
+        }
+        Some(b'"') => bytes[i] == b'b',
+        _ => false,
+    }
+}
+
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    // 'x followed by another ' is a char literal; 'ident without a
+    // closing quote right after is a lifetime.  `'_'` is a char.
+    let Some(&next) = bytes.get(i + 1) else {
+        return false;
+    };
+    if !(next.is_ascii_alphabetic() || next == b'_') {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    bytes.get(j) != Some(&b'\'')
+}
+
+fn scan_allow(comment: &str, line: usize, allows: &mut Vec<Allow>) {
+    let Some(pos) = comment.find("lint-allow(") else {
+        return;
+    };
+    let rest = &comment[pos + "lint-allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    let rule = rest[..close].trim().to_string();
+    if !rule.is_empty() {
+        allows.push(Allow { rule, line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts_carry_lines() {
+        let lexed = lex("let a = 1;\nb.lock();\n");
+        let on_line_2: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.line == 2)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(on_line_2, vec!["b", ".", "lock", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let lexed = lex("// x.lock()\nlet s = \"y.lock()\";\n/* z.lock() */\n");
+        assert!(!lexed.tokens.iter().any(|t| t.text == "lock"));
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let lexed = lex("let s = r#\"a.lock() \"quoted\" \"#; next");
+        assert!(lexed.tokens.iter().any(|t| t.text == "next"));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "lock"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokenKind::Literal));
+    }
+
+    #[test]
+    fn allow_annotations_are_collected() {
+        let lexed = lex("// lint-allow(lock-order): peer map before pool map\nx.lock();\n");
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rule, "lock-order");
+        assert_eq!(lexed.allows[0].line, 1);
+    }
+}

@@ -1,0 +1,7 @@
+//! actyp-lint — static analysis for actyp's concurrency and protocol
+//! invariants.  See `docs/CONCURRENCY.md` for the rule catalog.
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_workspace, Finding, LintConfig, LintReport};

@@ -1,0 +1,87 @@
+//! `actyp-lint` — run the workspace invariant rules from the repo root.
+//!
+//! ```text
+//! actyp-lint [--root <dir>] [--deny]
+//! ```
+//!
+//! `--deny` exits non-zero when any finding survives the allowlist
+//! (the CI mode).  Unused `lint-allow` annotations are reported either
+//! way so stale exemptions get cleaned up, and fail `--deny` too.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use actyp_lint::{lint_workspace, LintConfig};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: actyp-lint [--root <dir>] [--deny]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let config = match LintConfig::for_workspace(&root) {
+        Ok(config) => config,
+        Err(err) => {
+            eprintln!(
+                "actyp-lint: cannot load workspace config from {}: {err}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if config.hierarchy.is_empty() {
+        eprintln!("actyp-lint: no lock-hierarchy fence found in docs/CONCURRENCY.md");
+        return ExitCode::from(2);
+    }
+
+    let report = match lint_workspace(&config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("actyp-lint: scan failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    for (file, line, rule) in &report.unused_allows {
+        println!(
+            "{}:{}: unused lint-allow({rule}) — remove or fix the rule name",
+            file.display(),
+            line
+        );
+    }
+    println!(
+        "actyp-lint: {} file(s), {} finding(s), {} suppressed by lint-allow, {} unused allow(s)",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed,
+        report.unused_allows.len()
+    );
+
+    if deny && (!report.findings.is_empty() || !report.unused_allows.is_empty()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

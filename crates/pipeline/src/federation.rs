@@ -349,6 +349,10 @@ impl MuxConn {
         }
         let sent = {
             let mut writer = self.writer.lock();
+            // The writer mutex MUST cover the frame write or concurrent
+            // requests interleave half-frames; the socket write timeout
+            // set at connect bounds how long a stalled peer can hold it.
+            // lint-allow(lock-across-blocking): serialised frame write
             write_frame(&mut *writer, &build(corr))
         };
         if let Err(e) = sent {

@@ -132,7 +132,10 @@ impl OriginLog {
         if epoch != self.epoch {
             // Different epoch: everything the peer has for this origin is
             // invalid (or from a past life of ours); resend the world.
-            return (self.head > 0 || !self.live.is_empty()).then(|| self.snapshot(origin));
+            // An empty log must still ship once the peer claims entries,
+            // or the peer would hold the stale epoch's live set forever.
+            return (self.head > 0 || !self.live.is_empty() || seq > 0)
+                .then(|| self.snapshot(origin));
         }
         if seq >= self.head {
             return None;
@@ -355,18 +358,34 @@ pub struct GossipPlane {
     deltas_out: AtomicU64,
 }
 
+/// Highest own-log epoch any plane in this process has opened.  Epochs
+/// are drawn from wall-clock seconds, so two daemons created within the
+/// same second — an in-process restart, or every test that rebuilds a
+/// fleet — would otherwise share an epoch, and a stale relay of the old
+/// life's log (same epoch, higher sequence) could resurrect retired
+/// pools at every peer.  The new epoch is forced strictly above the
+/// last one issued here.
+static LAST_EPOCH: AtomicU64 = AtomicU64::new(0);
+
 impl GossipPlane {
     /// A plane for `domain`, opening the own-origin log at an epoch drawn
     /// from the wall clock — a restarted daemon starts a strictly higher
     /// epoch, which is what invalidates its previous life's entries at
-    /// every peer.
+    /// every peer.  Strict monotonicity against every epoch previously
+    /// issued in this process is enforced even when the clock has not
+    /// advanced (or stepped backwards).
     pub fn new(domain: &str) -> Self {
-        let epoch = SystemTime::now()
+        let now = SystemTime::now()
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(1)
             .max(1);
-        Self::with_epoch(domain, epoch)
+        let last = LAST_EPOCH
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |last| {
+                Some(now.max(last + 1))
+            })
+            .unwrap_or(0);
+        Self::with_epoch(domain, now.max(last + 1))
     }
 
     /// A plane with an explicit own-log epoch (tests pin epochs to drive
@@ -469,11 +488,38 @@ impl GossipPlane {
     /// Applies inbound deltas, skipping the own origin (this daemon is
     /// authoritative for it — a relayed echo of our own log must never
     /// loop back in).  Returns the directory-relevant events.
+    ///
+    /// An own-origin echo from a *previous life* of this daemon — one
+    /// carrying an epoch above ours, or our epoch with a head beyond
+    /// anything this life has produced (possible when a restart reused a
+    /// wall-clock second, or the clock stepped back across a real
+    /// restart) — would dominate this life's entries at every peer,
+    /// resurrecting retired pools.  The defense is to re-epoch the own
+    /// log strictly above the echo, which resets everything peers hold
+    /// for this origin in our favour.  Echoes of *this* life (same
+    /// epoch, head at or below ours — the normal anti-entropy case) are
+    /// simply skipped: we are authoritative for them.
     pub fn apply(&self, deltas: &[AdvertDelta]) -> Vec<GossipEvent> {
         let mut events = Vec::new();
         let mut state = self.state.lock();
         for delta in deltas {
             if delta.origin == self.domain {
+                let log = state
+                    .log
+                    .origins
+                    .get_mut(&self.domain)
+                    .expect("own-origin log always present");
+                let previous_life =
+                    delta.epoch > log.epoch || (delta.epoch == log.epoch && delta.head > log.head);
+                if previous_life {
+                    let bumped = delta.epoch + 1;
+                    let live: Vec<String> = log.live.keys().cloned().collect();
+                    *log = OriginLog::new(bumped);
+                    for pool in &live {
+                        log.append(pool, true);
+                    }
+                    let _ = LAST_EPOCH.fetch_max(bumped, Ordering::SeqCst);
+                }
                 continue;
             }
             self.deltas_in.fetch_add(1, Ordering::Relaxed);

@@ -262,12 +262,17 @@ impl ServerHandle {
     /// together.
     pub fn join(self) -> Result<(), AllocationError> {
         let mut problems: Vec<String> = Vec::new();
-        if let Some(handle) = self.accept.lock().take() {
+        // The handle slots are taken in their own statements so the
+        // mutexes drop *before* the joins: an `if let` scrutinee's
+        // temporary guard would otherwise be held across the whole join.
+        let accept_handle = self.accept.lock().take();
+        if let Some(handle) = accept_handle {
             if handle.join().is_err() {
                 problems.push("ypd accept loop panicked".to_string());
             }
         }
-        if let Some(handle) = self.shared.gossip.lock().take() {
+        let gossip_handle = self.shared.gossip.lock().take();
+        if let Some(handle) = gossip_handle {
             if handle.join().is_err() {
                 problems.push("ypd gossip thread panicked".to_string());
             }
@@ -474,22 +479,31 @@ fn serve_inner(
             };
             let session_shared = accept_shared.clone();
             let handle = std::thread::spawn(move || run_session(session_shared, stream));
-            let mut sessions = accept_shared.sessions.lock();
             // Reap finished sessions so a long-lived daemon serving many
-            // short connections does not accumulate handles forever —
-            // joining each reaped handle (it has already finished, so this
-            // cannot block) keeps their panics from vanishing.
-            let mut index = 0;
-            while index < sessions.len() {
-                if sessions[index].is_finished() {
-                    if sessions.swap_remove(index).join().is_err() {
-                        accept_shared.reaped_panics.fetch_add(1, Ordering::Relaxed);
+            // short connections does not accumulate handles forever.
+            // The handles are pulled out under the lock but joined after
+            // releasing it — they have already finished, so the joins
+            // cannot block, but teardown also takes this lock and must
+            // never queue behind even a fast join.
+            let mut finished = Vec::new();
+            {
+                let mut sessions = accept_shared.sessions.lock();
+                let mut index = 0;
+                while index < sessions.len() {
+                    if sessions[index].is_finished() {
+                        finished.push(sessions.swap_remove(index));
+                    } else {
+                        index += 1;
                     }
-                } else {
-                    index += 1;
+                }
+                sessions.push(handle);
+            }
+            // Joining each reaped handle keeps their panics from vanishing.
+            for reaped in finished {
+                if reaped.join().is_err() {
+                    accept_shared.reaped_panics.fetch_add(1, Ordering::Relaxed);
                 }
             }
-            sessions.push(handle);
         }
     });
 
@@ -655,6 +669,7 @@ mod engine {
                 // Writing into a Vec cannot fail; `write_frame` refuses an
                 // over-limit frame before emitting any byte, so a failed
                 // push leaves the queue intact.
+                // lint-allow(lock-across-blocking): in-memory Vec sink, never blocks
                 let _ = write_frame(&mut buf.data, frame);
             }
             self.notify.mark_dirty(self.token);
@@ -1390,7 +1405,11 @@ mod engine {
                 });
             }
             ClientFrame::Poll { corr, ticket } => {
-                let backend_ticket = match state.tickets.lock().get(&ticket).copied() {
+                // Looked up in its own statement: a `match` scrutinee's
+                // temporary guard would live through every arm, holding
+                // the ticket table across the reply send.
+                let looked_up = state.tickets.lock().get(&ticket).copied();
+                let backend_ticket = match looked_up {
                     None => {
                         state.send(&ServerFrame::Error {
                             corr,
@@ -1717,6 +1736,10 @@ impl SessionState {
         match &self.sink {
             ReplySink::Stream(writer) => {
                 let mut writer = writer.lock();
+                // Replies from the session thread and its workers
+                // serialise on this mutex — releasing it mid-frame
+                // would interleave bytes.
+                // lint-allow(lock-across-blocking): serialised frame write
                 let _ = write_frame(&mut *writer, frame);
             }
             #[cfg(unix)]
@@ -1943,8 +1966,12 @@ fn run_session(shared: Arc<ServerShared>, mut stream: TcpStream) {
                 // sees UnknownTicket — the same contract as concurrent
                 // in-process redemption.  The session table lock is NOT
                 // held across try_poll, which on a federated backend can
-                // settle a failure through the WAN.
-                let backend_ticket = match state.tickets.lock().get(&ticket).copied() {
+                // settle a failure through the WAN — and the lookup runs
+                // in its own statement so the guard also drops before the
+                // error reply (a `match` scrutinee temporary would hold
+                // it through every arm).
+                let looked_up = state.tickets.lock().get(&ticket).copied();
+                let backend_ticket = match looked_up {
                     None => {
                         state.send(&ServerFrame::Error {
                             corr,
@@ -2256,7 +2283,10 @@ fn handle_wait(
     ticket: u64,
     deadline_ms: Option<u64>,
 ) {
-    let backend_ticket = match state.tickets.lock().remove(&ticket) {
+    // Claimed in its own statement so the table guard drops before the
+    // error reply — a `match` scrutinee temporary lives through the arms.
+    let claimed = state.tickets.lock().remove(&ticket);
+    let backend_ticket = match claimed {
         Some(t) => t,
         None => {
             state.send(&ServerFrame::Error {
@@ -2477,6 +2507,10 @@ impl RemoteBackend {
         let frame = build(corr);
         let write_result = {
             let mut writer = self.writer.lock();
+            // Concurrent requests on the shared backend connection
+            // serialise their frame writes here; the socket write
+            // timeout bounds a stalled backend.
+            // lint-allow(lock-across-blocking): serialised frame write
             write_frame(&mut *writer, &frame)
         };
         if let Err(e) = write_result {

@@ -11,7 +11,17 @@
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::Arc;
+
+    // Under the `model` feature the channel's lock and condvar come from
+    // actyp-model: channels created inside `Explorer::explore` are then
+    // deterministically interleaved (including the signal-absorption
+    // branch of `notify_one`), while channels created anywhere else fall
+    // back to real `std::sync` internals.
+    #[cfg(feature = "model")]
+    use actyp_model::sync::{Condvar, Mutex};
+    #[cfg(not(feature = "model"))]
+    use std::sync::{Condvar, Mutex};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -162,9 +172,14 @@ pub mod channel {
         /// consumer channels are unaffected; multi-consumer pools (the
         /// `ypd` reactor's worker lanes) deadlocked on exactly this.
         fn pass_baton(&self, state: &State<T>) {
+            // `buggy-baton` (test-only) reverts this fix so the model
+            // checker can prove it still catches the resulting deadlock.
+            #[cfg(not(feature = "buggy-baton"))]
             if !state.queue.is_empty() {
                 self.0.ready.notify_one();
             }
+            #[cfg(feature = "buggy-baton")]
+            let _ = state;
         }
 
         /// Blocks until a message arrives, failing once the channel is empty
@@ -293,6 +308,9 @@ pub mod channel {
             assert!(tx.send(1).is_err());
         }
 
+        /// Multi-consumer competition can genuinely hang when the baton
+        /// hand-off is reverted, so keep this off under `buggy-baton`.
+        #[cfg(not(feature = "buggy-baton"))]
         #[test]
         fn cloned_receivers_compete_for_messages() {
             let (tx, rx) = unbounded();
@@ -313,6 +331,7 @@ pub mod channel {
         /// Two sends could wake the same consumer, which takes one message
         /// and leaves — stranding the other message forever.  With the
         /// wakeup hand-off every message is consumed.
+        #[cfg(not(feature = "buggy-baton"))]
         #[test]
         fn bursts_reach_every_blocked_consumer() {
             use std::sync::atomic::{AtomicUsize, Ordering};
@@ -362,5 +381,143 @@ pub mod channel {
             tx.send(42).unwrap();
             assert_eq!(waiter.join().unwrap(), Ok(42));
         }
+    }
+}
+
+/// Bounded-interleaving proofs of the channel (`--features model`), run
+/// by the CI `model-check` job.  Every channel created inside
+/// `Explorer::explore` routes its lock and condvar through the
+/// cooperative scheduler; `notify_one` explicitly branches into the
+/// signal-absorption case that caused the worker-lane lost wakeup.
+#[cfg(all(test, feature = "model"))]
+mod model_tests {
+    use super::channel::unbounded;
+    use actyp_model::{thread, Explorer};
+    use std::sync::Arc;
+
+    fn explorer() -> Explorer {
+        Explorer {
+            max_schedules: 200_000,
+            preemption_bound: 2,
+            op_budget: 50_000,
+        }
+    }
+
+    /// The exact worker-lane shape behind the PR 5 bug: two consumers
+    /// each take one message, producer bursts two sends.  Exhaustively
+    /// deadlock-free *only* because of the wakeup hand-off in
+    /// `pass_baton` — see `lost_wakeup_recaught` for the reverted form.
+    #[cfg(not(feature = "buggy-baton"))]
+    #[test]
+    fn mpmc_burst_to_two_consumers_proven() {
+        let report = explorer().prove(|| {
+            let (tx, rx) = unbounded::<u8>();
+            let rx2 = rx.clone();
+            let c1 = thread::spawn(move || rx.recv().unwrap());
+            let c2 = thread::spawn(move || rx2.recv().unwrap());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let got = c1.join().unwrap() + c2.join().unwrap();
+            assert_eq!(got, 3, "both messages consumed, once each");
+        });
+        assert!(report.proven());
+        assert!(report.schedules > 10, "interleavings actually explored");
+    }
+
+    /// Worker-pool shutdown protocol over the channel: each worker loops
+    /// on `recv`, counts work, and exits on a stop marker queued behind
+    /// the work — the `WorkerPool::shutdown` discipline in miniature.
+    #[cfg(not(feature = "buggy-baton"))]
+    #[test]
+    fn worker_pool_stop_protocol_proven() {
+        #[derive(Clone, Copy)]
+        enum Job {
+            Run,
+            Stop,
+        }
+        let report = Explorer {
+            max_schedules: 200_000,
+            preemption_bound: 1,
+            op_budget: 50_000,
+        }
+        .prove(|| {
+            let (tx, rx) = unbounded::<Job>();
+            let tally = Arc::new(actyp_model::sync::Mutex::new(0u8));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let tally = tally.clone();
+                    thread::spawn(move || loop {
+                        match rx.recv() {
+                            Ok(Job::Run) => *tally.lock().unwrap() += 1,
+                            Ok(Job::Stop) | Err(_) => break,
+                        }
+                    })
+                })
+                .collect();
+            tx.send(Job::Run).unwrap();
+            // Stop markers behind the queued work, one per worker.
+            tx.send(Job::Stop).unwrap();
+            tx.send(Job::Stop).unwrap();
+            for w in workers {
+                w.join().unwrap();
+            }
+            assert_eq!(*tally.lock().unwrap(), 1, "the job ran exactly once");
+        });
+        assert!(report.proven());
+    }
+
+    /// Disconnect semantics under every schedule: a consumer draining
+    /// until `Err` terminates once the last sender drops.
+    #[cfg(not(feature = "buggy-baton"))]
+    #[test]
+    fn drain_until_disconnect_proven() {
+        let report = explorer().prove(|| {
+            let (tx, rx) = unbounded::<u8>();
+            let consumer = thread::spawn(move || {
+                let mut got = 0u8;
+                while let Ok(v) = rx.recv() {
+                    got += v;
+                }
+                got
+            });
+            tx.send(5).unwrap();
+            drop(tx);
+            assert_eq!(consumer.join().unwrap(), 5);
+        });
+        assert!(report.proven());
+    }
+
+    /// REGRESSION (`--features model,buggy-baton`): with the PR 5 wakeup
+    /// hand-off reverted, two sends can both land on the same blocked
+    /// consumer — the second signal is absorbed, the other consumer
+    /// starves with its message queued.  The exploration must re-find
+    /// that deadlock within a bounded number of interleavings.
+    #[cfg(feature = "buggy-baton")]
+    #[test]
+    fn lost_wakeup_recaught() {
+        let report = explorer().explore(|| {
+            let (tx, rx) = unbounded::<u8>();
+            let rx2 = rx.clone();
+            let c1 = thread::spawn(move || rx.recv().unwrap());
+            let c2 = thread::spawn(move || rx2.recv().unwrap());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            c1.join().unwrap();
+            c2.join().unwrap();
+        });
+        let failure = report
+            .failure
+            .expect("reverted baton fix must deadlock within the bounded exploration");
+        assert!(
+            failure.message.contains("deadlock"),
+            "expected a deadlock, got: {}",
+            failure.message
+        );
+        assert!(
+            report.schedules <= 5_000,
+            "lost wakeup should surface within a few thousand interleavings, took {}",
+            report.schedules
+        );
     }
 }

@@ -1,0 +1,788 @@
+//! The cooperative scheduler and the depth-first schedule explorer.
+//!
+//! Model threads are real OS threads, but only the one the scheduler has
+//! marked *active* executes; everyone else sleeps on the scheduler's
+//! condvar.  Every visible operation funnels through this module, which
+//! turns "which thread runs next / which waiter wakes / is this signal
+//! absorbed" into recorded decision points that [`Explorer`] enumerates.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// Sentinel panic payload used to unwind model threads when a run is
+/// aborted (deadlock found, budget exhausted, another thread panicked).
+/// Never surfaces to user code.
+pub(crate) struct AbortToken;
+
+/// Where one model thread currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    /// May be scheduled.
+    Runnable,
+    /// Blocked acquiring mutex `id`.
+    Lock(usize),
+    /// Blocked acquiring rwlock `id` (`true` = for writing).
+    Rw(usize, bool),
+    /// Blocked in an untimed condvar wait on cv `id`.
+    Cv(usize),
+    /// Blocked in a *timed* condvar wait on cv `id` — may always be
+    /// forced to time out, so it never deadlocks a run by itself.
+    CvTimeout(usize),
+    /// Blocked joining thread `tid`.
+    Join(usize),
+    /// Returned (or unwound); never scheduled again.
+    Finished,
+}
+
+/// One reader/writer lock's model state.
+#[derive(Debug, Default)]
+struct RwState {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+}
+
+/// One condvar's model state.  `woken` holds threads that have been
+/// signalled but have not yet returned from their wait — while any
+/// exist, a further `notify_one` may be absorbed (see the crate docs).
+#[derive(Debug, Default)]
+struct CvState {
+    waiting: Vec<usize>,
+    woken: Vec<usize>,
+}
+
+/// Everything mutable about one run, under the scheduler's one lock.
+struct SchedState {
+    threads: Vec<ThreadState>,
+    /// Scratch flag per thread: its last timed wait timed out.
+    timed_out: Vec<bool>,
+    /// The only thread allowed to execute user code right now.
+    active: usize,
+    locks: Vec<Option<usize>>,
+    rws: Vec<RwState>,
+    cvs: Vec<CvState>,
+    /// Decision indices prescribed for this run (the DFS prefix).
+    schedule: Vec<usize>,
+    cursor: usize,
+    /// Every decision point taken: `(options, chosen)`.
+    trace: Vec<(usize, usize)>,
+    preemptions_left: usize,
+    ops_left: usize,
+    failure: Option<String>,
+    aborting: bool,
+    /// Threads not yet `Finished`.
+    live: usize,
+}
+
+impl SchedState {
+    /// Takes the next decision among `options` alternatives: prescribed
+    /// by the schedule prefix when available, the first alternative
+    /// otherwise.  Recorded in the trace for backtracking.
+    fn choose(&mut self, options: usize) -> usize {
+        debug_assert!(options >= 2, "decision points need at least two options");
+        let chosen = if self.cursor < self.schedule.len() {
+            self.schedule[self.cursor].min(options - 1)
+        } else {
+            0
+        };
+        self.trace.push((options, chosen));
+        self.cursor += 1;
+        chosen
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.threads[t] == ThreadState::Runnable)
+            .collect()
+    }
+
+    fn fail(&mut self, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(message);
+        }
+        self.aborting = true;
+    }
+
+    /// Charges one scheduler operation against the run's budget; an
+    /// exhausted budget means the schedule stopped making progress.
+    fn spend_op(&mut self) {
+        if self.ops_left == 0 {
+            self.fail("operation budget exhausted (livelock under this schedule?)".to_string());
+        } else {
+            self.ops_left -= 1;
+        }
+    }
+
+    /// Picks the next thread to execute after the active one blocked or
+    /// finished.  Prefers runnable threads (a decision point when there
+    /// is more than one); failing that, forces a timed waiter to time
+    /// out; failing *that*, the run is deadlocked.
+    fn pick_next(&mut self) {
+        let runnable = self.runnable();
+        if !runnable.is_empty() {
+            let idx = if runnable.len() == 1 {
+                0
+            } else {
+                self.choose(runnable.len())
+            };
+            self.active = runnable[idx];
+            return;
+        }
+        let timed: Vec<usize> = (0..self.threads.len())
+            .filter(|&t| matches!(self.threads[t], ThreadState::CvTimeout(_)))
+            .collect();
+        if !timed.is_empty() {
+            let idx = if timed.len() == 1 {
+                0
+            } else {
+                self.choose(timed.len())
+            };
+            let t = timed[idx];
+            if let ThreadState::CvTimeout(cv) = self.threads[t] {
+                self.cvs[cv].waiting.retain(|&x| x != t);
+            }
+            self.threads[t] = ThreadState::Runnable;
+            self.timed_out[t] = true;
+            self.active = t;
+            return;
+        }
+        if self.live == 0 {
+            return;
+        }
+        let stuck: Vec<String> = (0..self.threads.len())
+            .filter(|&t| self.threads[t] != ThreadState::Finished)
+            .map(|t| format!("thread {t} {:?}", self.threads[t]))
+            .collect();
+        self.fail(format!("deadlock: [{}]", stuck.join(", ")));
+    }
+}
+
+/// The gate every model thread executes through.
+pub(crate) struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+}
+
+impl Scheduler {
+    fn new(schedule: Vec<usize>, preemption_bound: usize, op_budget: usize) -> Self {
+        Scheduler {
+            state: StdMutex::new(SchedState {
+                threads: Vec::new(),
+                timed_out: Vec::new(),
+                active: 0,
+                locks: Vec::new(),
+                rws: Vec::new(),
+                cvs: Vec::new(),
+                schedule,
+                cursor: 0,
+                trace: Vec::new(),
+                preemptions_left: preemption_bound,
+                ops_left: op_budget,
+                failure: None,
+                aborting: false,
+                live: 0,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> StdGuard<'_, SchedState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Unwinds the calling model thread out of the aborted run.
+    fn abort_now() -> ! {
+        std::panic::panic_any(AbortToken)
+    }
+
+    /// Sleeps until this thread is the active runnable one (or the run
+    /// aborts, which unwinds).
+    ///
+    /// When the calling thread is *already* unwinding (destructors
+    /// running during an abort), a second panic would SIGABRT the whole
+    /// process — so an aborting run hands the guard straight back and
+    /// lets teardown proceed unscheduled.
+    fn wait_turn<'a>(
+        &'a self,
+        mut st: StdGuard<'a, SchedState>,
+        me: usize,
+    ) -> StdGuard<'a, SchedState> {
+        loop {
+            if st.aborting {
+                if std::thread::panicking() {
+                    return st;
+                }
+                drop(st);
+                Self::abort_now();
+            }
+            if st.active == me && st.threads[me] == ThreadState::Runnable {
+                return st;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// The active thread stops being runnable (its state was already set
+    /// by the caller): pick a successor, then sleep until rescheduled.
+    fn block<'a>(
+        &'a self,
+        mut st: StdGuard<'a, SchedState>,
+        me: usize,
+    ) -> StdGuard<'a, SchedState> {
+        st.pick_next();
+        self.cv.notify_all();
+        self.wait_turn(st, me)
+    }
+
+    /// A voluntary context-switch opportunity before a visible operation.
+    /// Switching away from a runnable thread costs one unit of the
+    /// preemption budget; with the budget spent the active thread just
+    /// keeps running (CHESS-style context bounding).
+    pub(crate) fn preempt_point(&self, me: usize) {
+        let mut st = self.lock_state();
+        if st.aborting {
+            let unwinding = std::thread::panicking();
+            drop(st);
+            if unwinding {
+                return;
+            }
+            Self::abort_now();
+        }
+        st.spend_op();
+        if st.aborting {
+            drop(st);
+            Self::abort_now();
+        }
+        if st.preemptions_left == 0 {
+            return;
+        }
+        let others: Vec<usize> = st.runnable().into_iter().filter(|&t| t != me).collect();
+        if others.is_empty() {
+            return;
+        }
+        let idx = st.choose(1 + others.len());
+        if idx == 0 {
+            return;
+        }
+        st.preemptions_left -= 1;
+        st.active = others[idx - 1];
+        self.cv.notify_all();
+        let _resumed = self.wait_turn(st, me);
+    }
+
+    // --- thread lifecycle -------------------------------------------------
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.lock_state();
+        st.threads.push(ThreadState::Runnable);
+        st.timed_out.push(false);
+        st.live += 1;
+        st.threads.len() - 1
+    }
+
+    /// Blocks the new OS thread until the scheduler gives it its first
+    /// slot.  Returns `false` when the run aborted before that happened.
+    pub(crate) fn start_thread(&self, me: usize) -> bool {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let st = self.lock_state();
+            let st = self.wait_turn(st, me);
+            drop(st);
+        }));
+        outcome.is_ok()
+    }
+
+    pub(crate) fn thread_finish(&self, me: usize, panic_message: Option<String>) {
+        let mut st = self.lock_state();
+        st.threads[me] = ThreadState::Finished;
+        st.live -= 1;
+        match panic_message {
+            Some(msg) => st.fail(format!("thread {me} panicked: {msg}")),
+            None => {
+                let joiners: Vec<usize> = (0..st.threads.len())
+                    .filter(|&t| st.threads[t] == ThreadState::Join(me))
+                    .collect();
+                for t in joiners {
+                    st.threads[t] = ThreadState::Runnable;
+                }
+                if !st.aborting {
+                    st.pick_next();
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Marks an abort-unwound thread finished without scheduling anyone.
+    pub(crate) fn thread_finish_aborted(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.threads[me] = ThreadState::Finished;
+        st.live -= 1;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn join_thread(&self, target: usize, me: usize) {
+        self.preempt_point(me);
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                let unwinding = std::thread::panicking();
+                drop(st);
+                if unwinding {
+                    return;
+                }
+                Self::abort_now();
+            }
+            if st.threads[target] == ThreadState::Finished {
+                return;
+            }
+            st.threads[me] = ThreadState::Join(target);
+            st = self.block(st, me);
+        }
+    }
+
+    // --- mutex ------------------------------------------------------------
+
+    pub(crate) fn new_lock(&self) -> usize {
+        let mut st = self.lock_state();
+        st.locks.push(None);
+        st.locks.len() - 1
+    }
+
+    pub(crate) fn lock_acquire(&self, id: usize, me: usize) {
+        self.preempt_point(me);
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                let unwinding = std::thread::panicking();
+                drop(st);
+                if unwinding {
+                    // Teardown destructor: proceed unguarded rather than
+                    // double-panic; the run's data is already discarded.
+                    return;
+                }
+                Self::abort_now();
+            }
+            if st.locks[id].is_none() {
+                st.locks[id] = Some(me);
+                return;
+            }
+            st.threads[me] = ThreadState::Lock(id);
+            st = self.block(st, me);
+        }
+    }
+
+    pub(crate) fn lock_release(&self, id: usize) {
+        let mut st = self.lock_state();
+        st.locks[id] = None;
+        let contenders: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == ThreadState::Lock(id))
+            .collect();
+        for t in contenders {
+            st.threads[t] = ThreadState::Runnable;
+        }
+        // The releaser keeps running; who wins the lock is decided at the
+        // contenders' next scheduling points.
+    }
+
+    // --- condvar ----------------------------------------------------------
+
+    pub(crate) fn new_cv(&self) -> usize {
+        let mut st = self.lock_state();
+        st.cvs.push(CvState::default());
+        st.cvs.len() - 1
+    }
+
+    /// Releases `lock_id`, waits on `cv_id`, reacquires, and reports
+    /// whether a timed wait was forced to time out.
+    pub(crate) fn cv_wait(&self, cv_id: usize, lock_id: usize, me: usize, timed: bool) -> bool {
+        let mut st = self.lock_state();
+        if st.aborting {
+            let unwinding = std::thread::panicking();
+            drop(st);
+            if unwinding {
+                return false;
+            }
+            Self::abort_now();
+        }
+        st.spend_op();
+        // Atomically: release the paired mutex and join the wait set —
+        // exactly the guarantee pthread_cond_wait gives.
+        st.locks[lock_id] = None;
+        let contenders: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == ThreadState::Lock(lock_id))
+            .collect();
+        for t in contenders {
+            st.threads[t] = ThreadState::Runnable;
+        }
+        st.cvs[cv_id].waiting.push(me);
+        st.timed_out[me] = false;
+        st.threads[me] = if timed {
+            ThreadState::CvTimeout(cv_id)
+        } else {
+            ThreadState::Cv(cv_id)
+        };
+        st = self.block(st, me);
+        let timed_out = st.timed_out[me];
+        st.timed_out[me] = false;
+        // Reacquire the mutex before returning, like a real wait.
+        loop {
+            if st.aborting {
+                let unwinding = std::thread::panicking();
+                drop(st);
+                if unwinding {
+                    return timed_out;
+                }
+                Self::abort_now();
+            }
+            if st.locks[lock_id].is_none() {
+                st.locks[lock_id] = Some(me);
+                break;
+            }
+            st.threads[me] = ThreadState::Lock(lock_id);
+            st = self.block(st, me);
+        }
+        st.cvs[cv_id].woken.retain(|&t| t != me);
+        timed_out
+    }
+
+    /// `notify_one` with absorption semantics: branches between waking
+    /// each current waiter and — when a previously signalled thread has
+    /// not yet resumed — doing nothing at all.
+    pub(crate) fn cv_notify_one(&self, cv_id: usize, me: usize) {
+        self.preempt_point(me);
+        let mut st = self.lock_state();
+        if st.aborting {
+            let unwinding = std::thread::panicking();
+            drop(st);
+            if unwinding {
+                return;
+            }
+            Self::abort_now();
+        }
+        let waiting = st.cvs[cv_id].waiting.clone();
+        if waiting.is_empty() {
+            return;
+        }
+        let absorbable = !st.cvs[cv_id].woken.is_empty();
+        let options = waiting.len() + usize::from(absorbable);
+        let idx = if options == 1 { 0 } else { st.choose(options) };
+        if idx < waiting.len() {
+            let t = waiting[idx];
+            st.cvs[cv_id].waiting.retain(|&x| x != t);
+            st.cvs[cv_id].woken.push(t);
+            st.threads[t] = ThreadState::Runnable;
+        }
+        // idx == waiting.len(): the signal was absorbed by an
+        // already-woken thread — the lost-wakeup weakness, made explicit.
+    }
+
+    pub(crate) fn cv_notify_all(&self, cv_id: usize, me: usize) {
+        self.preempt_point(me);
+        let mut st = self.lock_state();
+        if st.aborting {
+            let unwinding = std::thread::panicking();
+            drop(st);
+            if unwinding {
+                return;
+            }
+            Self::abort_now();
+        }
+        let waiting = std::mem::take(&mut st.cvs[cv_id].waiting);
+        for t in waiting {
+            st.cvs[cv_id].woken.push(t);
+            st.threads[t] = ThreadState::Runnable;
+        }
+    }
+
+    // --- rwlock -----------------------------------------------------------
+
+    pub(crate) fn new_rw(&self) -> usize {
+        let mut st = self.lock_state();
+        st.rws.push(RwState::default());
+        st.rws.len() - 1
+    }
+
+    pub(crate) fn rw_acquire(&self, id: usize, me: usize, write: bool) {
+        self.preempt_point(me);
+        let mut st = self.lock_state();
+        loop {
+            if st.aborting {
+                let unwinding = std::thread::panicking();
+                drop(st);
+                if unwinding {
+                    return;
+                }
+                Self::abort_now();
+            }
+            let free = if write {
+                st.rws[id].writer.is_none() && st.rws[id].readers.is_empty()
+            } else {
+                st.rws[id].writer.is_none()
+            };
+            if free {
+                if write {
+                    st.rws[id].writer = Some(me);
+                } else {
+                    st.rws[id].readers.push(me);
+                }
+                return;
+            }
+            st.threads[me] = ThreadState::Rw(id, write);
+            st = self.block(st, me);
+        }
+    }
+
+    pub(crate) fn rw_release(&self, id: usize, me: usize, write: bool) {
+        let mut st = self.lock_state();
+        if write {
+            st.rws[id].writer = None;
+        } else {
+            st.rws[id].readers.retain(|&t| t != me);
+        }
+        let contenders: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| matches!(st.threads[t], ThreadState::Rw(l, _) if l == id))
+            .collect();
+        for t in contenders {
+            st.threads[t] = ThreadState::Runnable;
+        }
+    }
+}
+
+/// One run's shared context: the scheduler plus the OS threads it owns.
+pub(crate) struct RunCtx {
+    pub(crate) sched: Scheduler,
+    os_threads: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl RunCtx {
+    pub(crate) fn adopt_os_thread(&self, handle: std::thread::JoinHandle<()>) {
+        self.os_threads
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push(handle);
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<RunCtx>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The calling thread's run context and model tid, when it is a model
+/// thread of an exploration in progress.
+pub(crate) fn current() -> Option<(Arc<RunCtx>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(ctx: Arc<RunCtx>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((ctx, tid)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Renders a panic payload for failure reports.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A failing schedule: what went wrong and the decision indices that
+/// reproduce it (feed them back as a schedule prefix to replay).
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Deadlock, panic, or budget-exhaustion description.
+    pub message: String,
+    /// The decision indices of the failing run.
+    pub schedule: Vec<usize>,
+}
+
+/// The outcome of one exploration.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// The bounded decision space was fully enumerated (no failure, and
+    /// no remaining unexplored branch).
+    pub exhausted: bool,
+    /// The first failing schedule, if any — exploration stops on it.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// True when the whole bounded space was explored without a failure.
+    pub fn proven(&self) -> bool {
+        self.exhausted && self.failure.is_none()
+    }
+}
+
+/// Depth-first enumerator of bounded thread interleavings.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Hard cap on schedules explored (the run *fails to prove*, without
+    /// erroring, when the space is larger).
+    pub max_schedules: usize,
+    /// Forced-preemption budget per schedule (CHESS-style bounding).
+    /// Blocking context switches are always free.
+    pub preemption_bound: usize,
+    /// Scheduler-operation budget per schedule; exhausting it fails the
+    /// schedule as a livelock.
+    pub op_budget: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_schedules: 50_000,
+            preemption_bound: 2,
+            op_budget: 100_000,
+        }
+    }
+}
+
+impl Explorer {
+    /// Runs `body` under every schedule in the bounded space, stopping at
+    /// the first failure.  `body` is invoked once per schedule as model
+    /// thread 0; it may spawn further threads with [`crate::thread::spawn`]
+    /// and must confine cross-thread communication to the model-aware
+    /// sync primitives.
+    pub fn explore<F>(&self, body: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let body = Arc::new(body);
+        let mut schedule: Vec<usize> = Vec::new();
+        let mut schedules = 0;
+        loop {
+            let (trace, failure) = self.run_once(body.clone(), schedule.clone());
+            schedules += 1;
+            if let Some(message) = failure {
+                return Report {
+                    schedules,
+                    exhausted: false,
+                    failure: Some(Failure {
+                        message,
+                        schedule: trace.iter().map(|&(_, chosen)| chosen).collect(),
+                    }),
+                };
+            }
+            // Backtrack: deepest decision point with an unexplored branch.
+            let branch = (0..trace.len())
+                .rev()
+                .find(|&i| trace[i].1 + 1 < trace[i].0);
+            match branch {
+                None => {
+                    return Report {
+                        schedules,
+                        exhausted: true,
+                        failure: None,
+                    }
+                }
+                Some(i) => {
+                    schedule = trace[..i].iter().map(|&(_, chosen)| chosen).collect();
+                    schedule.push(trace[i].1 + 1);
+                }
+            }
+            if schedules >= self.max_schedules {
+                return Report {
+                    schedules,
+                    exhausted: false,
+                    failure: None,
+                };
+            }
+        }
+    }
+
+    /// Explores and panics with the failure unless the bounded space was
+    /// fully enumerated clean — the assertion form model tests use.
+    pub fn prove<F>(&self, body: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let report = self.explore(body);
+        if let Some(failure) = &report.failure {
+            panic!(
+                "model check failed after {} schedules: {} (schedule {:?})",
+                report.schedules, failure.message, failure.schedule
+            );
+        }
+        assert!(
+            report.exhausted,
+            "decision space not exhausted within {} schedules — raise max_schedules",
+            report.schedules
+        );
+        report
+    }
+
+    fn run_once(
+        &self,
+        body: Arc<dyn Fn() + Send + Sync>,
+        schedule: Vec<usize>,
+    ) -> (Vec<(usize, usize)>, Option<String>) {
+        let ctx = Arc::new(RunCtx {
+            sched: Scheduler::new(schedule, self.preemption_bound, self.op_budget),
+            os_threads: StdMutex::new(Vec::new()),
+        });
+        let root = ctx.sched.register_thread();
+        let root_ctx = ctx.clone();
+        let handle = std::thread::Builder::new()
+            .name("model-0".to_string())
+            .spawn(move || {
+                set_current(root_ctx.clone(), root);
+                if root_ctx.sched.start_thread(root) {
+                    match catch_unwind(AssertUnwindSafe(|| body())) {
+                        Ok(()) => root_ctx.sched.thread_finish(root, None),
+                        Err(p) if p.is::<AbortToken>() => {
+                            root_ctx.sched.thread_finish_aborted(root)
+                        }
+                        Err(p) => root_ctx
+                            .sched
+                            .thread_finish(root, Some(panic_message(p.as_ref()))),
+                    }
+                } else {
+                    root_ctx.sched.thread_finish_aborted(root);
+                }
+                clear_current();
+            })
+            .expect("spawn model root thread");
+        ctx.adopt_os_thread(handle);
+
+        // Wait for every model thread to finish (normally or by abort
+        // unwinding), then reap the OS threads.
+        {
+            let mut st = ctx.sched.lock_state();
+            while st.live > 0 {
+                st = ctx
+                    .sched
+                    .cv
+                    .wait(st)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        }
+        loop {
+            let handle = ctx
+                .os_threads
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        let st = ctx.sched.lock_state();
+        (st.trace.clone(), st.failure.clone())
+    }
+}

@@ -1,0 +1,477 @@
+//! Model-aware `Mutex` / `Condvar` / `RwLock` with the `std::sync`
+//! surface the lock shims are written against.
+//!
+//! Each primitive decides **at construction** whether it is a *model*
+//! primitive (created on a model thread inside an exploration: all
+//! blocking routes through the scheduler) or a *real* one (plain
+//! `std::sync` internals).  A shim compiled with its `model` feature
+//! therefore still behaves normally in ordinary tests — only objects
+//! created inside [`crate::Explorer::explore`] are gated.
+//!
+//! The API mirrors `std::sync` shapes (`lock()` returns a `Result`,
+//! condvar waits hand guards back) so shim code compiles unchanged
+//! against either import; poisoning does not exist here, so the error
+//! type is uninhabited and `.unwrap()` never fires.
+
+use std::cell::UnsafeCell;
+use std::convert::Infallible;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::{
+    Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard,
+    RwLock as StdRwLock, RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard,
+};
+use std::time::Duration;
+
+use crate::sched::{self, RunCtx};
+
+/// `std::sync::LockResult` without poisoning: the error is uninhabited,
+/// so `.unwrap()` is total.
+pub type LockResult<T> = Result<T, Infallible>;
+
+fn expect_model_thread(ctx: &Arc<RunCtx>) -> usize {
+    let (current, me) =
+        sched::current().expect("model sync primitive used from a thread outside its exploration");
+    assert!(
+        Arc::ptr_eq(&current, ctx),
+        "model sync primitive used from a different exploration"
+    );
+    me
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+enum MutexRaw {
+    Real(StdMutex<()>),
+    Model { ctx: Arc<RunCtx>, id: usize },
+}
+
+/// A mutex that routes through the model scheduler when created inside
+/// an exploration, and through `std::sync::Mutex` otherwise.
+pub struct Mutex<T> {
+    raw: MutexRaw,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex; model-gated iff called on a model thread.
+    pub fn new(value: T) -> Self {
+        let raw = match sched::current() {
+            Some((ctx, _)) => {
+                let id = ctx.sched.new_lock();
+                MutexRaw::Model { ctx, id }
+            }
+            None => MutexRaw::Real(StdMutex::new(())),
+        };
+        Mutex {
+            raw,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the lock. Never errors (no poisoning); the `Result`
+    /// shape exists for `std::sync` source compatibility.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let real = match &self.raw {
+            MutexRaw::Real(m) => Some(m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())),
+            MutexRaw::Model { ctx, id } => {
+                let me = expect_model_thread(ctx);
+                ctx.sched.lock_acquire(*id, me);
+                None
+            }
+        };
+        Ok(MutexGuard {
+            lock: self,
+            real,
+            _not_send: PhantomData,
+        })
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Mutex { .. }")
+    }
+}
+
+/// Guard for [`Mutex`]; releases on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    /// Held when the parent mutex is real; `None` under the model.
+    real: Option<StdMutexGuard<'a, ()>>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let MutexRaw::Model { ctx, id } = &self.lock.raw {
+            ctx.sched.lock_release(*id);
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed wait; mirrors `std::sync::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+enum CvRaw {
+    Real(StdCondvar),
+    Model { ctx: Arc<RunCtx>, id: usize },
+}
+
+/// A condition variable paired with [`Mutex`]; under the model,
+/// `notify_one` exhibits explicit signal-absorption nondeterminism
+/// (see the crate docs).
+pub struct Condvar {
+    raw: CvRaw,
+}
+
+impl Condvar {
+    /// Creates a condvar; model-gated iff called on a model thread.
+    pub fn new() -> Self {
+        let raw = match sched::current() {
+            Some((ctx, _)) => {
+                let id = ctx.sched.new_cv();
+                CvRaw::Model { ctx, id }
+            }
+            None => CvRaw::Real(StdCondvar::new()),
+        };
+        Condvar { raw }
+    }
+
+    /// Dismantles a guard without running its release: the caller has
+    /// arranged for the lock to be handed off (condvar wait protocol).
+    fn disarm<'a, T>(guard: MutexGuard<'a, T>) -> (&'a Mutex<T>, Option<StdMutexGuard<'a, ()>>) {
+        let mut guard = guard;
+        let lock = guard.lock;
+        let real = guard.real.take();
+        std::mem::forget(guard);
+        (lock, real)
+    }
+
+    /// Atomically releases the guard's mutex and waits for a
+    /// notification, reacquiring before returning.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match &self.raw {
+            CvRaw::Real(cv) => {
+                let (lock, real) = Self::disarm(guard);
+                let real = real.expect("real Condvar paired with a model Mutex");
+                let real = cv
+                    .wait(real)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                Ok(MutexGuard {
+                    lock,
+                    real: Some(real),
+                    _not_send: PhantomData,
+                })
+            }
+            CvRaw::Model { ctx, id } => {
+                let me = expect_model_thread(ctx);
+                let (lock, real) = Self::disarm(guard);
+                assert!(real.is_none(), "model Condvar paired with a real Mutex");
+                let MutexRaw::Model { id: lock_id, .. } = &lock.raw else {
+                    unreachable!("guard without a real half guards a model mutex")
+                };
+                ctx.sched.cv_wait(*id, *lock_id, me, false);
+                Ok(MutexGuard {
+                    lock,
+                    real: None,
+                    _not_send: PhantomData,
+                })
+            }
+        }
+    }
+
+    /// Timed wait.  Under the model the duration is ignored: whether the
+    /// wait times out is a scheduler decision, explored both ways.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match &self.raw {
+            CvRaw::Real(cv) => {
+                let (lock, real) = Self::disarm(guard);
+                let real = real.expect("real Condvar paired with a model Mutex");
+                let (real, result) = cv
+                    .wait_timeout(real, dur)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                Ok((
+                    MutexGuard {
+                        lock,
+                        real: Some(real),
+                        _not_send: PhantomData,
+                    },
+                    WaitTimeoutResult {
+                        timed_out: result.timed_out(),
+                    },
+                ))
+            }
+            CvRaw::Model { ctx, id } => {
+                let me = expect_model_thread(ctx);
+                let (lock, real) = Self::disarm(guard);
+                assert!(real.is_none(), "model Condvar paired with a real Mutex");
+                let MutexRaw::Model { id: lock_id, .. } = &lock.raw else {
+                    unreachable!("guard without a real half guards a model mutex")
+                };
+                let timed_out = ctx.sched.cv_wait(*id, *lock_id, me, true);
+                Ok((
+                    MutexGuard {
+                        lock,
+                        real: None,
+                        _not_send: PhantomData,
+                    },
+                    WaitTimeoutResult { timed_out },
+                ))
+            }
+        }
+    }
+
+    /// Wakes one waiter — or, under the model, possibly nobody when a
+    /// signalled thread has not yet resumed (signal absorption).
+    pub fn notify_one(&self) {
+        match &self.raw {
+            CvRaw::Real(cv) => cv.notify_one(),
+            CvRaw::Model { ctx, id } => {
+                let me = expect_model_thread(ctx);
+                ctx.sched.cv_notify_one(*id, me);
+            }
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        match &self.raw {
+            CvRaw::Real(cv) => cv.notify_all(),
+            CvRaw::Model { ctx, id } => {
+                let me = expect_model_thread(ctx);
+                ctx.sched.cv_notify_all(*id, me);
+            }
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+enum RwRaw {
+    Real(StdRwLock<()>),
+    Model { ctx: Arc<RunCtx>, id: usize },
+}
+
+/// A reader/writer lock; model-gated iff created inside an exploration.
+pub struct RwLock<T> {
+    raw: RwRaw,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates an rwlock; model-gated iff called on a model thread.
+    pub fn new(value: T) -> Self {
+        let raw = match sched::current() {
+            Some((ctx, _)) => {
+                let id = ctx.sched.new_rw();
+                RwRaw::Model { ctx, id }
+            }
+            None => RwRaw::Real(StdRwLock::new(())),
+        };
+        RwLock {
+            raw,
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let real = match &self.raw {
+            RwRaw::Real(l) => Some(l.read().unwrap_or_else(|poisoned| poisoned.into_inner())),
+            RwRaw::Model { ctx, id } => {
+                let me = expect_model_thread(ctx);
+                ctx.sched.rw_acquire(*id, me, false);
+                None
+            }
+        };
+        Ok(RwLockReadGuard {
+            lock: self,
+            real,
+            _not_send: PhantomData,
+        })
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let real = match &self.raw {
+            RwRaw::Real(l) => Some(l.write().unwrap_or_else(|poisoned| poisoned.into_inner())),
+            RwRaw::Model { ctx, id } => {
+                let me = expect_model_thread(ctx);
+                ctx.sched.rw_acquire(*id, me, true);
+                None
+            }
+        };
+        Ok(RwLockWriteGuard {
+            lock: self,
+            real,
+            _not_send: PhantomData,
+        })
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RwLock { .. }")
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    real: Option<StdReadGuard<'a, ()>>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let RwRaw::Model { ctx, id } = &self.lock.raw {
+            if let Some((_, me)) = sched::current() {
+                ctx.sched.rw_release(*id, me, false);
+            }
+        }
+        let _ = &self.real;
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    real: Option<StdWriteGuard<'a, ()>>,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let RwRaw::Model { ctx, id } = &self.lock.raw {
+            if let Some((_, me)) = sched::current() {
+                ctx.sched.rw_release(*id, me, true);
+            }
+        }
+        let _ = &self.real;
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}

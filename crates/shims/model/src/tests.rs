@@ -1,0 +1,258 @@
+//! Self-checks for the model checker: it must *prove* correct protocols
+//! (exhaust the bounded space cleanly) and *find* the classic failures —
+//! deadlock by lock-order inversion, missed signal, signal absorption.
+
+use std::sync::Arc;
+
+use crate::sync::{Condvar, Mutex, RwLock};
+use crate::{thread, Explorer};
+
+fn small() -> Explorer {
+    Explorer {
+        max_schedules: 20_000,
+        preemption_bound: 2,
+        op_budget: 10_000,
+    }
+}
+
+#[test]
+fn proves_two_incrementers() {
+    let report = small().prove(|| {
+        let counter = Arc::new(Mutex::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = counter.clone();
+                thread::spawn(move || {
+                    *counter.lock().unwrap() += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock().unwrap(), 2);
+    });
+    assert!(report.proven());
+    assert!(report.schedules > 1, "interleavings were actually explored");
+}
+
+#[test]
+fn finds_ab_ba_deadlock() {
+    let report = small().explore(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop(_ga);
+        drop(_gb);
+        t.join().unwrap();
+    });
+    let failure = report
+        .failure
+        .expect("AB/BA inversion must deadlock some schedule");
+    assert!(
+        failure.message.contains("deadlock"),
+        "got: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn finds_missed_signal_without_predicate_loop() {
+    // Waiter parks unconditionally; if the notifier fires first the
+    // signal is lost and the waiter sleeps forever.
+    let report = small().explore(|| {
+        let pair = Arc::new((Mutex::new(()), Condvar::new()));
+        let pair2 = pair.clone();
+        let t = thread::spawn(move || {
+            let guard = pair2.0.lock().unwrap();
+            let _guard = pair2.1.wait(guard).unwrap();
+        });
+        pair.1.notify_one();
+        t.join().unwrap();
+    });
+    let failure = report
+        .failure
+        .expect("missed signal must deadlock some schedule");
+    assert!(
+        failure.message.contains("deadlock"),
+        "got: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn proves_predicate_loop_doorbell() {
+    // The Waker/doorbell protocol: flag under the mutex, wait in a
+    // predicate loop, notify after setting.  Correct under every
+    // schedule, including absorption branches.
+    let report = small().prove(|| {
+        let bell = Arc::new((Mutex::new(false), Condvar::new()));
+        let bell2 = bell.clone();
+        let waiter = thread::spawn(move || {
+            let mut rung = bell2.0.lock().unwrap();
+            while !*rung {
+                rung = bell2.1.wait(rung).unwrap();
+            }
+        });
+        *bell.0.lock().unwrap() = true;
+        bell.1.notify_one();
+        waiter.join().unwrap();
+    });
+    assert!(report.proven());
+}
+
+#[test]
+fn finds_signal_absorption_with_two_waiters() {
+    // Two waiters each need one wakeup; two notify_ones *can* both land
+    // on the first waiter (absorption), stranding the second — exactly
+    // the weakness behind the PR 5 lost-wakeup.  The model must reach
+    // that branch.
+    let report = small().explore(|| {
+        let pair = Arc::new((Mutex::new(0u8), Condvar::new()));
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let pair = pair.clone();
+                thread::spawn(move || {
+                    let mut granted = pair.0.lock().unwrap();
+                    while *granted == 0 {
+                        granted = pair.1.wait(granted).unwrap();
+                    }
+                    *granted -= 1; // consume one grant, then leave
+                })
+            })
+            .collect();
+        {
+            let mut granted = pair.0.lock().unwrap();
+            *granted += 1;
+            pair.1.notify_one();
+            *granted += 1;
+            pair.1.notify_one();
+        }
+        for w in waiters {
+            w.join().unwrap();
+        }
+    });
+    let failure = report
+        .failure
+        .expect("two notify_ones absorbed by one waiter must strand the other");
+    assert!(
+        failure.message.contains("deadlock"),
+        "got: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn forced_timeout_rescues_timed_wait() {
+    // A timed wait with no notifier in sight is not a deadlock: the
+    // scheduler forces the timeout branch.
+    let report = small().prove(|| {
+        let pair = (Mutex::new(()), Condvar::new());
+        let guard = pair.0.lock().unwrap();
+        let (_guard, result) = pair
+            .1
+            .wait_timeout(guard, std::time::Duration::from_millis(1))
+            .unwrap();
+        assert!(result.timed_out());
+    });
+    assert!(report.proven());
+}
+
+#[test]
+fn join_returns_thread_value() {
+    let report = small().prove(|| {
+        let t = thread::spawn(|| 41 + 1);
+        assert_eq!(t.join().unwrap(), 42);
+    });
+    assert!(report.proven());
+}
+
+#[test]
+fn proves_rwlock_writer_exclusion() {
+    let report = small().prove(|| {
+        let shared = Arc::new(RwLock::new(0));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let shared = shared.clone();
+                thread::spawn(move || {
+                    let mut v = shared.write().unwrap();
+                    let read = *v;
+                    *v = read + 1;
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(*shared.read().unwrap(), 2);
+    });
+    assert!(report.proven());
+}
+
+#[test]
+fn reports_model_thread_panic() {
+    let report = small().explore(|| {
+        let t = thread::spawn(|| {
+            panic!("boom in model thread");
+        });
+        t.join().unwrap();
+    });
+    let failure = report.failure.expect("panic must fail the schedule");
+    assert!(failure.message.contains("boom"), "got: {}", failure.message);
+}
+
+#[test]
+fn real_fallback_outside_exploration() {
+    // Constructed on an ordinary thread, the primitives are plain locks.
+    let m = Arc::new(Mutex::new(0));
+    let m2 = m.clone();
+    let t = std::thread::spawn(move || {
+        *m2.lock().unwrap() += 1;
+    });
+    t.join().unwrap();
+    assert_eq!(*m.lock().unwrap(), 1);
+
+    let rw = RwLock::new(5);
+    assert_eq!(*rw.read().unwrap(), 5);
+    *rw.write().unwrap() = 6;
+    assert_eq!(rw.into_inner().unwrap(), 6);
+}
+
+#[test]
+fn failing_schedule_is_replayable() {
+    // Feeding a reported failing schedule back as the prefix must
+    // reproduce the failure on the first run.
+    let body = || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop(_ga);
+        drop(_gb);
+        t.join().unwrap();
+    };
+    let report = small().explore(body);
+    let failure = report.failure.expect("deadlock expected");
+    // Replay: max_schedules=1 starting from the failing schedule would
+    // need explorer support for seeded prefixes; instead assert the
+    // schedule is non-empty and the failure is deterministic across a
+    // second full exploration.
+    assert!(!failure.schedule.is_empty());
+    let again = small().explore(body);
+    assert_eq!(
+        again.failure.expect("same failure again").schedule,
+        failure.schedule,
+        "exploration is deterministic"
+    );
+}

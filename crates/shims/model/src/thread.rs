@@ -1,0 +1,96 @@
+//! Model-aware thread spawn/join.
+//!
+//! [`spawn`] on a model thread creates another *model* thread: a real OS
+//! thread gated by the run's scheduler, visible to deadlock detection
+//! and joinable through the scheduler.  Outside an exploration it
+//! degrades to `std::thread::spawn`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::sched::{self, panic_message, AbortToken, RunCtx};
+
+enum Inner<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model {
+        ctx: Arc<RunCtx>,
+        tid: usize,
+        result: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Under the model a child panic aborts the entire schedule (the
+    /// explorer reports it), so the `Err` arm only surfaces on the real
+    /// fallback path.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Real(handle) => handle.join(),
+            Inner::Model { ctx, tid, result } => {
+                let (current, me) = sched::current()
+                    .expect("model JoinHandle joined from a thread outside its exploration");
+                assert!(
+                    Arc::ptr_eq(&current, &ctx),
+                    "model JoinHandle joined from a different exploration"
+                );
+                ctx.sched.join_thread(tid, me);
+                let value = result
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .take()
+                    .expect("joined model thread left no result");
+                Ok(value)
+            }
+        }
+    }
+}
+
+/// Spawns a thread; model-gated iff called on a model thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some((ctx, me)) = sched::current() else {
+        return JoinHandle(Inner::Real(std::thread::spawn(f)));
+    };
+    ctx.sched.preempt_point(me);
+    let tid = ctx.sched.register_thread();
+    let result = Arc::new(StdMutex::new(None));
+    let child_ctx = ctx.clone();
+    let child_result = result.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("model-{tid}"))
+        .spawn(move || {
+            sched::set_current(child_ctx.clone(), tid);
+            if child_ctx.sched.start_thread(tid) {
+                match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(value) => {
+                        *child_result
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(value);
+                        child_ctx.sched.thread_finish(tid, None);
+                    }
+                    Err(payload) if payload.is::<AbortToken>() => {
+                        child_ctx.sched.thread_finish_aborted(tid);
+                    }
+                    Err(payload) => {
+                        child_ctx
+                            .sched
+                            .thread_finish(tid, Some(panic_message(payload.as_ref())));
+                    }
+                }
+            } else {
+                child_ctx.sched.thread_finish_aborted(tid);
+            }
+            sched::clear_current();
+        })
+        .expect("spawn model thread");
+    ctx.adopt_os_thread(handle);
+    JoinHandle(Inner::Model { ctx, tid, result })
+}

@@ -404,6 +404,84 @@ fn exchange(a: &GossipPlane, b: &GossipPlane) {
     a.note_acked(b.domain(), vector);
 }
 
+// ---------------------------------------------------------------------------
+// Regression: restart epochs must be strictly monotone
+// ---------------------------------------------------------------------------
+
+fn own_epoch(plane: &GossipPlane) -> u64 {
+    plane
+        .version_vector()
+        .into_iter()
+        .find(|v| v.origin == plane.domain())
+        .expect("own origin always in the vector")
+        .epoch
+}
+
+/// Epochs come from wall-clock seconds, so two lives created within the
+/// same second used to share one — letting a lagging relay of the old
+/// life's log (same epoch, higher sequence) resurrect retired pools at
+/// every peer.  Every plane built in this process must now open a
+/// strictly higher epoch than the one before, clock or no clock.
+#[test]
+fn restart_epochs_are_strictly_monotone_within_a_process() {
+    let mut previous = own_epoch(&GossipPlane::new("ypd.restarts.example"));
+    for _ in 0..3 {
+        let epoch = own_epoch(&GossipPlane::new("ypd.restarts.example"));
+        assert!(
+            epoch > previous,
+            "restart epoch {epoch} must exceed the previous life's {previous}"
+        );
+        previous = epoch;
+    }
+}
+
+/// The defense in depth for epochs that *do* collide (a real restart
+/// reusing a wall-clock second, or a clock step backwards): an echo of
+/// the own origin at our current epoch proves a previous life shares
+/// it, and the plane re-epochs itself strictly above the echo so its
+/// next exchange resets every peer in this life's favour.
+#[test]
+fn own_origin_echo_at_current_epoch_forces_a_re_epoch() {
+    // The old life advertised a pool the restart retired.
+    let old_life = GossipPlane::with_epoch("ypd.d.example", 7);
+    old_life.refresh_local(&["kept-pool".to_string(), "retired-pool".to_string()]);
+    let stale_relay = old_life.deltas_since(&[]);
+
+    // The restart reused the epoch: fresh log, same number.
+    let new_life = GossipPlane::with_epoch("ypd.d.example", 7);
+    new_life.refresh_local(&["kept-pool".to_string()]);
+
+    // A peer learns the new life's state, then a lagging relay replays
+    // the old life's log — same epoch, higher sequence, so the retired
+    // pool comes back from the dead at the peer.
+    let peer = GossipPlane::with_epoch("ypd.peer.example", 1);
+    peer.apply(&new_life.deltas_since(&[]));
+    peer.apply(&stale_relay);
+    assert!(
+        peer.live_pools("ypd.d.example")
+            .contains(&"retired-pool".to_string()),
+        "the stale relay must corrupt the peer for the regression to be meaningful"
+    );
+
+    // The echo also reaches the origin, which re-epochs above it...
+    new_life.apply(&stale_relay);
+    let bumped = own_epoch(&new_life);
+    assert!(bumped > 7, "echo at epoch 7 must force an epoch above it");
+    assert_eq!(
+        new_life.live_pools("ypd.d.example"),
+        vec!["kept-pool".to_string()],
+        "re-epoching must preserve the current live set"
+    );
+
+    // ...and its next exchange resets the corrupted peer outright.
+    peer.apply(&new_life.deltas_since(&peer.version_vector()));
+    assert_eq!(
+        peer.live_pools("ypd.d.example"),
+        vec!["kept-pool".to_string()],
+        "the new epoch must retire the resurrected pool at the peer"
+    );
+}
+
 /// A connected topology: a ring over `n` domains plus extra chords from
 /// seed bits, each domain's pool set and mid-run death set from more
 /// seed bits.
