@@ -21,13 +21,17 @@ use actyp_pipeline::{BackendKind, SessionMode, StageAddress};
 fn usage() -> ! {
     eprintln!(
         "usage: ypload [--connect HOST:PORT] [--clients N] [--depth D] [--requests N]\n\
-         \x20             [--machines N] [--window N] [--idle N] [--seed S] [--json]\n\
+         \x20             [--duration SECS] [--machines N] [--pools N] [--window N] [--shards N]\n\
+         \x20             [--idle N] [--seed S] [--json] [--halt]\n\
          \x20             [--backend embedded|live|central-queue|matchmaker]\n\
          \x20             [--sessions reactor|threads]\n\
          \n\
-         Self-hosts a ypd on loopback unless --connect is given (then the\n\
-         --machines/--window/--backend/--sessions flags are ignored: they\n\
-         describe the daemon, which already exists)."
+         With --duration each client submits for SECS seconds instead of\n\
+         counting --requests.  Self-hosts a ypd on loopback unless --connect\n\
+         is given (then the --machines/--window/--shards/--backend/--sessions\n\
+         flags are ignored: they describe the daemon, which already exists).\n\
+         --halt asks the --connect daemon to drain after a clean run, so a\n\
+         scripted daemon can be `wait`ed on."
     );
     std::process::exit(2);
 }
@@ -46,6 +50,7 @@ fn main() {
     let mut spec = LoadSpec::default();
     let mut connect: Option<StageAddress> = None;
     let mut json = false;
+    let mut halt = false;
 
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -66,8 +71,17 @@ fn main() {
             "--requests" => {
                 spec.requests_per_client = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
+            "--duration" => {
+                let secs: f64 = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if !secs.is_finite() || secs <= 0.0 {
+                    usage();
+                }
+                spec.duration = Some(std::time::Duration::from_secs_f64(secs));
+            }
             "--machines" => spec.machines = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--pools" => spec.pools = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--window" => spec.window = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--shards" => spec.shards = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--idle" => spec.idle_sessions = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--seed" => spec.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--backend" => spec.backend = parse_backend(value(&mut i)),
@@ -79,6 +93,7 @@ fn main() {
                 }
             }
             "--json" => json = true,
+            "--halt" => halt = true,
             _ => usage(),
         }
         i += 1;
@@ -97,11 +112,12 @@ fn main() {
     };
 
     let throughput = result.throughput();
-    let (mean, p50, p95, p99) = (
+    let (mean, p50, p95, p99, p999) = (
         result.latencies.mean(),
         result.latencies.quantile(0.50),
         result.latencies.quantile(0.95),
         result.latencies.quantile(0.99),
+        result.latencies.quantile(0.999),
     );
     if json {
         let point = Json::obj(vec![
@@ -116,12 +132,14 @@ fn main() {
             ("p50", Json::Num(p50)),
             ("p95", Json::Num(p95)),
             ("p99", Json::Num(p99)),
+            ("p99_9", Json::Num(p999)),
         ]);
         print!("{}", point.to_pretty());
     } else {
         println!(
             "ypload: {} clients x depth {} -> {} completed, {} failed in {:.3}s \
-             ({:.1} req/s; latency mean {:.2}ms p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms)",
+             ({:.1} req/s; latency mean {:.2}ms p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms \
+             p99.9 {:.2}ms)",
             spec.clients,
             spec.depth,
             result.completed,
@@ -132,9 +150,28 @@ fn main() {
             p50 * 1e3,
             p95 * 1e3,
             p99 * 1e3,
+            p999 * 1e3,
         );
     }
     if result.failed > 0 {
         std::process::exit(1);
+    }
+    if halt {
+        let Some(addr) = &connect else {
+            // A self-hosted daemon already drained when run_load returned.
+            return;
+        };
+        match actyp_pipeline::PipelineBuilder::remote(addr) {
+            Ok(manager) => {
+                if let Err(e) = manager.halt_daemon() {
+                    eprintln!("ypload: --halt failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("ypload: --halt could not reconnect: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -56,6 +56,7 @@ pub const TOPICS: &[&str] = &[
     "saturation_pipelining",
     "saturation_idle",
     "saturation_backends",
+    "saturation_cores",
     "routing",
 ];
 
@@ -359,6 +360,22 @@ pub struct LoadSpec {
     pub mode: SessionMode,
     /// Fleet seed.
     pub seed: u64,
+    /// Shard count for the self-hosted daemon's hot state (directory
+    /// shards, admission-window lanes).  `0` keeps the daemon's default;
+    /// `1` restores the old single-lock behaviour — the pre-shard series
+    /// of the `saturation_cores` sweep.
+    pub shards: usize,
+    /// When set, the run is time-bounded: each client submits until the
+    /// deadline instead of counting `requests_per_client` (which then
+    /// only sizes buffers).
+    pub duration: Option<Duration>,
+    /// Distinct resource pools the load stripes across: the fleet is
+    /// split over this many architectures and client `i` queries
+    /// architecture `i % pools`, so the daemon runs one scheduling
+    /// process per pool (the paper's decomposed-pool shape) instead of
+    /// funnelling every request through a single pool's scheduler.
+    /// `0`/`1` keep the homogeneous single-pool fleet.
+    pub pools: usize,
 }
 
 impl Default for LoadSpec {
@@ -373,6 +390,9 @@ impl Default for LoadSpec {
             backend: BackendKind::Live,
             mode: SessionMode::Reactor,
             seed: 0x42,
+            shards: 0,
+            duration: None,
+            pools: 1,
         }
     }
 }
@@ -383,6 +403,15 @@ impl LoadSpec {
             self.window
         } else {
             self.clients * self.depth + self.clients.max(4)
+        }
+    }
+
+    /// The query architecture client `index` stripes onto.
+    fn arch_for_client(&self, index: usize) -> String {
+        if self.pools > 1 {
+            format!("arch{}", index % self.pools)
+        } else {
+            "sun".to_string()
         }
     }
 }
@@ -427,16 +456,29 @@ impl LoadResult {
 /// Self-hosts a daemon for `spec` on an ephemeral loopback port, runs the
 /// load against it, and drains the daemon afterwards.
 pub fn run_load(spec: &LoadSpec) -> Result<LoadResult, String> {
-    let db = SyntheticFleet::new(FleetSpec::homogeneous(spec.machines, "sun", 512), spec.seed)
+    let fleet_spec = if spec.pools > 1 {
+        let mut fleet_spec = FleetSpec::homogeneous(spec.machines, "sun", 512);
+        fleet_spec.architectures = (0..spec.pools)
+            .map(|i| actyp_grid::Weighted::new(format!("arch{i}"), 1.0))
+            .collect();
+        fleet_spec
+    } else {
+        FleetSpec::homogeneous(spec.machines, "sun", 512)
+    };
+    let db = SyntheticFleet::new(fleet_spec, spec.seed)
         .generate()
         .into_shared();
-    let handle: ServerHandle = PipelineBuilder::new()
+    let mut builder = PipelineBuilder::new()
         .database(db)
         .window(spec.effective_window())
         .server_config(ServerConfig {
             mode: spec.mode,
             ..ServerConfig::default()
-        })
+        });
+    if spec.shards > 0 {
+        builder = builder.shards(spec.shards);
+    }
+    let handle: ServerHandle = builder
         .serve(&StageAddress::new("127.0.0.1", 0), spec.backend)
         .map_err(|e| format!("serve: {e}"))?;
     let result = run_load_against(&handle.local_addr(), spec);
@@ -456,14 +498,16 @@ pub fn run_load_against(addr: &StageAddress, spec: &LoadSpec) -> Result<LoadResu
     let addr = Arc::new(addr.clone());
     let started = Instant::now();
     let workers: Vec<_> = (0..spec.clients)
-        .map(|_| {
+        .map(|index| {
             let addr = addr.clone();
             let depth = spec.depth.max(1);
             let requests = spec.requests_per_client;
+            let deadline = spec.duration.map(|d| started + d);
+            let arch = spec.arch_for_client(index);
             std::thread::spawn(move || -> Result<(u64, u64, Vec<f64>), String> {
                 let manager =
                     RemoteBackend::connect(&addr).map_err(|e| format!("client connect: {e}"))?;
-                let query = actyp_query::parse_query("punch.rsrc.arch = sun\n")
+                let query = actyp_query::parse_query(&format!("punch.rsrc.arch = {arch}\n"))
                     .map_err(|e| format!("query: {e}"))?;
                 let mut completed = 0u64;
                 let mut failed = 0u64;
@@ -488,7 +532,18 @@ pub fn run_load_against(addr: &StageAddress, spec: &LoadSpec) -> Result<LoadResu
                     }
                     Ok(())
                 };
-                for _ in 0..requests {
+                // Count-bounded by default; `--duration` switches to a
+                // time-bounded run (the deadline is checked per submit,
+                // and in-flight tickets still drain fully afterwards).
+                let mut submitted = 0usize;
+                loop {
+                    let done = match deadline {
+                        Some(deadline) => Instant::now() >= deadline,
+                        None => submitted >= requests,
+                    };
+                    if done {
+                        break;
+                    }
                     if in_flight.len() == depth {
                         let entry = in_flight.pop_front().expect("nonempty at capacity");
                         settle(entry, &mut latencies, &mut completed, &mut failed)?;
@@ -497,6 +552,7 @@ pub fn run_load_against(addr: &StageAddress, spec: &LoadSpec) -> Result<LoadResu
                         .submit(query.clone())
                         .map_err(|e| format!("submit: {e}"))?;
                     in_flight.push_back((Instant::now(), ticket));
+                    submitted += 1;
                 }
                 while let Some(entry) = in_flight.pop_front() {
                     settle(entry, &mut latencies, &mut completed, &mut failed)?;
@@ -658,6 +714,66 @@ fn saturation_backends(scale: &Scale) -> Result<BenchArtifact, String> {
     }
     Ok(measured_artifact(
         "saturation_backends",
+        scale,
+        "clients",
+        points,
+    ))
+}
+
+/// Clients-times-cores sweep for the sharding work: the same closed-loop
+/// load swept over client count, once with the daemon's hot state sharded
+/// (the default shard count) and once clamped to a single shard — the
+/// pre-shard daemon's global-lock behaviour, reproduced exactly since one
+/// shard degenerates to one lock.  The sharded series bending above the
+/// single-lock series as clients grow is the saturation-curve claim this
+/// sweep exists to prove.
+fn saturation_cores(scale: &Scale) -> Result<BenchArtifact, String> {
+    let p = saturation_params(scale);
+    let series = [(0usize, "sharded"), (1usize, "single-lock")];
+    // The single lock only convoys once client threads oversubscribe the
+    // box, so this sweep reaches higher than the shared client_counts do
+    // at quick scale — 16 threads is where the curves separate even on a
+    // small CI runner.
+    let client_counts: Vec<usize> = if scale_label(scale) == "quick" {
+        vec![2, 8, 16]
+    } else {
+        p.client_counts.clone()
+    };
+    let mut points = Vec::new();
+    for &clients in &client_counts {
+        // Contention is the measurand here, and its signal-to-noise is
+        // poor on short runs (especially on small CI boxes), so this
+        // topic stripes the load over 8 pools (one scheduling process
+        // each — otherwise a single pool's scheduler thread is the
+        // bottleneck and masks the lock behaviour entirely), runs 4x more
+        // requests per cell than the other saturation sweeps,
+        // *interleaves* the two series (machine-load drift would bias
+        // whichever series ran last in a block), and keeps each series'
+        // median-throughput run of five.
+        let mut runs: [Vec<LoadResult>; 2] = [Vec::new(), Vec::new()];
+        for _round in 0..5 {
+            for (slot, (shards, _)) in series.iter().enumerate() {
+                let spec = LoadSpec {
+                    clients,
+                    depth: 4,
+                    requests_per_client: p.requests_per_client * 4,
+                    machines: p.machines,
+                    shards: *shards,
+                    pools: 8,
+                    ..LoadSpec::default()
+                };
+                runs[slot].push(run_load(&spec)?);
+            }
+        }
+        for (slot, (_, label)) in series.iter().enumerate() {
+            let mut series_runs = std::mem::take(&mut runs[slot]);
+            series_runs.sort_by(|a, b| a.throughput().total_cmp(&b.throughput()));
+            let median = series_runs.swap_remove(2);
+            points.push(median.point(label, clients as f64));
+        }
+    }
+    Ok(measured_artifact(
+        "saturation_cores",
         scale,
         "clients",
         points,
@@ -828,6 +944,7 @@ pub fn run_topic(topic: &str, scale: &Scale) -> Result<BenchArtifact, String> {
         "saturation_pipelining" => saturation_pipelining(scale),
         "saturation_idle" => saturation_idle(scale),
         "saturation_backends" => saturation_backends(scale),
+        "saturation_cores" => saturation_cores(scale),
         "routing" => routing(scale),
         other => Err(format!(
             "unknown topic `{other}` (expected one of: {})",

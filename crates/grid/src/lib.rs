@@ -40,4 +40,4 @@ pub use machine::{DynamicState, Machine, MachineId, MachineObject, MachineState,
 pub use monitor::{MonitorConfig, ResourceMonitor};
 pub use policy::UsagePolicy;
 pub use shadow::{ShadowAccount, ShadowAccountPool};
-pub use synth::{FleetSpec, SyntheticFleet};
+pub use synth::{FleetSpec, SyntheticFleet, Weighted};

@@ -574,7 +574,7 @@ const REACTOR_BLOCKING_ANY_ARGS: &[&str] = &["recv_timeout", "recv_deadline"];
 /// worker-lane queue and thread spawns.  Their argument lists are
 /// skipped entirely — blocking inside them is the lane's business, not
 /// the reactor thread's.
-const DISPATCH_CALLS: &[&str] = &["spawn", "spawn_job", "execute"];
+const DISPATCH_CALLS: &[&str] = &["spawn", "spawn_job", "execute", "execute_batch"];
 
 const KEYWORDS: &[&str] = &[
     "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "mut",

@@ -182,6 +182,12 @@ fn snapshot_from_engine(
         route_hits: 0,
         route_misses: 0,
         peer_redials: 0,
+        // The sharded backends overlay their own contention count on the
+        // snapshot after this fold; the transport batching counters are
+        // owned by the daemon's reactor and overlaid server-side.
+        shard_contention: 0,
+        frames_batched: 0,
+        writes_coalesced: 0,
     }
 }
 
@@ -378,54 +384,135 @@ impl ReadyTickets {
     }
 }
 
-/// A counting semaphore bounding the live backend's in-flight window.
-struct Window {
-    capacity: usize,
+/// One permit pool of the sharded admission window.
+struct WindowLane {
     permits: std::sync::Mutex<usize>,
     available: Condvar,
 }
 
+/// A counting semaphore bounding the live backend's in-flight window,
+/// split into per-lane permit pools with a steal path.
+///
+/// The old single `Mutex<usize>` + condvar was a process-global
+/// rendezvous every submission and every settle crossed: one hot client
+/// saturating it starved every other session's submits behind one lock
+/// queue.  Permits are now dealt across lanes; an acquire starts at a
+/// round-robin home lane, sweeps the other lanes non-blockingly (the
+/// steal path, so capacity is never stranded in an idle lane), and only
+/// parks — with a bounded rescan interval — when every lane is empty.
+/// Releases return the permit to the lane it came from, keeping the
+/// pools balanced under symmetric load.
+struct Window {
+    capacity: usize,
+    lanes: Box<[WindowLane]>,
+    cursor: AtomicU64,
+    /// Acquires that found every lane empty or locked and had to park.
+    contention: AtomicU64,
+}
+
+/// How long a parked acquirer waits on its home lane before rescanning
+/// the other lanes for a stolen permit released elsewhere.
+const WINDOW_RESCAN_INTERVAL: Duration = Duration::from_micros(500);
+
 impl Window {
-    fn new(permits: usize) -> Self {
+    fn new(permits: usize, lanes: usize) -> Self {
         let capacity = permits.max(1);
+        let lanes = lanes.clamp(1, capacity);
+        let base = capacity / lanes;
+        let remainder = capacity % lanes;
         Window {
             capacity,
-            permits: std::sync::Mutex::new(capacity),
-            available: Condvar::new(),
+            lanes: (0..lanes)
+                .map(|i| WindowLane {
+                    permits: std::sync::Mutex::new(base + usize::from(i < remainder)),
+                    available: Condvar::new(),
+                })
+                .collect(),
+            cursor: AtomicU64::new(0),
+            contention: AtomicU64::new(0),
         }
     }
 
-    fn acquire(&self) {
-        let mut permits = self.permits.lock().expect("window lock");
-        while *permits == 0 {
-            permits = self.available.wait(permits).expect("window lock");
-        }
-        *permits -= 1;
-    }
-
-    /// Acquires a permit, giving up at `deadline`.  Returns whether a
-    /// permit was taken — the deadline-bounded backpressure batch
-    /// submission applies instead of blocking indefinitely.
-    fn acquire_deadline(&self, deadline: Instant) -> bool {
-        let mut permits = self.permits.lock().expect("window lock");
-        while *permits == 0 {
-            let now = Instant::now();
-            if now >= deadline {
-                return false;
+    /// Non-blocking sweep over every lane starting at `start`; takes the
+    /// first free permit found.  A lane whose lock is momentarily held is
+    /// skipped rather than waited on — the next lane may be free.
+    fn scan_from(&self, start: usize) -> Option<usize> {
+        for offset in 0..self.lanes.len() {
+            let idx = (start + offset) % self.lanes.len();
+            let lane = &self.lanes[idx];
+            let Ok(mut permits) = lane.permits.try_lock() else {
+                continue;
+            };
+            if *permits > 0 {
+                *permits -= 1;
+                return Some(idx);
             }
-            let (guard, _timeout) = self
-                .available
-                .wait_timeout(permits, deadline - now)
-                .expect("window lock");
-            permits = guard;
         }
-        *permits -= 1;
-        true
+        None
     }
 
-    fn release(&self) {
-        *self.permits.lock().expect("window lock") += 1;
-        self.available.notify_one();
+    /// Acquires a permit, blocking until one frees; returns the lane the
+    /// permit was taken from (releases must return it there).
+    fn acquire(&self) -> usize {
+        self.acquire_until(None).expect("unbounded window acquire")
+    }
+
+    /// Acquires a permit, giving up at `deadline`.  Returns the permit's
+    /// lane, or `None` when the deadline passed first — the
+    /// deadline-bounded backpressure batch submission applies instead of
+    /// blocking indefinitely.
+    fn acquire_deadline(&self, deadline: Instant) -> Option<usize> {
+        self.acquire_until(Some(deadline))
+    }
+
+    fn acquire_until(&self, deadline: Option<Instant>) -> Option<usize> {
+        let home = (self.cursor.fetch_add(1, Ordering::Relaxed) % self.lanes.len() as u64) as usize;
+        if let Some(lane) = self.scan_from(home) {
+            return Some(lane);
+        }
+        self.contention.fetch_add(1, Ordering::Relaxed);
+        loop {
+            {
+                let lane = &self.lanes[home];
+                let mut permits = lane.permits.lock().expect("window lock");
+                loop {
+                    if *permits > 0 {
+                        *permits -= 1;
+                        return Some(home);
+                    }
+                    let now = Instant::now();
+                    let wait = match deadline {
+                        Some(d) if now >= d => return None,
+                        Some(d) => WINDOW_RESCAN_INTERVAL.min(d - now),
+                        None => WINDOW_RESCAN_INTERVAL,
+                    };
+                    let (guard, timed_out) = lane
+                        .available
+                        .wait_timeout(permits, wait)
+                        .expect("window lock");
+                    permits = guard;
+                    if timed_out.timed_out() {
+                        // Rescan the other lanes: a permit may have been
+                        // released to a lane nobody was parked on.
+                        break;
+                    }
+                }
+            }
+            if let Some(lane) = self.scan_from(home) {
+                return Some(lane);
+            }
+        }
+    }
+
+    fn release(&self, lane: usize) {
+        let lane = &self.lanes[lane];
+        *lane.permits.lock().expect("window lock") += 1;
+        lane.available.notify_one();
+    }
+
+    /// Acquires that found every lane dry and had to park.
+    fn contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
     }
 }
 
@@ -480,11 +567,13 @@ impl ResourceManager for EmbeddedBackend {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        snapshot_from_engine(
+        let mut snapshot = snapshot_from_engine(
             self.engine.stats(),
             self.examined.load(Ordering::Relaxed),
             self.tickets.len(),
-        )
+        );
+        snapshot.shard_contention = self.engine.directory().contention();
+        snapshot
     }
 
     fn shutdown(&self) -> Result<(), AllocationError> {
@@ -502,20 +591,23 @@ pub struct LiveBackend {
     pipeline: LivePipeline,
     brand: u64,
     next: AtomicU64,
-    pending: Mutex<HashMap<u64, crossbeam::channel::Receiver<QueryOutcome>>>,
+    /// Outstanding tickets, sharded by ticket id.  Each entry remembers
+    /// the window lane its permit came from so settling releases the
+    /// permit to the originating lane.
+    pending: crate::shard::ShardedMap<(usize, crossbeam::channel::Receiver<QueryOutcome>)>,
     window: Window,
     batch_deadline: Duration,
     examined: AtomicU64,
 }
 
 impl LiveBackend {
-    fn new(pipeline: LivePipeline, window: usize, batch_deadline: Duration) -> Self {
+    fn new(pipeline: LivePipeline, window: usize, batch_deadline: Duration, shards: usize) -> Self {
         LiveBackend {
             pipeline,
             brand: next_backend_brand(),
             next: AtomicU64::new(0),
-            pending: Mutex::new(HashMap::new()),
-            window: Window::new(window),
+            pending: crate::shard::ShardedMap::new(shards),
+            window: Window::new(window, shards),
             batch_deadline,
             examined: AtomicU64::new(0),
         }
@@ -524,25 +616,25 @@ impl LiveBackend {
     /// One deadline-bounded batch submission step: waits for a window
     /// permit until `deadline`, then launches the query.
     fn submit_until(&self, query: Query, deadline: Instant) -> Result<Ticket, AllocationError> {
-        if !self.window.acquire_deadline(deadline) {
+        let Some(lane) = self.window.acquire_deadline(deadline) else {
             return Err(AllocationError::Internal(format!(
                 "batch backpressure deadline of {:?} elapsed with the in-flight \
                  window of {} still full; redeem outstanding tickets, raise \
                  PipelineBuilder::window, or raise PipelineBuilder::batch_deadline",
                 self.batch_deadline, self.window.capacity
             )));
-        }
+        };
         match self.pipeline.submit_async(query) {
             Ok(rx) => {
                 let id = self.next.fetch_add(1, Ordering::Relaxed);
-                self.pending.lock().insert(id, rx);
+                self.pending.insert(id, (lane, rx));
                 Ok(Ticket {
                     brand: self.brand,
                     id,
                 })
             }
             Err(e) => {
-                self.window.release();
+                self.window.release(lane);
                 Err(e)
             }
         }
@@ -554,29 +646,29 @@ impl LiveBackend {
         &self.pipeline
     }
 
-    fn settle(&self, outcome: &QueryOutcome) {
+    fn settle(&self, outcome: &QueryOutcome, lane: usize) {
         if let Ok(allocations) = outcome {
             let examined: u64 = allocations.iter().map(|a| a.examined as u64).sum();
             self.examined.fetch_add(examined, Ordering::Relaxed);
         }
-        self.window.release();
+        self.window.release(lane);
     }
 }
 
 impl ResourceManager for LiveBackend {
     fn submit(&self, query: Query) -> Result<Ticket, AllocationError> {
-        self.window.acquire();
+        let lane = self.window.acquire();
         match self.pipeline.submit_async(query) {
             Ok(rx) => {
                 let id = self.next.fetch_add(1, Ordering::Relaxed);
-                self.pending.lock().insert(id, rx);
+                self.pending.insert(id, (lane, rx));
                 Ok(Ticket {
                     brand: self.brand,
                     id,
                 })
             }
             Err(e) => {
-                self.window.release();
+                self.window.release(lane);
                 Err(e)
             }
         }
@@ -617,17 +709,16 @@ impl ResourceManager for LiveBackend {
         if ticket.brand != self.brand {
             return Err(AllocationError::UnknownTicket);
         }
-        let rx = self
+        let (lane, rx) = self
             .pending
-            .lock()
-            .remove(&ticket.id)
+            .remove(ticket.id)
             .ok_or(AllocationError::UnknownTicket)?;
         let outcome = rx.recv().unwrap_or_else(|_| {
             Err(AllocationError::Internal(
                 "pipeline dropped the reply".to_string(),
             ))
         });
-        self.settle(&outcome);
+        self.settle(&outcome, lane);
         outcome
     }
 
@@ -643,25 +734,25 @@ impl ResourceManager for LiveBackend {
         if ticket.brand != self.brand {
             return Some(Err(AllocationError::UnknownTicket));
         }
-        let rx = match self.pending.lock().remove(&ticket.id) {
-            Some(rx) => rx,
+        let (lane, rx) = match self.pending.remove(ticket.id) {
+            Some(entry) => entry,
             None => return Some(Err(AllocationError::UnknownTicket)),
         };
         match rx.recv_timeout(timeout) {
             Ok(outcome) => {
-                self.settle(&outcome);
+                self.settle(&outcome, lane);
                 Some(outcome)
             }
             Err(RecvTimeoutError::Timeout) => {
                 // Deadline elapsed: the ticket stays redeemable.
-                self.pending.lock().insert(ticket.id, rx);
+                self.pending.insert(ticket.id, (lane, rx));
                 None
             }
             Err(RecvTimeoutError::Disconnected) => {
                 let outcome = Err(AllocationError::Internal(
                     "pipeline dropped the reply".to_string(),
                 ));
-                self.settle(&outcome);
+                self.settle(&outcome, lane);
                 Some(outcome)
             }
         }
@@ -672,9 +763,12 @@ impl ResourceManager for LiveBackend {
         if ticket.brand != self.brand {
             return Some(Err(AllocationError::UnknownTicket));
         }
-        let mut pending = self.pending.lock();
+        // One shard guard covers the get + try_recv + remove, so a
+        // concurrent redeemer of the same ticket sees `UnknownTicket`
+        // rather than a torn entry; other tickets' shards stay free.
+        let mut pending = crate::shard::lock_shard(&self.pending, ticket.id);
         let rx = match pending.get(&ticket.id) {
-            Some(rx) => rx,
+            Some((_, rx)) => rx,
             None => return Some(Err(AllocationError::UnknownTicket)),
         };
         let outcome = match rx.try_recv() {
@@ -684,9 +778,11 @@ impl ResourceManager for LiveBackend {
                 "pipeline dropped the reply".to_string(),
             )),
         };
-        pending.remove(&ticket.id);
+        let (lane, _rx) = pending
+            .remove(&ticket.id)
+            .expect("entry present under guard");
         drop(pending);
-        self.settle(&outcome);
+        self.settle(&outcome, lane);
         Some(outcome)
     }
 
@@ -695,11 +791,16 @@ impl ResourceManager for LiveBackend {
     }
 
     fn stats(&self) -> StatsSnapshot {
-        snapshot_from_engine(
+        let mut snapshot = snapshot_from_engine(
             self.pipeline.stats(),
             self.examined.load(Ordering::Relaxed),
-            self.pending.lock().len(),
-        )
+            self.pending.len(),
+        );
+        snapshot.shard_contention = self
+            .window
+            .contention()
+            .saturating_add(self.pipeline.directory().contention());
+        snapshot
     }
 
     fn shutdown(&self) -> Result<(), AllocationError> {
@@ -927,6 +1028,11 @@ impl<D: BaselineDispatcher> ResourceManager for BaselineBackend<D> {
             route_hits: 0,
             route_misses: 0,
             peer_redials: 0,
+            // Centralized baselines have one big lock by design — the
+            // sharding counters are the pipeline's to report.
+            shard_contention: 0,
+            frames_batched: 0,
+            writes_coalesced: 0,
         }
     }
 
@@ -1056,6 +1162,14 @@ impl PipelineBuilder {
         self
     }
 
+    /// Shard count for the daemon's hot state: directory shards,
+    /// admission-window permit lanes and pending-ticket shards (clamped
+    /// to at least 1; `1` degenerates to the old single-lock behaviour).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
     /// How long a live-backend batch submission may wait for in-flight
     /// window permits before giving up (deadline-bounded backpressure;
     /// default 30 s).  Both the plain and the federated daemon apply this
@@ -1154,10 +1268,12 @@ impl PipelineBuilder {
     pub fn build_live(self) -> Result<LiveBackend, AllocationError> {
         let batch_deadline = self.batch_deadline;
         let (config, window, domains) = self.take_domains()?;
+        let shards = config.shards;
         Ok(LiveBackend::new(
             LivePipeline::start_federated(config, domains),
             window,
             batch_deadline,
+            shards,
         ))
     }
 

@@ -60,6 +60,10 @@ pub struct PipelineConfig {
     pub hour_of_day: u8,
     /// RNG seed for all stage-local randomness.
     pub seed: u64,
+    /// Lock shards in the shared directory (and the other hot tables the
+    /// daemon keys off it).  `1` degenerates to the old single-lock
+    /// behaviour; the saturation benches sweep this.
+    pub shards: usize,
 }
 
 impl Default for PipelineConfig {
@@ -75,6 +79,7 @@ impl Default for PipelineConfig {
             ttl: 8,
             hour_of_day: 12,
             seed: 0xAC7C_9A9E,
+            shards: crate::shard::DEFAULT_SHARDS,
         }
     }
 }
@@ -128,7 +133,8 @@ impl Engine {
     /// directory service.
     pub fn federated(config: PipelineConfig, domains: Vec<(String, SharedDatabase)>) -> Self {
         assert!(!domains.is_empty(), "at least one domain is required");
-        let directory: SharedDirectory = LocalDirectoryService::new().into_shared();
+        let directory: SharedDirectory =
+            LocalDirectoryService::new().into_shared_with(config.shards);
         let ids = Arc::new(RequestIdGenerator::new());
 
         let query_managers = (0..config.query_managers.max(1))
@@ -208,7 +214,7 @@ impl Engine {
 
     /// Total number of pool instances across all managers.
     pub fn pool_instances(&self) -> usize {
-        self.directory.read().instance_count()
+        self.directory.instance_count()
     }
 
     /// Translates a query written in the native key/value text format
@@ -261,7 +267,6 @@ pub(crate) fn owning_manager(
     allocation: &Allocation,
 ) -> Option<String> {
     directory
-        .read()
         .instances(&allocation.pool)
         .into_iter()
         .find(|r| r.instance == allocation.pool_instance)

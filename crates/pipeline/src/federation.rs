@@ -297,8 +297,11 @@ struct MuxConn {
     /// reader thread already shares the connection by then).
     domain: Mutex<String>,
     writer: Mutex<TcpStream>,
-    /// Requests awaiting their reply, by correlation id.
-    pending: Mutex<HashMap<u64, crossbeam::channel::Sender<ServerFrame>>>,
+    /// Requests awaiting their reply, by correlation id.  Sharded so
+    /// concurrent requesters on one peer link don't serialise on a single
+    /// map lock; correlation ids are sequential, so shards deal
+    /// round-robin.
+    pending: crate::shard::ShardedMap<crossbeam::channel::Sender<ServerFrame>>,
     /// Why the connection died, once it has.
     dead: Mutex<Option<String>>,
     corr: AtomicU64,
@@ -318,7 +321,10 @@ impl MuxConn {
     fn poison(&self, reason: String) {
         let mut dead = self.dead.lock();
         dead.get_or_insert(reason);
-        self.pending.lock().clear();
+        // Sweeps the shards one at a time; registration happens under the
+        // `dead` guard held here, so no request can slip into an
+        // already-swept shard and hang.
+        self.pending.clear();
     }
 
     /// One request/response exchange over the shared connection.  Other
@@ -345,7 +351,7 @@ impl MuxConn {
             if let Some(reason) = &*dead {
                 return Err(reason.clone());
             }
-            self.pending.lock().insert(corr.0, tx);
+            self.pending.insert(corr.0, tx);
         }
         let sent = {
             let mut writer = self.writer.lock();
@@ -356,7 +362,7 @@ impl MuxConn {
             write_frame(&mut *writer, &build(corr))
         };
         if let Err(e) = sent {
-            self.pending.lock().remove(&corr.0);
+            self.pending.remove(corr.0);
             let reason = format!("send: {e}");
             self.poison(reason.clone());
             return Err(reason);
@@ -364,7 +370,7 @@ impl MuxConn {
         match rx.recv_timeout(timeout) {
             Ok(frame) => Ok(frame),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                self.pending.lock().remove(&corr.0);
+                self.pending.remove(corr.0);
                 Err(format!(
                     "no reply from peer `{}` within {timeout:?}",
                     self.domain()
@@ -497,7 +503,7 @@ impl PeerLink {
         let conn = Arc::new(MuxConn {
             domain: Mutex::new(String::new()),
             writer: Mutex::new(stream),
-            pending: Mutex::new(HashMap::new()),
+            pending: crate::shard::ShardedMap::new(crate::shard::DEFAULT_SHARDS),
             dead: Mutex::new(None),
             corr: AtomicU64::new(0),
             reader: Mutex::new(None),
@@ -650,7 +656,7 @@ fn run_link_reader(conn: Arc<MuxConn>, mut stream: TcpStream) {
         match read_server_frame(&mut stream) {
             Ok(Some(frame)) => match crate::remote::corr_of(&frame) {
                 Some(corr) => {
-                    let sender = conn.pending.lock().remove(&corr.0);
+                    let sender = conn.pending.remove(corr.0);
                     if let Some(sender) = sender {
                         let _ = sender.send(frame);
                     } else if corr.0 >= conn.corr.load(Ordering::Relaxed) {
@@ -858,7 +864,7 @@ impl FederatedBackend {
     /// Pool names this daemon advertises to peers.
     pub fn local_pools(&self) -> Vec<String> {
         match &self.local_directory {
-            Some(dir) => dir.read().pool_names().cloned().collect(),
+            Some(dir) => dir.pool_names(),
             None => Vec::new(),
         }
     }
@@ -889,7 +895,7 @@ impl FederatedBackend {
     /// call between directory mutations) two atomic loads.
     pub fn refresh_gossip(&self) {
         let generation = match &self.local_directory {
-            Some(dir) => dir.read().generation(),
+            Some(dir) => dir.generation(),
             None => 0,
         };
         if self.gossip_generation.swap(generation, Ordering::Relaxed) != generation {
@@ -916,20 +922,20 @@ impl FederatedBackend {
                 }
                 GossipEvent::PoolDown { origin, pool } => {
                     self.route_cache.invalidate_pool(&pool);
-                    let mut dir = self.peer_directory.write();
-                    let instances: Vec<u32> = dir
+                    let instances: Vec<u32> = self
+                        .peer_directory
                         .instances(&pool)
                         .iter()
                         .filter(|r| r.manager == origin)
                         .map(|r| r.instance)
                         .collect();
                     for instance in instances {
-                        dir.unregister_pool(&pool, instance);
+                        self.peer_directory.unregister_pool(&pool, instance);
                     }
                 }
                 GossipEvent::OriginReset { origin } => {
                     self.route_cache.invalidate_next_hop(&origin);
-                    self.peer_directory.write().unregister_pool_manager(&origin);
+                    self.peer_directory.unregister_pool_manager(&origin);
                 }
             }
         }
@@ -952,9 +958,8 @@ impl FederatedBackend {
                 (StageAddress::new(origin.to_string(), 0), instance)
             }
         };
-        let mut dir = self.peer_directory.write();
-        dir.register_pool_manager(origin);
-        dir.register_pool(PoolInstanceRecord {
+        self.peer_directory.register_pool_manager(origin);
+        self.peer_directory.register_pool(PoolInstanceRecord {
             pool: pool.to_string(),
             instance,
             manager: origin.to_string(),
@@ -1101,7 +1106,7 @@ impl FederatedBackend {
             self.route_cache.invalidate_pool(&pool);
         }
         self.route_cache.invalidate_next_hop(old);
-        self.peer_directory.write().unregister_pool_manager(old);
+        self.peer_directory.unregister_pool_manager(old);
         self.gossip.forget_origin(old);
         self.gossip.retire_peer(old);
     }
@@ -1134,11 +1139,10 @@ impl FederatedBackend {
         address: StageAddress,
         instance: u32,
     ) {
-        let mut dir = self.peer_directory.write();
-        dir.unregister_pool_manager(domain);
-        dir.register_pool_manager(domain);
+        self.peer_directory.unregister_pool_manager(domain);
+        self.peer_directory.register_pool_manager(domain);
         for pool in pools {
-            dir.register_pool(PoolInstanceRecord {
+            self.peer_directory.register_pool(PoolInstanceRecord {
                 pool: pool.clone(),
                 instance,
                 manager: domain.to_string(),
@@ -1335,12 +1339,12 @@ impl PeerDelegator for FederatedBackend {
                     }
                 }
             };
-            let advertises_wanted = {
-                let dir = self.peer_directory.read();
-                wanted
+            let advertises_wanted = wanted.iter().any(|pool| {
+                self.peer_directory
+                    .instances(pool)
                     .iter()
-                    .any(|pool| dir.instances(pool).iter().any(|r| r.manager == domain))
-            };
+                    .any(|r| r.manager == domain)
+            });
             if advertises_wanted {
                 preferred.push(domain);
             } else {
@@ -1448,7 +1452,7 @@ impl PeerDelegator for FederatedBackend {
         if let Some(link) = self.link_for(domain) {
             link.disconnect();
         }
-        self.peer_directory.write().unregister_pool_manager(domain);
+        self.peer_directory.unregister_pool_manager(domain);
         // Routes through the dead hop are unusable, and what it acked is
         // moot — after the redial the handshake resyncs from scratch.
         self.route_cache.invalidate_next_hop(domain);
@@ -1608,6 +1612,11 @@ impl ResourceManager for FederatedBackend {
         stats.route_hits = self.route_cache.hits();
         stats.route_misses = self.route_cache.misses();
         stats.peer_redials = self.peer_redials.load(Ordering::Relaxed);
+        // The inner backend already reported its own shard contention;
+        // fold in the federated layer's peer-directory shards.
+        stats.shard_contention = stats
+            .shard_contention
+            .saturating_add(self.peer_directory.contention());
         stats
     }
 

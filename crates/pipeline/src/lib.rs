@@ -65,11 +65,12 @@ pub mod reactor;
 pub mod remote;
 pub mod resource_pool;
 pub mod scheduler;
+mod shard;
 pub mod sim;
 
 pub use allocation::{Allocation, AllocationError, SessionKey};
 pub use api::{BackendKind, PipelineBuilder, ResourceManager, StatsSnapshot, Ticket};
-pub use directory::{LocalDirectoryService, PoolInstanceRecord, SharedDirectory};
+pub use directory::{LocalDirectoryService, PoolInstanceRecord, ShardedDirectory, SharedDirectory};
 pub use engine::{Engine, EngineStats, PipelineConfig};
 pub use federation::{
     is_delegable, run_chain, FederatedBackend, FederationConfig, PeerDelegator, PeerUnavailable,

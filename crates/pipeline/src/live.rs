@@ -334,7 +334,8 @@ impl LivePipeline {
     /// Starts a federated deployment: one pool-manager stage per domain.
     pub fn start_federated(config: PipelineConfig, domains: Vec<(String, SharedDatabase)>) -> Self {
         assert!(!domains.is_empty(), "at least one domain is required");
-        let directory: SharedDirectory = LocalDirectoryService::new().into_shared();
+        let directory: SharedDirectory =
+            LocalDirectoryService::new().into_shared_with(config.shards);
         let ids = Arc::new(RequestIdGenerator::new());
         let counters = Arc::new(LiveCounters::default());
 

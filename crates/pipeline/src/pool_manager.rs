@@ -107,7 +107,7 @@ impl PoolManager {
         seed: u64,
     ) -> Self {
         let name = name.into();
-        directory.write().register_pool_manager(name.clone());
+        directory.register_pool_manager(name.clone());
         PoolManager {
             name,
             db,
@@ -159,7 +159,7 @@ impl PoolManager {
                 self.config.base_port + self.pools.len() as u16,
             ),
         };
-        self.directory.write().register_pool(record);
+        self.directory.register_pool(record);
         self.pools
             .insert((pool.name().full(), pool.instance()), pool);
     }
@@ -172,7 +172,6 @@ impl PoolManager {
     fn create_pool(&mut self, name: &PoolName) -> Result<u32, AllocationError> {
         let instance = self
             .directory
-            .read()
             .next_instance_number(&name.full())
             .ok_or_else(|| {
                 AllocationError::Internal(format!(
@@ -226,10 +225,10 @@ impl PoolManager {
     ) -> HandleOutcome {
         let name = self.map_query(query);
         let full = name.full();
-        let mut records = self.directory.read().instances(&full);
+        let mut records = self.directory.instances(&full);
         if records.is_empty() {
             match self.create_pool(&name) {
-                Ok(_) => records = self.directory.read().instances(&full),
+                Ok(_) => records = self.directory.instances(&full),
                 Err(AllocationError::NoSuchResources) => return HandleOutcome::CannotCreate,
                 Err(other) => return HandleOutcome::Failed(other),
             }
@@ -282,7 +281,7 @@ impl PoolManager {
     pub fn destroy_pool(&mut self, pool: &str, instance: u32) -> bool {
         match self.pools.remove(&(pool.to_string(), instance)) {
             Some(p) => {
-                self.directory.write().unregister_pool(pool, instance);
+                self.directory.unregister_pool(pool, instance);
                 p.dissolve();
                 true
             }
@@ -327,7 +326,7 @@ mod tests {
         }
         assert_eq!(pm.hosted_pools(), 1);
         assert_eq!(pm.pools_created(), 1);
-        assert_eq!(dir.read().instance_count(), 1);
+        assert_eq!(dir.instance_count(), 1);
     }
 
     #[test]
@@ -480,7 +479,7 @@ mod tests {
         )
         .unwrap();
         pm.adopt_pool(extra);
-        assert_eq!(dir.read().instances(&first.pool).len(), 2);
+        assert_eq!(dir.instances(&first.pool).len(), 2);
 
         let mut instances_used = std::collections::HashSet::new();
         for i in 10..14 {
@@ -515,7 +514,7 @@ mod tests {
         assert!(db.read().taken_count() > 0);
         assert!(pm.destroy_pool(&allocation.pool, allocation.pool_instance));
         assert_eq!(pm.hosted_pools(), 0);
-        assert_eq!(dir.read().instance_count(), 0);
+        assert_eq!(dir.instance_count(), 0);
         assert_eq!(db.read().taken_count(), 0);
         assert!(!pm.destroy_pool(&allocation.pool, allocation.pool_instance));
     }

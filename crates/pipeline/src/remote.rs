@@ -207,6 +207,13 @@ struct ServerShared {
     /// active; `None` in thread-per-session mode.  Taken at join time.
     #[cfg(unix)]
     reactor: Mutex<Option<ReactorEngine>>,
+    /// Frames that rode a multi-frame lane batch (one queue send, one
+    /// worker wakeup for the whole batch).  Reactor mode only; overlaid
+    /// on every `Stats` reply.
+    frames_batched: AtomicU64,
+    /// Flushes that drained more than one queued frame with a single
+    /// coalesced socket write.  Reactor mode only.
+    writes_coalesced: AtomicU64,
 }
 
 impl ServerShared {
@@ -403,6 +410,8 @@ fn serve_inner(
         gossip: Mutex::new(None),
         #[cfg(unix)]
         reactor: Mutex::new(None),
+        frames_batched: AtomicU64::new(0),
+        writes_coalesced: AtomicU64::new(0),
     });
 
     // Reactor mode: the listener is handed to the engine itself — the
@@ -635,6 +644,10 @@ mod engine {
     struct OutBuf {
         data: Vec<u8>,
         sent: usize,
+        /// Frames currently queued (encoded into `data` and not yet fully
+        /// flushed) — lets the flush tell a coalesced multi-frame write
+        /// from a singleton.
+        frames: usize,
         /// When the teardown sealed the queue (no more frames will ever
         /// be queued); also starts the [`CLOSE_FLUSH_GRACE`] clock.
         closed_at: Option<std::time::Instant>,
@@ -653,6 +666,7 @@ mod engine {
                 self.data.shrink_to(BUF_SHRINK_THRESHOLD);
             }
             self.sent = 0;
+            self.frames = 0;
         }
     }
 
@@ -670,7 +684,9 @@ mod engine {
                 // over-limit frame before emitting any byte, so a failed
                 // push leaves the queue intact.
                 // lint-allow(lock-across-blocking): in-memory Vec sink, never blocks
-                let _ = write_frame(&mut buf.data, frame);
+                if write_frame(&mut buf.data, frame).is_ok() {
+                    buf.frames += 1;
+                }
             }
             self.notify.mark_dirty(self.token);
         }
@@ -929,13 +945,43 @@ mod engine {
         }
     }
 
-    /// Queues one blocking request on a worker lane, bounded per session:
-    /// past [`MAX_SESSION_WORKERS`] in flight on the lane, the request is
-    /// answered with an overload error instead — one connection cannot
-    /// flood the shared queues any more than it could spawn unbounded
-    /// threads in legacy mode.
+    /// The blocking jobs decoded from one readable event, collected per
+    /// lane and dispatched with one [`WorkerPool::execute_batch`] each —
+    /// one queue send and one worker wakeup for the whole batch instead
+    /// of one per frame.  A batch stays on one worker in arrival order,
+    /// which is exactly the per-session ordering the frames had anyway;
+    /// different sessions' batches still spread across the lane's
+    /// workers.
+    #[derive(Default)]
+    struct LaneBatch {
+        submit: Vec<Box<dyn FnOnce() + Send>>,
+        redeem: Vec<Box<dyn FnOnce() + Send>>,
+    }
+
+    impl LaneBatch {
+        /// Hands each lane's collected jobs to its pool and counts the
+        /// frames that actually rode a multi-frame batch.
+        fn flush(self, shared: &ServerShared, pools: &Pools) {
+            for (jobs, pool) in [(self.submit, &pools.submit), (self.redeem, &pools.redeem)] {
+                if jobs.len() > 1 {
+                    shared
+                        .frames_batched
+                        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+                }
+                pool.execute_batch(jobs);
+            }
+        }
+    }
+
+    /// Queues one blocking request on a worker lane's batch, bounded per
+    /// session: past [`MAX_SESSION_WORKERS`] in flight on the lane, the
+    /// request is answered with an overload error instead — one
+    /// connection cannot flood the shared queues any more than it could
+    /// spawn unbounded threads in legacy mode.  The per-session counter
+    /// is claimed here, at decode time, so the cap holds even while the
+    /// batch is still being collected.
     fn spawn_job(
-        pools: &Pools,
+        batch: &mut LaneBatch,
         lane: Lane,
         state: &Arc<SessionState>,
         corr: RequestId,
@@ -954,14 +1000,14 @@ mod engine {
             state: state.clone(),
             lane,
         };
-        let pool = match lane {
-            Lane::Submit => &pools.submit,
-            Lane::Redeem => &pools.redeem,
+        let jobs = match lane {
+            Lane::Submit => &mut batch.submit,
+            Lane::Redeem => &mut batch.redeem,
         };
-        pool.execute(move || {
+        jobs.push(Box::new(move || {
             let _guard = guard;
             job();
-        });
+        }));
     }
 
     /// One I/O thread: polls its sessions' sockets (plus, on the first
@@ -1057,7 +1103,7 @@ mod engine {
                 if event.readable || event.closed {
                     handle_readable(&shared, &pools, session);
                 }
-                if (event.writable || event.closed) && !flush_session(session) {
+                if (event.writable || event.closed) && !flush_session(&shared, session) {
                     session.client_gone = true;
                     begin_close(&shared, &pools, session);
                 }
@@ -1067,7 +1113,7 @@ mod engine {
             // Write queues touched by worker lanes / teardowns.
             for token in notify.take_dirty() {
                 if let Some(session) = sessions.get_mut(&token) {
-                    if !flush_session(session) {
+                    if !flush_session(&shared, session) {
                         session.client_gone = true;
                         begin_close(&shared, &pools, session);
                     }
@@ -1272,11 +1318,17 @@ mod engine {
     /// high-water mark (the leftovers stay buffered and are re-parsed
     /// once the queue drains).  Garbage — an over-limit length prefix or
     /// an undecodable body — ends the session, settled like any other.
+    ///
+    /// Blocking frames are *collected* across the whole parse loop and
+    /// handed to the worker lanes as one batch per lane at the end — one
+    /// queue send and one wakeup per readable event, however many frames
+    /// the client pipelined into it.
     fn parse_and_dispatch(
         shared: &Arc<ServerShared>,
         pools: &Arc<Pools>,
         session: &mut ReactorSession,
     ) {
+        let mut batch = LaneBatch::default();
         let mut pos = 0usize;
         loop {
             if matches!(session.phase, Phase::Closing) {
@@ -1299,7 +1351,7 @@ mod engine {
             match ClientFrame::from_wire_bytes(body) {
                 Ok(frame) => {
                     pos += 4 + declared;
-                    dispatch_frame(shared, pools, session, frame);
+                    dispatch_frame(shared, pools, session, &mut batch, frame);
                 }
                 Err(_) => {
                     begin_close(shared, pools, session);
@@ -1310,6 +1362,10 @@ mod engine {
                 break;
             }
         }
+        // Jobs collected before a mid-loop close still run — their
+        // per-session counters are already claimed and the teardown's
+        // settle loop waits for them.
+        batch.flush(shared, pools);
         if matches!(session.phase, Phase::Closing) {
             // Nothing buffered will ever be parsed now (and a mid-loop
             // close may have replaced the buffer already): drop it whole
@@ -1329,6 +1385,7 @@ mod engine {
         shared: &Arc<ServerShared>,
         pools: &Arc<Pools>,
         session: &mut ReactorSession,
+        batch: &mut LaneBatch,
         frame: ClientFrame,
     ) {
         let state = session.state.clone();
@@ -1372,14 +1429,14 @@ mod engine {
             ClientFrame::Submit { corr, query } => {
                 let shared = shared.clone();
                 let job_state = state.clone();
-                spawn_job(pools, Lane::Submit, &state, corr, move || {
+                spawn_job(batch, Lane::Submit, &state, corr, move || {
                     handle_submit(&shared, &job_state, corr, &query)
                 });
             }
             ClientFrame::SubmitBatch { corr, queries } => {
                 let shared = shared.clone();
                 let job_state = state.clone();
-                spawn_job(pools, Lane::Submit, &state, corr, move || {
+                spawn_job(batch, Lane::Submit, &state, corr, move || {
                     handle_submit_batch(&shared, &job_state, corr, &queries)
                 });
             }
@@ -1400,7 +1457,7 @@ mod engine {
                 }
                 let shared = shared.clone();
                 let job_state = state.clone();
-                spawn_job(pools, Lane::Redeem, &state, corr, move || {
+                spawn_job(batch, Lane::Redeem, &state, corr, move || {
                     handle_wait(&shared, &job_state, corr, ticket, deadline_ms)
                 });
             }
@@ -1434,7 +1491,7 @@ mod engine {
                 // it runs on the redeem lane; in-process backends answer
                 // inline on the I/O thread.
                 if shared.federation.is_some() {
-                    spawn_job(pools, Lane::Redeem, &state, corr, poll);
+                    spawn_job(batch, Lane::Redeem, &state, corr, poll);
                 } else {
                     poll();
                 }
@@ -1462,16 +1519,20 @@ mod engine {
                 // forever).  A release never blocks on the window itself —
                 // only on bounded peer I/O — so it is safe on this lane.
                 if shared.federation.is_some() {
-                    spawn_job(pools, Lane::Redeem, &state, corr, release);
+                    spawn_job(batch, Lane::Redeem, &state, corr, release);
                 } else {
                     release();
                 }
             }
             ClientFrame::Stats { corr } => {
-                state.send(&ServerFrame::StatsReply {
-                    corr,
-                    stats: shared.manager.stats(),
-                });
+                // The backend fills its own counters; the transport
+                // batching counters belong to the daemon and are
+                // overlaid here (zero in thread-per-session mode, which
+                // neither batches decodes nor coalesces flushes).
+                let mut stats = shared.manager.stats();
+                stats.frames_batched = shared.frames_batched.load(Ordering::Relaxed);
+                stats.writes_coalesced = shared.writes_coalesced.load(Ordering::Relaxed);
+                state.send(&ServerFrame::StatsReply { corr, stats });
             }
             ClientFrame::Shutdown { corr } => {
                 state.send(&ServerFrame::Ack { corr });
@@ -1498,7 +1559,7 @@ mod engine {
                     return;
                 };
                 let job_state = state.clone();
-                spawn_job(pools, Lane::Submit, &state, corr, move || {
+                spawn_job(batch, Lane::Submit, &state, corr, move || {
                     let (outcome, routing) = federation.handle_delegate(&query, ttl, visited);
                     // Piggyback whatever gossip the delegating peer has
                     // not acknowledged yet on the reply it is already
@@ -1617,7 +1678,7 @@ mod engine {
 
     /// Flushes as much of the session's write queue as the socket takes.
     /// Returns `false` when the transport is dead.
-    fn flush_session(session: &mut ReactorSession) -> bool {
+    fn flush_session(shared: &Arc<ServerShared>, session: &mut ReactorSession) -> bool {
         loop {
             let mut buf = session.queue.buf.lock();
             if buf.sent >= buf.data.len() {
@@ -1629,6 +1690,12 @@ mod engine {
                 Ok(n) => {
                     buf.sent += n;
                     if buf.sent >= buf.data.len() {
+                        // One socket write just drained everything queued;
+                        // if that was several frames, the flush coalesced
+                        // them into a single write.
+                        if buf.frames > 1 {
+                            shared.writes_coalesced.fetch_add(1, Ordering::Relaxed);
+                        }
                         buf.reset();
                         return true;
                     }
@@ -2030,10 +2097,14 @@ fn run_session(shared: Arc<ServerShared>, mut stream: TcpStream) {
                 }
             }
             ClientFrame::Stats { corr } => {
-                state.send(&ServerFrame::StatsReply {
-                    corr,
-                    stats: shared.manager.stats(),
-                });
+                // The backend fills its own counters; the transport
+                // batching counters belong to the daemon and are
+                // overlaid here (zero in thread-per-session mode, which
+                // neither batches decodes nor coalesces flushes).
+                let mut stats = shared.manager.stats();
+                stats.frames_batched = shared.frames_batched.load(Ordering::Relaxed);
+                stats.writes_coalesced = shared.writes_coalesced.load(Ordering::Relaxed);
+                state.send(&ServerFrame::StatsReply { corr, stats });
             }
             ClientFrame::Shutdown { corr } => {
                 state.send(&ServerFrame::Ack { corr });

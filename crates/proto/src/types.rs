@@ -456,6 +456,18 @@ pub struct StatsSnapshot {
     /// dropped.  Zero on a healthy federation — gossip keeps directories
     /// fresh without tearing links down.
     pub peer_redials: u64,
+    /// Times a hot-path shard (directory shard, admission-window lane,
+    /// pending-ticket shard) was found contended and the caller had to
+    /// fall back to a blocking acquire.  Zero when the shard count
+    /// matches the offered concurrency.
+    pub shard_contention: u64,
+    /// Frames that arrived as part of a multi-frame batch dispatched with
+    /// a single lane wakeup (the reactor decodes every complete frame per
+    /// readable event, not one).
+    pub frames_batched: u64,
+    /// Flushes that drained more than one queued frame with a single
+    /// coalesced socket write.
+    pub writes_coalesced: u64,
 }
 
 impl WireEncode for StatsSnapshot {
@@ -475,7 +487,10 @@ impl WireEncode for StatsSnapshot {
         self.gossip_deltas_out.encode(out)?;
         self.route_hits.encode(out)?;
         self.route_misses.encode(out)?;
-        self.peer_redials.encode(out)
+        self.peer_redials.encode(out)?;
+        self.shard_contention.encode(out)?;
+        self.frames_batched.encode(out)?;
+        self.writes_coalesced.encode(out)
     }
 }
 
@@ -498,6 +513,9 @@ impl WireDecode for StatsSnapshot {
             route_hits: u64::decode(r)?,
             route_misses: u64::decode(r)?,
             peer_redials: u64::decode(r)?,
+            shard_contention: u64::decode(r)?,
+            frames_batched: u64::decode(r)?,
+            writes_coalesced: u64::decode(r)?,
         })
     }
 }
@@ -630,6 +648,9 @@ mod tests {
             route_hits: 14,
             route_misses: 15,
             peer_redials: 16,
+            shard_contention: 17,
+            frames_batched: 18,
+            writes_coalesced: 19,
         };
         assert_eq!(
             StatsSnapshot::from_wire_bytes(&s.to_wire_bytes().unwrap()).unwrap(),

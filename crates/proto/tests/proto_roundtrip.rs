@@ -86,6 +86,9 @@ fn stats_strategy() -> impl Strategy<Value = StatsSnapshot> {
         route_hits: seed % 37,
         route_misses: seed % 41,
         peer_redials: seed % 43,
+        shard_contention: seed % 47,
+        frames_batched: seed % 53,
+        writes_coalesced: seed % 59,
     })
 }
 

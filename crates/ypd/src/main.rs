@@ -55,6 +55,7 @@ use actyp_pipeline::{
 const USAGE: &str = "\
 usage: ypd [--listen HOST:PORT] [--backend KIND] [--machines N] [--seed N]
            [--arch NAME] [--query-managers N] [--pool-managers N] [--window N]
+           [--shards N]
            [--sessions MODE] [--io-threads N] [--workers N] [--poller KIND]
            [--domain NAME] [--peer HOST:PORT]... [--ttl N]
            [--gossip-interval MS] [--probe-interval MS] [--no-route-cache]
@@ -68,6 +69,9 @@ usage: ypd [--listen HOST:PORT] [--backend KIND] [--machines N] [--seed N]
   --query-managers N   query-manager stages (default: 1)
   --pool-managers N    pool-manager stages (default: 1)
   --window N           live-backend in-flight window (default: 32)
+  --shards N           shard count for the daemon's hot state: directory
+                       shards and admission-window lanes (default: 8;
+                       1 restores the old single-lock behaviour)
   --sessions MODE      session I/O: reactor | threaded
                        (default: $ACTYP_YPD_SESSIONS or reactor)
   --io-threads N       reactor I/O threads driving all session sockets
@@ -105,6 +109,7 @@ struct Config {
     query_managers: usize,
     pool_managers: usize,
     window: usize,
+    shards: usize,
     sessions: SessionMode,
     io_threads: usize,
     workers: usize,
@@ -129,6 +134,7 @@ impl Default for Config {
             query_managers: 1,
             pool_managers: 1,
             window: 32,
+            shards: 8,
             sessions: SessionMode::Reactor,
             io_threads: 2,
             workers: 4,
@@ -245,6 +251,12 @@ fn parse_args(
                     .parse()
                     .map_err(|_| format!("--window: invalid size `{raw}`"))?;
             }
+            "--shards" => {
+                let raw = value("--shards")?;
+                config.shards = raw
+                    .parse()
+                    .map_err(|_| format!("--shards: invalid count `{raw}`"))?;
+            }
             "--sessions" => {
                 let raw = value("--sessions")?;
                 config.sessions = raw.parse().map_err(|e| format!("--sessions: {e}"))?;
@@ -348,6 +360,7 @@ fn main() -> ExitCode {
         .query_managers(config.query_managers)
         .pool_managers(config.pool_managers)
         .window(config.window)
+        .shards(config.shards)
         .session_mode(config.sessions)
         .reactor_io_threads(config.io_threads)
         .reactor_workers(config.workers)
@@ -439,7 +452,8 @@ fn spawn_stats_reporter(addr: StageAddress, interval_secs: u64) {
                  delegations={} forwards={} delegations_out={} delegations_in={} \
                  releases={} records_examined={} in_flight={} \
                  gossip_deltas_in={} gossip_deltas_out={} route_hits={} \
-                 route_misses={} peer_redials={}",
+                 route_misses={} peer_redials={} shard_contention={} \
+                 frames_batched={} writes_coalesced={}",
                 stats.requests,
                 stats.fragments,
                 stats.allocations,
@@ -455,7 +469,10 @@ fn spawn_stats_reporter(addr: StageAddress, interval_secs: u64) {
                 stats.gossip_deltas_out,
                 stats.route_hits,
                 stats.route_misses,
-                stats.peer_redials
+                stats.peer_redials,
+                stats.shard_contention,
+                stats.frames_batched,
+                stats.writes_coalesced
             );
         }
     });
@@ -499,6 +516,8 @@ mod tests {
                 "3",
                 "--window",
                 "16",
+                "--shards",
+                "4",
                 "--sessions",
                 "threaded",
                 "--io-threads",
@@ -532,6 +551,7 @@ mod tests {
         assert_eq!(config.query_managers, 2);
         assert_eq!(config.pool_managers, 3);
         assert_eq!(config.window, 16);
+        assert_eq!(config.shards, 4);
         assert_eq!(config.sessions, SessionMode::ThreadPerSession);
         assert_eq!(config.io_threads, 4);
         assert_eq!(config.workers, 8);

@@ -93,7 +93,7 @@ fn live_pipeline_handles_a_burst_of_concurrent_clients() {
     assert_eq!(pipeline.stats().allocations, 80);
 
     // Temporal locality: the 80 identical queries created exactly one pool.
-    assert_eq!(pipeline.pipeline().directory().read().instance_count(), 1);
+    assert_eq!(pipeline.pipeline().directory().instance_count(), 1);
     pipeline.shutdown().unwrap();
 }
 

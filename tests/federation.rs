@@ -188,7 +188,6 @@ fn killing_a_peer_mid_run_strands_no_tickets() {
     assert!(
         fed_a
             .peer_directory()
-            .read()
             .pool_managers()
             .contains(&"upc".to_string()),
         "the peer is in the entry daemon's peer directory"
@@ -220,7 +219,6 @@ fn killing_a_peer_mid_run_strands_no_tickets() {
     assert!(
         !fed_a
             .peer_directory()
-            .read()
             .pool_managers()
             .contains(&"upc".to_string()),
         "the dead peer was unregistered"
@@ -287,7 +285,6 @@ fn peers_learn_each_others_pools_through_sync() {
     client.release(&allocations[0]).unwrap();
 
     let dir = fed_a.peer_directory();
-    let dir = dir.read();
     assert!(dir.pool_managers().contains(&"upc".to_string()));
     assert!(
         dir.instances("arch,==/hp")
@@ -295,11 +292,9 @@ fn peers_learn_each_others_pools_through_sync() {
             .any(|r| r.manager == "upc"),
         "B's advertised hp pool is recorded against its domain"
     );
-    drop(dir);
     // And the inbound side recorded A's advertisement too.
     assert!(fed_b
         .peer_directory()
-        .read()
         .pool_managers()
         .contains(&"purdue".to_string()));
 
@@ -567,7 +562,7 @@ fn redialed_peer_link_resyncs_pool_advertisements() {
     let mut resynced = false;
     for _ in 0..20 {
         let _ = entry.submit_text_wait("punch.rsrc.arch = hp\n");
-        let dir = entry.peer_directory().read();
+        let dir = entry.peer_directory();
         let has_new = dir
             .instances("arch,==/sgi")
             .iter()
@@ -580,7 +575,6 @@ fn redialed_peer_link_resyncs_pool_advertisements() {
             resynced = true;
             break;
         }
-        drop(dir);
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     assert!(

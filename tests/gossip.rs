@@ -109,7 +109,6 @@ fn pool_registered_mid_session_is_delegable_without_redial() {
     wait_for("A's peer links to establish", || {
         let knows = |fed: &FederatedBackend| {
             fed.peer_directory()
-                .read()
                 .pool_managers()
                 .iter()
                 .any(|d| d == "purdue")
@@ -273,14 +272,13 @@ fn peer_renaming_its_domain_retires_the_old_domains_pools() {
     let mut retired = false;
     for _ in 0..20 {
         let _ = entry.submit_text_wait("punch.rsrc.arch = hp\n");
-        let dir = entry.peer_directory().read();
+        let dir = entry.peer_directory();
         let has_new = dir.pool_managers().iter().any(|d| d == "barcelona");
         let has_old = dir.pool_managers().iter().any(|d| d == "upc")
             || dir
                 .instances("arch,==/hp")
                 .iter()
                 .any(|r| r.manager == "upc");
-        drop(dir);
         if has_new && !has_old {
             retired = true;
             break;
@@ -355,7 +353,7 @@ fn health_probe_prunes_a_dead_peer_between_delegations() {
         .release(&held[0])
         .expect("release routes to the peer");
     {
-        let dir = fed_a.peer_directory().read();
+        let dir = fed_a.peer_directory();
         assert!(
             dir.pool_managers().iter().any(|d| d == "upc"),
             "the delegation recorded the peer's advertisement"
@@ -370,7 +368,6 @@ fn health_probe_prunes_a_dead_peer_between_delegations() {
     wait_for("the probe to prune the dead peer", || {
         !fed_a
             .peer_directory()
-            .read()
             .pool_managers()
             .iter()
             .any(|d| d == "upc")
